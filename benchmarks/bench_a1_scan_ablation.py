@@ -1,0 +1,25 @@
+"""abl-A1 — scan-algorithm ablation inside the prefix stage.
+
+Compares the recursive-doubling (Kogge-Stone) schedule the paper builds
+on against Blelloch's work-efficient tree scan and the linear-depth
+pipeline baseline, on identical affine-pair payloads.
+"""
+
+from collections import defaultdict
+
+from conftest import run_and_save
+
+
+def test_a1_scan_ablation(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_save, args=("abl-A1", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert all(result.column("matches_ks"))
+    by_p = defaultdict(dict)
+    for p, scan, vt, _msgs, _ok in result.rows:
+        by_p[p][scan] = vt
+    largest = max(by_p)
+    # At the largest rank count, log-depth schedules beat the pipeline.
+    assert by_p[largest]["kogge_stone"] < by_p[largest]["pipeline"]

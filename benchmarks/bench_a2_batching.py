@@ -1,0 +1,21 @@
+"""abl-A2 — RHS batching ablation for the ARD solve phase.
+
+Solving R right-hand sides in one batched call amortizes the per-call
+latency (scan rounds, closing broadcast); tiny batches pay it R times.
+"""
+
+from conftest import run_and_save
+
+
+def test_a2_batching(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_save, args=("abl-A2", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    batches = result.column("batch")
+    vts = result.column("total_solve_vt")
+    # Larger batches never cost more modelled time; the extremes differ
+    # measurably.
+    assert vts == sorted(vts, reverse=True)
+    assert vts[0] > 1.2 * vts[-1], (batches, vts)

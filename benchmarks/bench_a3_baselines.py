@@ -1,0 +1,26 @@
+"""abl-A3 — baseline cross-over: ARD vs RD vs cyclic reduction vs Thomas.
+
+Shows the context the paper's contribution lives in: sequential Thomas
+wins at P=1 (no parallel overheads), the parallel methods overtake it as
+P grows, and ARD dominates naive RD everywhere multi-RHS work exists.
+"""
+
+from conftest import run_and_save
+
+
+def test_a3_baseline_crossover(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_save, args=("abl-A3", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    ps = result.column("P")
+    ard = result.column("ard_vt")
+    rd = result.column("rd_vt")
+    thomas = result.column("thomas_vt")
+    # ARD beats naive RD at every P.
+    for a, r in zip(ard, rd):
+        assert a < r
+    # ARD improves with P and eventually beats the sequential baseline.
+    assert ard[-1] < ard[0]
+    assert ard[-1] < thomas[-1], (ps, ard, thomas)

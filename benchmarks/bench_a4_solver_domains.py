@@ -1,0 +1,41 @@
+"""abl-A4 — solver stability domains (SPIKE extension).
+
+The partitioned SPIKE solver extends the library beyond recursive
+doubling's stability domain: on strongly diagonally dominant systems
+(exponential transfer growth) ARD fails or loses accuracy while SPIKE
+solves at distributed scale; on oscillatory systems ARD is the fastest
+and SPIKE still works wherever its local Thomas factorization exists.
+"""
+
+import math
+
+from conftest import SCALE, run_and_save
+
+
+def test_a4_solver_domains(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_save, args=("abl-A4", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    rows = {(r[0], r[2]): r for r in result.rows}
+
+    # In the oscillatory regime everyone succeeds and ARD is accurate.
+    assert rows[("oscillatory", "ard")][5] == "ok"
+    assert rows[("oscillatory", "ard")][4] < 1e-10
+    assert rows[("oscillatory", "spike")][4] < 1e-10
+
+    # In the dominant regime SPIKE and Thomas are accurate at scale...
+    assert rows[("dominant", "spike")][5] == "ok"
+    assert rows[("dominant", "spike")][4] < 1e-10
+    assert rows[("dominant", "thomas")][4] < 1e-10
+    # ...while ARD either raises (overflowed closing system) or returns
+    # a large residual — it is outside its documented domain.
+    ard_dom = rows[("dominant", "ard")]
+    assert ard_dom[5] != "ok" or math.isnan(ard_dom[4]) or ard_dom[4] > 1e-8
+
+    # At full scale (compute-dominated), SPIKE's distributed solve beats
+    # sequential Thomas in modelled time in the dominant regime; the tiny
+    # smoke problem is latency-bound and not comparable.
+    if SCALE == "full":
+        assert rows[("dominant", "spike")][3] < rows[("dominant", "thomas")][3]

@@ -1,0 +1,27 @@
+"""recon-F1 — runtime vs number of right-hand sides (the headline figure).
+
+RD's modelled runtime grows linearly in R with an O(M^3) slope; ARD pays
+the O(M^3) work once and then grows with an O(M^2) slope, opening the
+paper's O(R) gap.
+"""
+
+from conftest import run_and_save
+
+
+def test_f1_runtime_vs_r(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_save, args=("recon-F1", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    rs = result.column("R")
+    speedups = result.column("speedup")
+    rd = result.column("rd_vt")
+    ard = result.column("ard_total_vt")
+    # RD grows ~linearly in R.
+    assert rd[-1] / rd[0] > 0.5 * (rs[-1] / rs[0])
+    # ARD grows far slower than R.
+    assert ard[-1] / ard[0] < 0.5 * (rs[-1] / rs[0])
+    # The speedup grows monotonically (allowing small measurement wiggle).
+    assert speedups[-1] > speedups[0]
+    assert speedups[-1] > 2.0

@@ -1,0 +1,42 @@
+"""recon-F2 — speedup vs R for several block sizes.
+
+The measured ARD-over-RD speedup must follow the paper's shape: linear
+growth in R, saturating near Theta(M) — larger blocks keep gaining
+longer.
+"""
+
+from collections import defaultdict
+
+from conftest import SCALE, run_and_save
+
+
+def test_f2_speedup_saturation(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_save, args=("recon-F2", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    by_m = defaultdict(list)
+    for m, r, _rd, _ard, speedup, model in result.rows:
+        by_m[m].append((r, speedup, model))
+    for m, series in by_m.items():
+        series.sort()
+        speeds = [s for _, s, _ in series]
+        # Monotone growth in R for each M.
+        assert speeds == sorted(speeds), f"speedup not monotone for M={m}"
+        # Measured speedup at least tracks the flop-only model: latency
+        # amortization can only help ARD further.
+        for r, speedup, model in series:
+            if r >= 8:
+                assert speedup > 0.7 * model, (m, r, speedup, model)
+    if SCALE == "full":
+        # At the largest R every M must have reached at least its
+        # flop-model asymptote R/(1+R/M) -> M (latency amortization can
+        # push the measured value above it, never below).
+        for m, series in by_m.items():
+            _r, speedup, model = series[-1]
+            assert speedup > 0.8 * model, (m, speedup, model)
+        # And saturation is visible: the last doubling of R gains < 35%.
+        for m, series in by_m.items():
+            if len(series) >= 2 and series[-1][0] >= 1024:
+                assert series[-1][1] < 1.35 * series[-2][1], (m, series[-2:])

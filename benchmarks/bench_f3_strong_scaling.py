@@ -1,0 +1,21 @@
+"""recon-F3 — strong scaling: runtime vs simulated rank count."""
+
+from conftest import run_and_save
+
+
+def test_f3_strong_scaling(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_save, args=("recon-F3", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    ps = result.column("P")
+    ard = result.column("ard_total_vt")
+    # ARD gets faster with more ranks over the measured range...
+    assert ard[-1] < ard[0]
+    # ...with decent initial efficiency (>= 50% going 1 -> 2 ranks).
+    if len(ps) >= 2 and ps[0] == 1 and ps[1] == 2:
+        assert ard[0] / ard[1] > 1.5
+    # RD stays well above ARD at every P.
+    for rd_vt, ard_vt in zip(result.column("rd_vt"), ard):
+        assert rd_vt > ard_vt

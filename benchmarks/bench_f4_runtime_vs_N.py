@@ -1,0 +1,25 @@
+"""recon-F4 — runtime vs system length N (work-term scaling)."""
+
+from conftest import SCALE, run_and_save
+
+
+def test_f4_runtime_vs_n(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_save, args=("recon-F4", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    ns = result.column("N")
+    rd = result.column("rd_vt")
+    ard = result.column("ard_vt")
+    # Runtimes grow with N for both algorithms...
+    assert rd == sorted(rd)
+    assert ard == sorted(ard)
+    # ...and in the large-N tail (the N/P-dominated regime) the growth is
+    # close to linear: the last doubling of N scales time by ~2x.
+    if SCALE == "full":
+        tail = (rd[-1] / rd[-2]) / (ns[-1] / ns[-2])
+        assert 0.6 < tail < 1.4, tail
+    # The RD/ARD gap persists at every N.
+    for a, b in zip(rd, ard):
+        assert a > b

@@ -1,0 +1,27 @@
+"""recon-F5 — runtime vs block size M: the M^3 vs M^2 separation."""
+
+from conftest import run_and_save
+
+
+def test_f5_runtime_vs_m(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_save, args=("recon-F5", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    ms = result.column("M")
+    rd = result.column("rd_vt")
+    solve = result.column("ard_solve_vt")
+    # Between the two largest M values, RD's growth exponent must exceed
+    # the ARD solve phase's (M^3 vs M^2 per-RHS cost).
+    import math
+
+    ratio_m = ms[-1] / ms[-2]
+    rd_exp = math.log(rd[-1] / rd[-2], ratio_m)
+    solve_exp = math.log(solve[-1] / solve[-2], ratio_m)
+    assert rd_exp > solve_exp + 0.4, (rd_exp, solve_exp)
+    # Speedup climbs with M in the compute-dominated (large-M) tail.
+    # (Small M can show inflated speedups from pure latency amortization,
+    # so the head of the sweep is not comparable.)
+    speedups = result.column("speedup")
+    assert speedups[-1] > speedups[-2]

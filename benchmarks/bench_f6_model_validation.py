@@ -1,0 +1,15 @@
+"""recon-F6 — analytic model vs simulated virtual time (parity data)."""
+
+from conftest import run_and_save
+
+
+def test_f6_model_parity(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_save, args=("recon-F6", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    # Every point within a factor of ~2.5 (the model serializes phases the
+    # simulator may overlap) and trends preserved per method.
+    for ratio in result.column("ratio"):
+        assert 0.35 < ratio < 2.5

@@ -1,0 +1,20 @@
+"""recon-F7 — real wall-clock confirmation on this host (P=1).
+
+Unlike the virtual-time figures, this one measures actual seconds: the
+aggregate flop-work advantage of ARD over naive RD is directly visible
+on one core, independent of any machine model.
+"""
+
+from conftest import run_and_save
+
+
+def test_f7_wallclock_speedup(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_save, args=("recon-F7", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    for m, r, rd_wall, ard_wall, speedup in result.rows:
+        assert rd_wall > 0 and ard_wall > 0
+        # Real seconds: ARD must win on every configuration.
+        assert speedup > 1.0, (m, r, speedup)

@@ -1,0 +1,64 @@
+"""Microbenchmarks of the block kernels and substrate primitives.
+
+Not a paper figure: these time the building blocks every experiment
+rests on (batched LU, batched GEMM, the affine-scan round, an SPMD
+round trip) so kernel-level regressions are visible independently of
+the algorithm-level results.
+"""
+
+import numpy as np
+
+from repro.comm import run_spmd
+from repro.core.scan_affine import affine_scan
+from repro.linalg.blockops import BatchedLU, gemm
+from repro.prefix import AffinePair
+
+RNG = np.random.default_rng(0)
+
+
+def _blocks(n, m):
+    return RNG.standard_normal((n, m, m)) + m * np.eye(m)
+
+
+def test_batched_lu_factor(benchmark):
+    blocks = _blocks(256, 16)
+    result = benchmark(lambda: BatchedLU(blocks))
+    assert result.n == 256
+
+
+def test_batched_lu_solve(benchmark):
+    lu = BatchedLU(_blocks(256, 16))
+    rhs = RNG.standard_normal((256, 16, 32))
+    out = benchmark(lambda: lu.solve(rhs))
+    assert out.shape == (256, 16, 32)
+
+
+def test_batched_gemm(benchmark):
+    a = RNG.standard_normal((256, 16, 16))
+    b = RNG.standard_normal((256, 16, 32))
+    out = benchmark(lambda: gemm(a, b))
+    assert out.shape == (256, 16, 32)
+
+
+def test_affine_scan_p8(benchmark):
+    dim = 32
+    mats = RNG.standard_normal((8, dim, dim)) / dim
+
+    def program(comm):
+        pair = AffinePair(mats[comm.rank], np.zeros((dim, 0)))
+        result, _ = affine_scan(comm, pair)
+        return result.inclusive.a[0, 0]
+
+    def run():
+        return run_spmd(program, 8, copy_messages=False)
+
+    result = benchmark(run)
+    assert result.nranks == 8
+
+
+def test_spmd_allreduce_roundtrip(benchmark):
+    def program(comm):
+        return comm.allreduce(comm.rank)
+
+    out = benchmark(lambda: run_spmd(program, 8))
+    assert out.values[0] == 28

@@ -1,0 +1,23 @@
+"""recon-S1 — stability domain: ARD error tracks eps x transfer growth.
+
+Not a figure from the paper's abstract, but the quantitative form of the
+recursive doubling stability caveat the reproduction documents: the
+relative error of the recurrence-based solvers follows
+``machine epsilon x transfer-product growth`` across workloads, which is
+machine precision for bounded-growth systems at any N.
+"""
+
+from conftest import run_and_save
+
+
+def test_s1_error_tracks_growth(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_save, args=("recon-S1", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert all(result.column("within_1e3x"))
+    # Bounded-growth workloads must reach near machine precision.
+    for workload, _n, _m, growth, err, *_ in result.rows:
+        if growth < 1e2:
+            assert err < 1e-11, (workload, err)

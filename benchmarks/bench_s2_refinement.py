@@ -1,0 +1,28 @@
+"""recon-S2 — iterative refinement extends the stability domain.
+
+Companion to recon-S1: on systems whose transfer growth would cost ARD
+k digits, each refinement round (one extra cheap solve phase) wins
+those digits back geometrically while ``eps * growth < 1``.
+"""
+
+import math
+
+from conftest import run_and_save
+
+
+def test_s2_refinement_domain(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_save, args=("recon-S2", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    for row in result.rows:
+        n, growth, e0, e1, e2, e3, status = row
+        if status != "ok":
+            continue
+        rho = 2.3e-16 * growth
+        if rho < 1e-2:
+            # Convergent regime: refinement must reach near machine
+            # precision and never make things worse.
+            assert e3 < 1e-11, (n, e3)
+            assert e1 <= e0 * 1.01 or math.isclose(e1, e0, rel_tol=1e-6)

@@ -1,0 +1,19 @@
+"""recon-T1 — complexity table: predicted vs instrumented flop counts.
+
+Regenerates the paper's complexity analysis as an executable table: for
+every solver, the closed-form critical-path flop count against the
+instrumented count from a real (simulated-parallel) run.
+"""
+
+from conftest import run_and_save
+
+
+def test_t1_complexity_table(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_save, args=("recon-T1", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    # The analysis must predict the implementation within 15%.
+    for ratio in result.column("ratio"):
+        assert 0.85 < ratio < 1.15

@@ -1,0 +1,27 @@
+"""recon-T2 — per-phase cost breakdown of RD vs ARD.
+
+Shows where each algorithm spends its modelled work: RD's scan/build
+phases carry M^3 terms per RHS; ARD's solve-side phases are all M^2 R.
+"""
+
+from conftest import run_and_save
+
+
+def test_t2_phase_breakdown(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_save, args=("recon-T2", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    # Shares must sum to ~1 within every (method, P) group, and ARD's
+    # factor phase must be dominated by the local M^3 work at low P.
+    groups: dict[tuple[str, int], float] = {}
+    first_p = min(r[1] for r in result.rows)
+    local_share = 0.0
+    for method, p, phase, _flops, share, _msgs, _bytes in result.rows:
+        groups[(method, p)] = groups.get((method, p), 0.0) + share
+        if method == "ard_factor" and p == first_p and phase in ("build", "aggregate"):
+            local_share += share
+    for total in groups.values():
+        assert abs(total - 1.0) < 1e-6
+    assert local_share > 0.5

@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one reconstructed table/figure through the
+experiment harness (``repro.harness``), times it with pytest-benchmark,
+persists the rows as CSV under ``results/``, and asserts the claim the
+figure supports.  Benchmarks default to the harness's ``smoke`` scale so
+``pytest benchmarks/ --benchmark-only`` completes in minutes; set
+``REPRO_BENCH_SCALE=full`` to regenerate the paper-scale parameter
+ranges (see EXPERIMENTS.md for recorded full-scale outputs).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.harness import run_experiment
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def run_and_save(exp_id: str, results_dir: pathlib.Path):
+    """Run one experiment at the configured scale and persist its CSV."""
+    return run_experiment(exp_id, SCALE, out_dir=results_dir, verbose=False)

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Implicit heat-equation time stepping with stability-aware method choice.
+
+Backward-Euler time stepping solves the *same* operator
+``(I + dt * kappa * Laplacian)`` at every step with a new right-hand
+side — the sequential cousin of the paper's multi-RHS workload (the RHS
+of step k depends on the solution of step k-1, so steps cannot be
+batched, but the factorization is still reused).
+
+This example also shows the library's recommended safety workflow: the
+heat operator is strongly diagonally dominant, which makes its transfer
+products grow exponentially, so recursive doubling is *outside its
+stability domain* here (DESIGN.md, "Non-goals / caveats").
+``repro.core.diagnostics.diagnose`` detects that, and we pick the
+factored block Thomas solver instead — same factor-once / solve-many
+API, unconditionally stable for this matrix class.
+
+Run:  python examples/heat_implicit_timestepping.py
+"""
+
+import numpy as np
+
+from repro import factor
+from repro.core.diagnostics import diagnose
+from repro.workloads import heat_implicit_system
+
+
+def main() -> None:
+    # 2D grid: nblocks rows x block_size columns, dt chosen for accuracy.
+    nblocks, block_size = 48, 24
+    dt, steps = 0.05, 40
+    matrix, info = heat_implicit_system(nblocks, block_size, dt=dt)
+    print(f"operator: backward-Euler heat, {nblocks}x{block_size} grid, "
+          f"dt={dt}, {steps} steps")
+
+    # --- stability-aware method selection -------------------------------
+    checks = diagnose(matrix, warn=False)
+    if checks.rd_feasible and checks.rd_stable:
+        method = "ard"
+    else:
+        method = "thomas"
+    print(f"diagnostics: growth={checks.growth:.2e}, dominance="
+          f"{checks.dominance:.2f} -> method={method!r}\n")
+
+    fact = factor(matrix, method=method)
+
+    # Initial condition: a hot square in the centre of the plate.
+    u = np.zeros((nblocks, block_size))
+    u[nblocks // 3: 2 * nblocks // 3, block_size // 3: 2 * block_size // 3] = 100.0
+    total0 = u.sum()
+
+    # March in time: each step solves  A u_{k+1} = u_k  (homogeneous BCs).
+    peak_history = []
+    for step in range(steps):
+        u = fact.solve(u[:, :, None])[:, :, 0]
+        peak_history.append(u.max())
+
+    print("step   peak temperature")
+    for step in range(0, steps, 8):
+        print(f"{step:4d}   {peak_history[step]:10.3f}")
+    print(f"{steps:4d}   {peak_history[-1]:10.3f}")
+
+    # Physical sanity checks: diffusion smooths monotonically and
+    # (with absorbing boundaries) never heats anything above the start.
+    assert all(a >= b for a, b in zip(peak_history, peak_history[1:])), \
+        "peak temperature must decay monotonically"
+    assert u.sum() < total0, "heat must leak through the boundaries"
+    assert u.min() > -1e-8, "diffusion cannot produce negative temperatures"
+    print("\nsanity checks passed: monotone decay, boundary losses, "
+          "non-negativity.")
+
+
+if __name__ == "__main__":
+    main()

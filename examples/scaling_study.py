@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Strong-scaling study: RD vs ARD across simulated rank counts.
+
+Sweeps P on a fixed problem and prints the modelled parallel runtimes
+alongside the closed-form predictions from
+:mod:`repro.perfmodel.predictor` — a miniature, self-contained version
+of experiments recon-F3/recon-F6 (the full versions live in the
+benchmark harness: ``python -m repro.harness run recon-F3``).
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.core import ARDFactorization, distribute_matrix, distribute_rhs, rd_solve_spmd
+from repro.comm import run_spmd
+from repro.perfmodel import PAPER_ERA_MODEL, predict_time
+from repro.util.tables import render_table
+from repro.workloads import helmholtz_block_system, random_rhs
+
+
+def main() -> None:
+    nblocks, block_size, nrhs = 512, 8, 64
+    matrix, _ = helmholtz_block_system(nblocks, block_size)
+    b = random_rhs(nblocks, block_size, nrhs, seed=0)
+    print(f"problem: N={nblocks}, M={block_size}, R={nrhs} "
+          f"(machine model: {PAPER_ERA_MODEL.flop_rate / 1e9:.0f} Gflop/s, "
+          f"{PAPER_ERA_MODEL.latency * 1e6:.1f} us latency)\n")
+
+    rows = []
+    base = None
+    for p in (1, 2, 4, 8, 16, 32, 64):
+        # ARD, measured in the simulator.
+        fact = ARDFactorization(matrix, nranks=p, cost_model=PAPER_ERA_MODEL)
+        fact.solve(b)
+        ard_vt = (fact.factor_result.virtual_time
+                  + fact.last_solve_result.virtual_time)
+        # RD, one pass measured, scaled to R identical passes.
+        chunks = distribute_matrix(matrix, p)
+        d1 = distribute_rhs(b[:, :, :1], p)
+        rd_pass = run_spmd(
+            rd_solve_spmd, p, cost_model=PAPER_ERA_MODEL, copy_messages=False,
+            rank_args=[(c, d) for c, d in zip(chunks, d1)],
+        ).virtual_time
+        rd_vt = rd_pass * nrhs
+        pred = predict_time("ard", n=nblocks, m=block_size, p=p, r=nrhs,
+                            cost_model=PAPER_ERA_MODEL)
+        base = base or ard_vt
+        rows.append([p, rd_vt, ard_vt, pred, rd_vt / ard_vt, base / ard_vt])
+
+    print(render_table(
+        ["P", "rd_vt_s", "ard_vt_s", "ard_predicted_s", "ard_speedup_vs_rd",
+         "ard_scaling_vs_P1"],
+        rows,
+    ))
+    print("\nRead: both solvers scale with N/P until the log P scan rounds "
+          "dominate; the RD/ARD gap is the per-RHS matrix work.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""repro — Accelerated Recursive Doubling for Block Tridiagonal Systems.
+
+A from-scratch reproduction of S. Seal, *An Accelerated Recursive
+Doubling Algorithm for Block Tridiagonal Systems*, IPDPS 2014.
+
+Quick start
+-----------
+>>> import numpy as np
+>>> from repro import BlockTridiagonalMatrix, solve
+>>> from repro.workloads import poisson_block_system
+>>> A, _ = poisson_block_system(nblocks=32, block_size=4, seed=0)
+>>> rng = np.random.default_rng(0)
+>>> b = rng.normal(size=(32, 4, 3))          # 3 right-hand sides
+>>> x = solve(A, b, method="ard", nranks=4)
+>>> float(np.max(np.abs(A.matvec(x) - b))) < 1e-8
+True
+
+Layout
+------
+``repro.core``
+    The paper's contribution: recursive doubling (RD), accelerated
+    recursive doubling (ARD), plus block Thomas and block cyclic
+    reduction baselines.
+``repro.comm``
+    Simulated SPMD message-passing runtime with virtual-time modelling.
+``repro.linalg`` / ``repro.workloads``
+    Block linear algebra substrate and workload generators.
+``repro.prefix``
+    Generic parallel-prefix (scan) framework over semigroups.
+``repro.perfmodel`` / ``repro.harness``
+    Analytic cost models and the experiment harness that regenerates
+    every table/figure in EXPERIMENTS.md.
+"""
+
+from .config import ReproConfig, config_context, get_config, set_config
+from .exceptions import (
+    CommError,
+    ConfigError,
+    DeadlockError,
+    ExperimentError,
+    RankError,
+    ReproError,
+    ShapeError,
+    SingularBlockError,
+    StabilityWarning,
+    TagError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "ReproConfig",
+    "config_context",
+    "get_config",
+    "set_config",
+    # exceptions
+    "ReproError",
+    "ShapeError",
+    "SingularBlockError",
+    "StabilityWarning",
+    "CommError",
+    "DeadlockError",
+    "RankError",
+    "TagError",
+    "ConfigError",
+    "ExperimentError",
+    # re-exported lazily below
+    "BlockTridiagonalMatrix",
+    "solve",
+    "factor",
+    "ARDFactorization",
+    "run_spmd",
+]
+
+
+def __getattr__(name: str):
+    """Lazily re-export the headline API to keep import time low and
+    avoid import cycles while submodules are still being loaded."""
+    if name == "BlockTridiagonalMatrix":
+        from .linalg.blocktridiag import BlockTridiagonalMatrix
+
+        return BlockTridiagonalMatrix
+    if name in ("solve", "factor"):
+        from .core import api
+
+        return getattr(api, name)
+    if name == "ARDFactorization":
+        from .core.ard import ARDFactorization
+
+        return ARDFactorization
+    if name == "run_spmd":
+        from .comm import run_spmd
+
+        return run_spmd
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,237 @@
+"""Collective operations built on point-to-point messaging.
+
+Each collective uses the textbook schedule whose cost shape the paper's
+analysis assumes:
+
+================  =============================  =======================
+collective        schedule                       modelled cost
+================  =============================  =======================
+barrier           dissemination                  ``O(alpha log P)``
+bcast             binomial tree                  ``O((alpha + n b) log P)``
+gather            binomial tree                  ``O(alpha log P + n b P)``
+allgather         gather + bcast                 ``O(log P)`` rounds
+scatter           direct sends from root         ``O(P)`` (setup only)
+alltoall          cyclic pairwise exchange       ``P - 1`` rounds
+reduce            binomial tree                  ``O((alpha + n b) log P)``
+allreduce         reduce + bcast                 ``O(log P)`` rounds
+scan / exscan     Kogge–Stone recursive doubling ``ceil(log2 P)`` rounds
+================  =============================  =======================
+
+``scan`` is the communication pattern at the heart of recursive
+doubling: the solvers in :mod:`repro.core` use the same schedule
+directly (via :mod:`repro.prefix`) so its cost is exercised both here
+and there.
+
+Reduction operators must be associative.  They are applied in rank
+order, so non-commutative operators are safe for ``reduce(root=0)``,
+``allreduce``, ``scan`` and ``exscan``; ``reduce`` with a non-zero root
+rotates the combining order and therefore additionally requires
+commutativity.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence, TYPE_CHECKING
+
+from ..exceptions import CommError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .communicator import Communicator
+
+__all__ = [
+    "barrier",
+    "bcast",
+    "gather",
+    "allgather",
+    "scatter",
+    "alltoall",
+    "reduce",
+    "allreduce",
+    "scan",
+    "exscan",
+]
+
+
+def barrier(comm: "Communicator") -> None:
+    """Dissemination barrier: ``ceil(log2 P)`` rounds of paired messages."""
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return
+    tag = comm._coll_tag()
+    dist = 1
+    while dist < size:
+        comm._coll_send(None, (rank + dist) % size, tag)
+        comm._coll_recv((rank - dist) % size, tag)
+        dist <<= 1
+
+
+def bcast(comm: "Communicator", obj: Any, root: int = 0) -> Any:
+    """Binomial-tree broadcast from ``root``."""
+    size, rank = comm.size, comm.rank
+    comm._check_rank(root, "root")
+    if size == 1:
+        return obj
+    tag = comm._coll_tag()
+    vrank = (rank - root) % size
+    mask = 1
+    received = vrank == 0
+    while mask < size:
+        if vrank < mask:
+            partner = vrank + mask
+            if partner < size:
+                comm._coll_send(obj, (partner + root) % size, tag)
+        elif vrank < 2 * mask and not received:
+            obj = comm._coll_recv(((vrank - mask) + root) % size, tag)
+            received = True
+        mask <<= 1
+    return obj
+
+
+def gather(comm: "Communicator", obj: Any, root: int = 0) -> list[Any] | None:
+    """Binomial-tree gather; ``root`` returns a rank-indexed list."""
+    size, rank = comm.size, comm.rank
+    comm._check_rank(root, "root")
+    if size == 1:
+        return [obj]
+    tag = comm._coll_tag()
+    vrank = (rank - root) % size
+    # Accumulate {vrank: payload}; leaves push up the tree.
+    acc: dict[int, Any] = {vrank: obj}
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            parent = vrank - mask
+            comm._coll_send(acc, (parent + root) % size, tag)
+            return None
+        child = vrank + mask
+        if child < size:
+            incoming = comm._coll_recv((child + root) % size, tag)
+            acc.update(incoming)
+        mask <<= 1
+    if vrank != 0:  # pragma: no cover - vrank 0 is the only non-sender
+        return None
+    return [acc[(r - root) % size] for r in range(size)]
+
+
+def allgather(comm: "Communicator", obj: Any) -> list[Any]:
+    """Gather to rank 0 followed by broadcast (two ``log P`` phases)."""
+    items = gather(comm, obj, root=0)
+    return bcast(comm, items, root=0)
+
+
+def scatter(comm: "Communicator", objs: Sequence[Any] | None, root: int = 0) -> Any:
+    """Scatter ``objs`` (one per rank) from ``root`` via direct sends.
+
+    Linear in P; used only in setup phases, never inside timed solver
+    loops, so the simple schedule does not distort the modelled costs.
+    """
+    size, rank = comm.size, comm.rank
+    comm._check_rank(root, "root")
+    tag = comm._coll_tag()
+    if rank == root:
+        if objs is None:
+            raise CommError("root must supply the sequence to scatter")
+        items = list(objs)
+        if len(items) != size:
+            raise CommError(
+                f"scatter needs exactly {size} items, got {len(items)}"
+            )
+        for dest in range(size):
+            if dest != root:
+                comm._coll_send(items[dest], dest, tag)
+        return items[root]
+    return comm._coll_recv(root, tag)
+
+
+def alltoall(comm: "Communicator", objs: Sequence[Any]) -> list[Any]:
+    """Cyclic pairwise personalized exchange (``P - 1`` rounds)."""
+    size, rank = comm.size, comm.rank
+    items = list(objs)
+    if len(items) != size:
+        raise CommError(f"alltoall needs exactly {size} items, got {len(items)}")
+    tag = comm._coll_tag()
+    out: list[Any] = [None] * size
+    out[rank] = items[rank]
+    for shift in range(1, size):
+        dest = (rank + shift) % size
+        src = (rank - shift) % size
+        comm._coll_send(items[dest], dest, tag)
+        out[src] = comm._coll_recv(src, tag)
+    return out
+
+
+def reduce(comm: "Communicator", obj: Any, op: Callable[[Any, Any], Any],
+           root: int = 0) -> Any | None:
+    """Binomial-tree reduction to ``root``.
+
+    Combining order follows ranks rotated so that ``root`` is first;
+    with ``root == 0`` this is exact rank order.
+    """
+    size, rank = comm.size, comm.rank
+    comm._check_rank(root, "root")
+    if size == 1:
+        return obj
+    tag = comm._coll_tag()
+    vrank = (rank - root) % size
+    acc = obj
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            parent = vrank - mask
+            comm._coll_send(acc, (parent + root) % size, tag)
+            return None
+        child = vrank + mask
+        if child < size:
+            high = comm._coll_recv((child + root) % size, tag)
+            # `acc` covers lower vranks than `high`: combine low-first.
+            acc = op(acc, high)
+        mask <<= 1
+    return acc
+
+
+def allreduce(comm: "Communicator", obj: Any, op: Callable[[Any, Any], Any]) -> Any:
+    """Reduce to rank 0 then broadcast (strict rank-order combining)."""
+    acc = reduce(comm, obj, op, root=0)
+    return bcast(comm, acc, root=0)
+
+
+def scan(comm: "Communicator", obj: Any, op: Callable[[Any, Any], Any]) -> Any:
+    """Kogge–Stone inclusive prefix over ranks.
+
+    After ``ceil(log2 P)`` rounds, rank ``r`` holds
+    ``op(obj_0, ..., obj_r)`` combined left-to-right.  This is the
+    recursive-doubling schedule whose cost the paper's ``log P`` terms
+    count.
+    """
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return obj
+    tag = comm._coll_tag()
+    acc = obj
+    dist = 1
+    while dist < size:
+        if rank + dist < size:
+            comm._coll_send(acc, rank + dist, tag)
+        if rank - dist >= 0:
+            left = comm._coll_recv(rank - dist, tag)
+            acc = op(left, acc)
+        dist <<= 1
+    return acc
+
+
+def exscan(comm: "Communicator", obj: Any, op: Callable[[Any, Any], Any]) -> Any:
+    """Exclusive prefix over ranks; rank 0 receives ``None``.
+
+    Implemented as an inclusive scan followed by a right shift, adding
+    one message round.
+    """
+    size, rank = comm.size, comm.rank
+    inclusive = scan(comm, obj, op)
+    if size == 1:
+        return None
+    tag = comm._coll_tag()
+    if rank + 1 < size:
+        comm._coll_send(inclusive, rank + 1, tag)
+    if rank == 0:
+        return None
+    return comm._coll_recv(rank - 1, tag)

@@ -1,0 +1,107 @@
+"""Communication/computation cost model for the simulated runtime.
+
+The reproduction substitutes a virtual-time simulation for the paper's
+MPI cluster (see DESIGN.md).  This module defines the machine model that
+converts *counted* work — flops executed, bytes moved — into *modelled*
+seconds.  The model is the classic alpha–beta (latency/bandwidth) model
+with a per-message CPU overhead, i.e. a simplified LogGP:
+
+- a message of ``b`` bytes travels in ``alpha + b * beta`` seconds,
+- each endpoint additionally spends ``overhead`` seconds of CPU time,
+- ``f`` flops of dense linear algebra take ``f / flop_rate`` seconds.
+
+Default constants are representative of a 2014-era commodity cluster
+(the paper's setting): ~1 us MPI latency, ~10 GB/s links, ~10 Gflop/s
+per core.  :mod:`repro.perfmodel.machine` can calibrate ``flop_rate``
+from a measured GEMM on the host.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+from typing import Any
+
+import numpy as np
+
+from ..exceptions import ConfigError
+
+__all__ = ["CostModel", "payload_nbytes", "DEFAULT_COST_MODEL"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CostModel:
+    """Machine parameters of the virtual-time model.
+
+    Attributes
+    ----------
+    latency:
+        End-to-end message latency ``alpha`` in seconds.
+    inv_bandwidth:
+        Per-byte transfer time ``beta`` in seconds/byte.
+    overhead:
+        CPU time charged to each endpoint per message, in seconds.
+    flop_rate:
+        Dense linear-algebra throughput in flops/second.
+    """
+
+    latency: float = 1.0e-6
+    inv_bandwidth: float = 1.0 / 10.0e9
+    overhead: float = 0.25e-6
+    flop_rate: float = 10.0e9
+
+    def __post_init__(self) -> None:
+        for name in ("latency", "inv_bandwidth", "overhead"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be non-negative")
+        if self.flop_rate <= 0:
+            raise ConfigError(f"flop_rate must be positive, got {self.flop_rate}")
+
+    def message_time(self, nbytes: int) -> float:
+        """Wire time for a message of ``nbytes`` bytes."""
+        return self.latency + nbytes * self.inv_bandwidth
+
+    def compute_time(self, flops: int | float) -> float:
+        """Modelled seconds to execute ``flops`` floating-point operations."""
+        return flops / self.flop_rate
+
+    def scaled(self, **overrides: float) -> "CostModel":
+        """Return a copy with some parameters replaced."""
+        return dataclasses.replace(self, **overrides)
+
+
+#: Shared default instance used when callers do not supply a model.
+DEFAULT_COST_MODEL = CostModel()
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Estimate the on-wire size of a message payload in bytes.
+
+    NumPy arrays report their buffer size; containers sum their items
+    plus a small per-item envelope; objects exposing an ``nbytes``
+    attribute (e.g. :class:`repro.prefix.affine.AffinePair`) report it
+    directly; anything else falls back to its pickled length.
+    """
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    nbytes = getattr(obj, "nbytes", None)
+    if isinstance(nbytes, (int, np.integer)):
+        return int(nbytes)
+    if isinstance(obj, (tuple, list)):
+        return 8 + sum(payload_nbytes(item) for item in obj)
+    if isinstance(obj, dict):
+        return 8 + sum(
+            payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items()
+        )
+    if obj is None:
+        return 1
+    if isinstance(obj, (bool, int, float, complex, np.generic)):
+        return 8
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8", errors="replace"))
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 64  # opaque object; charge a nominal envelope

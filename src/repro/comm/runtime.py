@@ -1,0 +1,346 @@
+"""Thread-based SPMD runtime with virtual-time accounting.
+
+:func:`run_spmd` executes one Python function on ``nranks`` simulated
+ranks (one thread each).  Ranks communicate through an in-process
+mailbox fabric with MPI-like matching (communicator, source, tag) and
+carry :class:`~repro.comm.clock.VirtualClock` instances so that the
+simulation yields a modelled parallel makespan in addition to real
+results (see DESIGN.md, "Hardware substitution").
+
+Key properties
+--------------
+- **Deterministic virtual time.**  Clocks advance from counted flops and
+  modelled message latencies only; host thread scheduling cannot change
+  the virtual makespan because receives advance to the *modelled*
+  arrival time of the matched message.
+- **Deadlock detection.**  When every live rank is blocked on a receive
+  and no message has been delivered for ``deadlock_timeout`` real
+  seconds, the runtime aborts all ranks with
+  :class:`~repro.exceptions.DeadlockError` instead of hanging the test
+  suite.
+- **Value semantics.**  Message payloads are copied at send time by
+  default, so in-process sharing cannot mask bugs that real distributed
+  memory would expose.
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+import itertools
+import threading
+import time
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..exceptions import CommError, DeadlockError
+from ..util.flops import FlopCounter, counting_flops
+from .clock import VirtualClock
+from .costmodel import CostModel, DEFAULT_COST_MODEL, payload_nbytes
+from .stats import RankStats, SimulationResult
+
+__all__ = ["Runtime", "RankContext", "run_spmd", "CommAborted"]
+
+
+class CommAborted(CommError):
+    """Raised in ranks blocked on communication when the simulation is
+    aborted because another rank failed (or a deadlock was detected)."""
+
+
+class _Message:
+    """Internal envelope for one point-to-point message."""
+
+    __slots__ = ("comm_key", "source", "tag", "payload", "nbytes", "arrival_time", "seq")
+
+    def __init__(self, comm_key, source, tag, payload, nbytes, arrival_time, seq):
+        self.comm_key = comm_key
+        self.source = source
+        self.tag = tag
+        self.payload = payload
+        self.nbytes = nbytes
+        self.arrival_time = arrival_time
+        self.seq = seq
+
+
+def _copy_payload(obj: Any) -> Any:
+    """Copy a payload so sender and receiver never alias memory."""
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if obj is None or isinstance(obj, (bool, int, float, complex, str, bytes, np.generic)):
+        return obj
+    if isinstance(obj, tuple):
+        return tuple(_copy_payload(item) for item in obj)
+    if isinstance(obj, list):
+        return [_copy_payload(item) for item in obj]
+    if isinstance(obj, dict):
+        return {k: _copy_payload(v) for k, v in obj.items()}
+    clone = getattr(obj, "copy", None)
+    if callable(clone):
+        return clone()
+    return _copy.deepcopy(obj)
+
+
+class RankContext:
+    """Per-rank simulation state: clock, flop counter, statistics."""
+
+    __slots__ = ("rank", "clock", "counter", "stats", "runtime")
+
+    def __init__(self, rank: int, runtime: "Runtime"):
+        self.rank = rank
+        self.runtime = runtime
+        self.counter = FlopCounter()
+        self.clock = VirtualClock(runtime.cost_model, self.counter)
+        self.stats = RankStats(rank=rank)
+
+    def finalize_stats(self) -> RankStats:
+        self.clock.sync_compute()
+        self.stats.virtual_time = self.clock.now
+        self.stats.flops = self.counter.total
+        self.stats.flops_by_kernel = self.counter.snapshot()
+        return self.stats
+
+
+class Runtime:
+    """Mailbox fabric shared by all ranks of one simulation.
+
+    Not constructed directly by users; :func:`run_spmd` owns the
+    lifecycle.  All shared state is guarded by a single condition
+    variable — message granularity in this library is coarse (block
+    matrices), so one lock is not a bottleneck.
+    """
+
+    def __init__(
+        self,
+        nranks: int,
+        cost_model: CostModel,
+        *,
+        copy_messages: bool = True,
+        deadlock_timeout: float = 5.0,
+        poll_interval: float = 0.05,
+    ):
+        if nranks <= 0:
+            raise CommError(f"nranks must be positive, got {nranks}")
+        self.nranks = nranks
+        self.cost_model = cost_model
+        self.copy_messages = copy_messages
+        self.deadlock_timeout = deadlock_timeout
+        self.poll_interval = poll_interval
+        self._cond = threading.Condition()
+        self._inboxes: list[list[_Message]] = [[] for _ in range(nranks)]
+        self._n_live = nranks
+        self._n_blocked = 0
+        self._abort: BaseException | None = None
+        self._last_progress = time.monotonic()
+        self._seq = itertools.count()
+        self.contexts = [RankContext(r, self) for r in range(nranks)]
+
+    # -- sending ---------------------------------------------------------
+
+    def post(self, ctx: RankContext, comm_key, dest_world: int, source_commrank: int,
+             tag: int, payload: Any) -> None:
+        """Deposit a message into ``dest_world``'s inbox (eager send)."""
+        if not 0 <= dest_world < self.nranks:
+            raise CommError(f"destination {dest_world} out of range")
+        ctx.clock.sync_compute()
+        ctx.clock.charge_overhead()
+        if self.copy_messages:
+            payload = _copy_payload(payload)
+        nbytes = payload_nbytes(payload)
+        arrival = ctx.clock.now + self.cost_model.message_time(nbytes)
+        ctx.stats.bytes_sent += nbytes
+        ctx.stats.msgs_sent += 1
+        msg = _Message(comm_key, source_commrank, tag, payload, nbytes, arrival, next(self._seq))
+        with self._cond:
+            if self._abort is not None:
+                raise CommAborted("simulation aborted") from self._abort
+            self._inboxes[dest_world].append(msg)
+            self._last_progress = time.monotonic()
+            self._cond.notify_all()
+
+    # -- receiving -------------------------------------------------------
+
+    def _find(self, inbox: list[_Message], comm_key, source: int, tag: int) -> _Message | None:
+        for i, msg in enumerate(inbox):
+            if msg.comm_key != comm_key:
+                continue
+            if source >= 0 and msg.source != source:
+                continue
+            if tag >= 0 and msg.tag != tag:
+                continue
+            return inbox.pop(i)
+        return None
+
+    def match(self, ctx: RankContext, comm_key, source: int, tag: int) -> _Message:
+        """Block until a matching message arrives; return it.
+
+        ``source``/``tag`` of ``-1`` act as wildcards (ANY_SOURCE /
+        ANY_TAG).  Matching is in arrival order among candidates.
+        """
+        ctx.clock.sync_compute()
+        inbox = self._inboxes[ctx.rank]
+        with self._cond:
+            while True:
+                if self._abort is not None:
+                    raise CommAborted("simulation aborted") from self._abort
+                msg = self._find(inbox, comm_key, source, tag)
+                if msg is not None:
+                    self._last_progress = time.monotonic()
+                    break
+                self._n_blocked += 1
+                try:
+                    self._cond.wait(timeout=self.poll_interval)
+                finally:
+                    self._n_blocked -= 1
+                if self._abort is not None:
+                    raise CommAborted("simulation aborted") from self._abort
+                self._check_deadlock_locked()
+        ctx.clock.charge_overhead()
+        ctx.clock.advance_to(msg.arrival_time)
+        return msg
+
+    def _check_deadlock_locked(self) -> None:
+        """Abort if every live rank is blocked and nothing has moved."""
+        # Caller holds the lock and is itself about to block again, so it
+        # counts as blocked for the all-ranks-stuck test.
+        if self._n_blocked + 1 < self._n_live:
+            return
+        if time.monotonic() - self._last_progress < self.deadlock_timeout:
+            return
+        pending = sum(len(box) for box in self._inboxes)
+        err = DeadlockError(
+            f"all {self._n_live} live rank(s) blocked on receives with no "
+            f"progress for {self.deadlock_timeout:.1f}s "
+            f"({pending} unmatched message(s) in flight)"
+        )
+        self._abort = err
+        self._cond.notify_all()
+        raise err
+
+    # -- lifecycle -------------------------------------------------------
+
+    def rank_finished(self) -> None:
+        with self._cond:
+            self._n_live -= 1
+            self._last_progress = time.monotonic()
+            self._cond.notify_all()
+
+    def abort(self, exc: BaseException) -> None:
+        """Abort the simulation; blocked ranks raise :class:`CommAborted`."""
+        with self._cond:
+            if self._abort is None:
+                self._abort = exc
+            self._cond.notify_all()
+
+
+def run_spmd(
+    fn: Callable[..., Any],
+    nranks: int,
+    *args: Any,
+    cost_model: CostModel | None = None,
+    copy_messages: bool = True,
+    deadlock_timeout: float = 5.0,
+    rank_args: Sequence[tuple] | None = None,
+    count_flops: bool = True,
+    **kwargs: Any,
+) -> SimulationResult:
+    """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` simulated ranks.
+
+    Parameters
+    ----------
+    fn:
+        The SPMD program.  Its first argument is the rank's
+        :class:`repro.comm.communicator.Communicator`.
+    nranks:
+        Number of simulated ranks (threads).  ``nranks == 1`` executes
+        on the calling thread with no thread spawn.
+    cost_model:
+        Machine model for virtual time; defaults to
+        :data:`repro.comm.costmodel.DEFAULT_COST_MODEL`.
+    copy_messages:
+        Copy payloads at send time (distributed-memory semantics).
+        Disable only for trusted benchmark inner loops.
+    deadlock_timeout:
+        Real seconds of global stall before raising
+        :class:`~repro.exceptions.DeadlockError`.
+    rank_args:
+        Optional per-rank extra positional arguments: ``rank_args[r]``
+        is appended after ``args`` for rank ``r``.
+    count_flops:
+        Enable flop accounting inside every rank (default on: the
+        virtual-time model derives compute time from counted flops).
+        Workers otherwise inherit the caller's configuration.
+
+    Returns
+    -------
+    SimulationResult
+        Per-rank return values and statistics.
+
+    Raises
+    ------
+    Exception
+        The first (lowest-rank) exception raised inside ``fn`` is
+        re-raised in the caller after all ranks have stopped.
+    """
+    import dataclasses as _dc
+
+    from ..config import get_config, install_config
+    from .communicator import Communicator  # deferred: avoids import cycle
+
+    worker_config = _dc.replace(get_config(), flop_counting=count_flops)
+    if rank_args is not None and len(rank_args) != nranks:
+        raise CommError(
+            f"rank_args has {len(rank_args)} entries for {nranks} ranks"
+        )
+    runtime = Runtime(
+        nranks,
+        cost_model or DEFAULT_COST_MODEL,
+        copy_messages=copy_messages,
+        deadlock_timeout=deadlock_timeout,
+    )
+    values: list[Any] = [None] * nranks
+    errors: list[BaseException | None] = [None] * nranks
+    start = time.perf_counter()
+
+    def worker(rank: int) -> None:
+        ctx = runtime.contexts[rank]
+        comm = Communicator(runtime, ctx, comm_key=("world",), group=list(range(nranks)), rank=rank)
+        extra = tuple(rank_args[rank]) if rank_args is not None else ()
+        previous_config = get_config()
+        install_config(worker_config)
+        try:
+            with counting_flops(ctx.counter):
+                values[rank] = fn(comm, *args, *extra, **kwargs)
+        except CommAborted as exc:
+            errors[rank] = exc
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            errors[rank] = exc
+            runtime.abort(exc)
+        finally:
+            ctx.finalize_stats()
+            runtime.rank_finished()
+            install_config(previous_config)
+
+    if nranks == 1:
+        worker(0)
+    else:
+        threads = [
+            threading.Thread(target=worker, args=(r,), name=f"repro-rank-{r}", daemon=True)
+            for r in range(nranks)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    wall = time.perf_counter() - start
+    primary = next(
+        (e for e in errors if e is not None and not isinstance(e, CommAborted)),
+        None,
+    )
+    if primary is not None:
+        raise primary
+    aborted = next((e for e in errors if e is not None), None)
+    if aborted is not None:
+        raise aborted
+    stats = [ctx.stats for ctx in runtime.contexts]
+    return SimulationResult(values=values, stats=stats, wall_time=wall)

@@ -1,0 +1,100 @@
+"""Per-rank statistics and aggregate simulation results."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Sequence
+
+__all__ = ["RankStats", "SimulationResult"]
+
+
+@dataclasses.dataclass
+class RankStats:
+    """Counters accumulated by one simulated rank.
+
+    Attributes
+    ----------
+    virtual_time:
+        Final value of the rank's virtual clock (modelled seconds).
+    flops:
+        Flops recorded by the rank's counter.
+    flops_by_kernel:
+        Breakdown of ``flops`` by kernel name.
+    bytes_sent / msgs_sent:
+        Point-to-point traffic originated by this rank (collectives are
+        built on point-to-point, so their traffic is included).
+    """
+
+    rank: int
+    virtual_time: float = 0.0
+    flops: int = 0
+    flops_by_kernel: dict[str, int] = dataclasses.field(default_factory=dict)
+    bytes_sent: int = 0
+    msgs_sent: int = 0
+
+
+@dataclasses.dataclass
+class SimulationResult:
+    """Outcome of one :func:`repro.comm.runtime.run_spmd` execution.
+
+    Attributes
+    ----------
+    values:
+        Per-rank return values of the SPMD function, indexed by rank.
+    stats:
+        Per-rank :class:`RankStats`.
+    wall_time:
+        Real (host) seconds the simulation took to execute.
+    """
+
+    values: list[Any]
+    stats: list[RankStats]
+    wall_time: float
+
+    @property
+    def nranks(self) -> int:
+        return len(self.values)
+
+    @property
+    def virtual_time(self) -> float:
+        """Modelled parallel makespan: max final clock across ranks."""
+        return max((s.virtual_time for s in self.stats), default=0.0)
+
+    @property
+    def total_flops(self) -> int:
+        return sum(s.flops for s in self.stats)
+
+    @property
+    def total_bytes_sent(self) -> int:
+        return sum(s.bytes_sent for s in self.stats)
+
+    @property
+    def total_msgs_sent(self) -> int:
+        return sum(s.msgs_sent for s in self.stats)
+
+    def value(self, rank: int = 0) -> Any:
+        """Return value of ``rank`` (root by default)."""
+        return self.values[rank]
+
+    def flops_by_kernel(self) -> dict[str, int]:
+        """Aggregate kernel-level flop breakdown over all ranks."""
+        out: dict[str, int] = {}
+        for s in self.stats:
+            for kernel, flops in s.flops_by_kernel.items():
+                out[kernel] = out.get(kernel, 0) + flops
+        return out
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"P={self.nranks} T_virtual={self.virtual_time:.3e}s "
+            f"flops={self.total_flops:.3e} msgs={self.total_msgs_sent} "
+            f"bytes={self.total_bytes_sent} wall={self.wall_time:.3f}s"
+        )
+
+
+def as_values(result: "SimulationResult | Sequence[Any]") -> list[Any]:
+    """Normalize either a result object or a plain list into values."""
+    if isinstance(result, SimulationResult):
+        return result.values
+    return list(result)

@@ -1,0 +1,124 @@
+"""Global configuration for the :mod:`repro` library.
+
+The configuration is deliberately tiny: a default floating dtype, a
+singularity threshold used when factoring blocks, and a toggle for flop
+accounting.  Everything performance-critical takes explicit arguments;
+the global config only supplies defaults.
+
+Example
+-------
+>>> from repro.config import get_config, set_config
+>>> set_config(flop_counting=True)
+>>> get_config().flop_counting
+True
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+from .exceptions import ConfigError
+
+__all__ = ["ReproConfig", "get_config", "set_config", "config_context"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ReproConfig:
+    """Immutable snapshot of library-wide defaults.
+
+    Attributes
+    ----------
+    dtype:
+        Default floating dtype for generated workloads and factorizations.
+    singularity_rcond:
+        Reciprocal-condition threshold below which a block is treated as
+        singular when it must be inverted.
+    flop_counting:
+        When ``True``, block linear-algebra kernels record their flop and
+        byte counts in the active :class:`repro.util.flops.FlopCounter`.
+        Costs a few percent of runtime; off by default.
+    growth_warn_threshold:
+        Transfer-product growth factor above which
+        :class:`repro.exceptions.StabilityWarning` is emitted.
+    """
+
+    dtype: np.dtype = dataclasses.field(default_factory=lambda: np.dtype(np.float64))
+    singularity_rcond: float = 1e-13
+    flop_counting: bool = False
+    growth_warn_threshold: float = 1e8
+
+    def __post_init__(self) -> None:
+        dt = np.dtype(self.dtype)
+        if dt.kind not in "fc":
+            raise ConfigError(f"dtype must be floating or complex, got {dt}")
+        object.__setattr__(self, "dtype", dt)
+        if not (0.0 < self.singularity_rcond < 1.0):
+            raise ConfigError(
+                f"singularity_rcond must be in (0, 1), got {self.singularity_rcond}"
+            )
+        if self.growth_warn_threshold <= 1.0:
+            raise ConfigError(
+                "growth_warn_threshold must exceed 1.0, got "
+                f"{self.growth_warn_threshold}"
+            )
+
+
+_state = threading.local()
+
+
+def _current() -> ReproConfig:
+    cfg = getattr(_state, "config", None)
+    if cfg is None:
+        cfg = ReproConfig()
+        _state.config = cfg
+    return cfg
+
+
+def get_config() -> ReproConfig:
+    """Return the configuration active on the calling thread."""
+    return _current()
+
+
+def set_config(**updates: object) -> ReproConfig:
+    """Replace fields of the calling thread's configuration.
+
+    Returns the new configuration.  Unknown field names raise
+    :class:`~repro.exceptions.ConfigError`.
+    """
+    valid = {f.name for f in dataclasses.fields(ReproConfig)}
+    unknown = set(updates) - valid
+    if unknown:
+        raise ConfigError(f"unknown config fields: {sorted(unknown)}")
+    cfg = dataclasses.replace(_current(), **updates)  # type: ignore[arg-type]
+    _state.config = cfg
+    return cfg
+
+
+def install_config(cfg: ReproConfig) -> None:
+    """Install a configuration snapshot on the calling thread.
+
+    Used by the SPMD runtime so simulated ranks (worker threads) inherit
+    the launching thread's configuration.
+    """
+    if not isinstance(cfg, ReproConfig):
+        raise ConfigError(f"expected ReproConfig, got {type(cfg).__name__}")
+    _state.config = cfg
+
+
+@contextmanager
+def config_context(**updates: object) -> Iterator[ReproConfig]:
+    """Context manager applying configuration updates on this thread only.
+
+    >>> with config_context(flop_counting=True):
+    ...     pass
+    """
+    previous = _current()
+    try:
+        yield set_config(**updates)
+    finally:
+        _state.config = previous

@@ -1,0 +1,74 @@
+"""The paper's algorithms: RD, ARD, and the baseline solvers."""
+
+from .api import FACTOR_METHODS, SOLVE_METHODS, SolveInfo, factor, solve
+from .ard import ARDFactorization, ARDRankState, ard_factor_spmd, ard_solve_spmd
+from .bcyclic import bcyclic_solve, bcyclic_solve_spmd
+from .cyclic_reduction import CyclicReductionFactorization, cyclic_reduction_solve
+from .diagnostics import (
+    SystemDiagnostics,
+    block_diagonal_dominance,
+    diagnose,
+    superdiagonal_rconds,
+    transfer_growth_factor,
+)
+from .distribute import LocalChunk, distribute_matrix, distribute_rhs, gather_solution
+from .rd import rd_single_pass, rd_solve_spmd
+from .recurrence import (
+    TransferOperators,
+    forward_solution,
+    local_matrix_aggregate,
+    local_vector_aggregate,
+)
+from .scan_affine import AffineScanResult, ScanTrace, affine_scan, replay_scan
+from .spike import (
+    SpikeFactorization,
+    SpikeRankState,
+    max_spike_ranks,
+    spike_factor_spmd,
+    spike_solve,
+    spike_solve_spmd,
+)
+from .thomas import ThomasFactorization, thomas_solve
+
+__all__ = [
+    "FACTOR_METHODS",
+    "SOLVE_METHODS",
+    "SolveInfo",
+    "factor",
+    "solve",
+    "ARDFactorization",
+    "ARDRankState",
+    "ard_factor_spmd",
+    "ard_solve_spmd",
+    "bcyclic_solve",
+    "bcyclic_solve_spmd",
+    "CyclicReductionFactorization",
+    "cyclic_reduction_solve",
+    "SystemDiagnostics",
+    "block_diagonal_dominance",
+    "diagnose",
+    "superdiagonal_rconds",
+    "transfer_growth_factor",
+    "LocalChunk",
+    "distribute_matrix",
+    "distribute_rhs",
+    "gather_solution",
+    "rd_single_pass",
+    "rd_solve_spmd",
+    "TransferOperators",
+    "forward_solution",
+    "local_matrix_aggregate",
+    "local_vector_aggregate",
+    "AffineScanResult",
+    "ScanTrace",
+    "affine_scan",
+    "replay_scan",
+    "SpikeFactorization",
+    "SpikeRankState",
+    "max_spike_ranks",
+    "spike_factor_spmd",
+    "spike_solve",
+    "spike_solve_spmd",
+    "ThomasFactorization",
+    "thomas_solve",
+]

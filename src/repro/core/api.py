@@ -1,0 +1,237 @@
+"""Front-end solve/factor API.
+
+``solve(A, b, method=...)`` covers one-shot use; ``factor(A, method=...)``
+returns a reusable factorization (the factor-once / solve-many pattern
+whose payoff the paper quantifies).  Distributed methods (``"rd"``,
+``"ard"``) run on the simulated SPMD runtime with ``nranks`` ranks and
+expose modelled timings via ``return_info=True``.
+
+Methods
+-------
+``"ard"``
+    Accelerated recursive doubling (the paper's contribution).
+``"rd"``
+    Classical recursive doubling, one full pass per RHS (the baseline).
+``"spike"``
+    SPIKE-style partitioned solver — distributed and backward stable for
+    block diagonally dominant systems (the regime where recurrence-based
+    RD/ARD lose accuracy; see DESIGN.md).
+``"thomas"``
+    Sequential block Thomas (block LU).
+``"cyclic"``
+    Sequential block cyclic reduction.
+``"dense"`` / ``"banded"`` / ``"sparse"``
+    Reference solvers from :mod:`repro.linalg.reference`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+import numpy as np
+
+from ..comm import CostModel, SimulationResult, run_spmd
+from ..exceptions import ConfigError, ShapeError
+from ..linalg.blocktridiag import (
+    BlockTridiagonalMatrix,
+    reshape_rhs,
+    restore_rhs_shape,
+)
+from ..linalg.reference import banded_solve, dense_solve, sparse_solve
+from .ard import ARDFactorization
+from .cyclic_reduction import CyclicReductionFactorization
+from .diagnostics import diagnose
+from .distribute import distribute_matrix, distribute_rhs, gather_solution
+from .rd import rd_solve_spmd
+from .spike import SpikeFactorization
+from .thomas import ThomasFactorization
+
+__all__ = ["solve", "factor", "SolveInfo", "SOLVE_METHODS", "FACTOR_METHODS"]
+
+SOLVE_METHODS = ("ard", "rd", "spike", "thomas", "cyclic", "dense", "banded", "sparse")
+FACTOR_METHODS = ("ard", "spike", "thomas", "cyclic")
+
+
+@dataclasses.dataclass
+class SolveInfo:
+    """Metadata about one :func:`solve` call.
+
+    Attributes
+    ----------
+    method / nranks / nrhs:
+        Echo of the request.
+    residual:
+        Relative max-norm residual of the returned solution.
+    virtual_time:
+        Modelled parallel seconds (distributed methods only; ``None``
+        for sequential/reference methods).
+    factor_result / solve_result:
+        Per-phase :class:`~repro.comm.stats.SimulationResult` objects
+        (ARD only) or the single fused result (RD).
+    """
+
+    method: str
+    nranks: int
+    nrhs: int
+    residual: float
+    virtual_time: float | None = None
+    factor_result: SimulationResult | None = None
+    solve_result: SimulationResult | None = None
+
+
+def _validate(matrix: Any, method: str, nranks: int) -> None:
+    if not isinstance(matrix, BlockTridiagonalMatrix):
+        raise ShapeError(
+            f"matrix must be a BlockTridiagonalMatrix, got {type(matrix).__name__}"
+        )
+    if method not in SOLVE_METHODS:
+        raise ConfigError(
+            f"unknown method {method!r}; choose from {SOLVE_METHODS}"
+        )
+    if nranks < 1:
+        raise ShapeError(f"nranks must be >= 1, got {nranks}")
+
+
+def solve(
+    matrix: BlockTridiagonalMatrix,
+    b: np.ndarray,
+    *,
+    method: str = "ard",
+    nranks: int = 1,
+    cost_model: CostModel | None = None,
+    check: bool = False,
+    refine: int = 0,
+    return_info: bool = False,
+):
+    """Solve the block tridiagonal system ``A x = b``.
+
+    Parameters
+    ----------
+    matrix:
+        The system matrix.
+    b:
+        Right-hand side(s); any layout accepted by
+        :func:`repro.linalg.blocktridiag.reshape_rhs`.
+    method:
+        One of :data:`SOLVE_METHODS` (default ``"ard"``).
+    nranks:
+        Simulated ranks for the distributed methods (ignored by
+        sequential ones).
+    cost_model:
+        Machine model for virtual-time accounting.
+    check:
+        Run :func:`repro.core.diagnostics.diagnose` first (may emit a
+        :class:`~repro.exceptions.StabilityWarning`).
+    refine:
+        Rounds of iterative refinement (``x += solve(b - A x)``); one
+        round squares the ``eps * growth`` error factor (see
+        :mod:`repro.core.refine`).
+    return_info:
+        Also return a :class:`SolveInfo`.
+
+    Returns
+    -------
+    ``x`` or ``(x, info)``:
+        The solution in the caller's RHS layout.
+    """
+    _validate(matrix, method, nranks)
+    if check and method in ("ard", "rd"):
+        diagnose(matrix)
+
+    n, m = matrix.nblocks, matrix.block_size
+    bb, original = reshape_rhs(b, n, m)
+    nrhs = bb.shape[2]
+    factor_result = None
+    solve_result = None
+    virtual_time = None
+
+    if refine < 0:
+        raise ShapeError(f"refine must be >= 0, got {refine}")
+
+    if method in ("ard", "spike"):
+        cls = ARDFactorization if method == "ard" else SpikeFactorization
+        fact = cls(matrix, nranks=nranks, cost_model=cost_model)
+        x = fact.solve(bb, refine=refine)
+        factor_result = fact.factor_result
+        solve_result = fact.last_solve_result
+        virtual_time = fact.factor_result.virtual_time + solve_result.virtual_time
+    elif method == "rd":
+        def _rd_once(rhs):
+            chunks = distribute_matrix(matrix, nranks)
+            d_chunks = distribute_rhs(rhs, nranks)
+            return run_spmd(
+                rd_solve_spmd,
+                nranks,
+                cost_model=cost_model,
+                copy_messages=False,
+                rank_args=[(c, d) for c, d in zip(chunks, d_chunks)],
+            )
+
+        result = _rd_once(bb)
+        solve_result = result
+        virtual_time = result.virtual_time
+        x = gather_solution(list(result.values))
+        for _ in range(refine):
+            # Honest refinement for the baseline: each round repeats the
+            # full per-RHS passes on the residual.
+            result = _rd_once(bb - matrix.matvec(x))
+            virtual_time += result.virtual_time
+            x = x + gather_solution(list(result.values))
+    elif method == "thomas":
+        x = ThomasFactorization(matrix).solve(bb, refine=refine)
+    elif method == "cyclic":
+        x = CyclicReductionFactorization(matrix).solve(bb, refine=refine)
+    else:
+        ref = {"dense": dense_solve, "banded": banded_solve,
+               "sparse": sparse_solve}[method]
+        x = ref(matrix, bb)
+        for _ in range(refine):
+            x = x + ref(matrix, bb - matrix.matvec(x))
+
+    x = np.asarray(x).reshape(n, m, nrhs)
+    out = restore_rhs_shape(x, original)
+    if not return_info:
+        return out
+    info = SolveInfo(
+        method=method,
+        nranks=nranks if method in ("ard", "rd", "spike") else 1,
+        nrhs=nrhs,
+        residual=matrix.residual(x, bb),
+        virtual_time=virtual_time,
+        factor_result=factor_result,
+        solve_result=solve_result,
+    )
+    return out, info
+
+
+def factor(
+    matrix: BlockTridiagonalMatrix,
+    *,
+    method: str = "ard",
+    nranks: int = 1,
+    cost_model: CostModel | None = None,
+):
+    """Factor ``matrix`` for repeated solves.
+
+    Returns an object with a ``solve(b, refine=0, max_batch=None)``
+    method: :class:`~repro.core.ard.ARDFactorization`,
+    :class:`~repro.core.spike.SpikeFactorization`,
+    :class:`~repro.core.thomas.ThomasFactorization`, or
+    :class:`~repro.core.cyclic_reduction.CyclicReductionFactorization`.
+    """
+    if method not in FACTOR_METHODS:
+        raise ConfigError(
+            f"unknown factor method {method!r}; choose from {FACTOR_METHODS}"
+        )
+    if not isinstance(matrix, BlockTridiagonalMatrix):
+        raise ShapeError(
+            f"matrix must be a BlockTridiagonalMatrix, got {type(matrix).__name__}"
+        )
+    if method == "ard":
+        return ARDFactorization(matrix, nranks=nranks, cost_model=cost_model)
+    if method == "spike":
+        return SpikeFactorization(matrix, nranks=nranks, cost_model=cost_model)
+    if method == "thomas":
+        return ThomasFactorization(matrix)
+    return CyclicReductionFactorization(matrix)

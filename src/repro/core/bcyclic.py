@@ -1,0 +1,176 @@
+"""Distributed block cyclic reduction (BCYCLIC-style), one row per rank.
+
+The classical log-depth alternative to prefix-based solvers: each level
+eliminates the odd-indexed (at that level) block rows by exchanging
+elimination packages with the two neighbouring kept rows, halving the
+active set; ``ceil(log2 N)`` forward levels reduce to row 0, and a
+mirrored back-substitution sweep recovers the eliminated rows.
+
+Layout: **one block row per rank** (rank ``i`` owns row ``i``; ranks
+``>= N`` idle), the layout of Hirshman et al.'s BCYCLIC solver.  The
+sequential :mod:`repro.core.cyclic_reduction` covers the one-process
+case; this module supplies the measured distributed baseline whose cost
+shape (``O(M^3 log N)`` critical path) experiment abl-A3 models.
+
+Level structure (0-based rows):
+
+- active at level ``k``: rows ``i ≡ 0 (mod 2^k)``;
+- eliminated at level ``k``: rows ``i ≡ 2^k (mod 2^{k+1})`` — each
+  factors its diagonal and ships ``(D^{-1}L, D^{-1}U, D^{-1}d)`` to the
+  kept neighbours at distance ``2^k``;
+- kept rows fold the packages into their coefficients.
+
+Stability: requires invertible level diagonals — guaranteed for block
+diagonally dominant systems (dominance is preserved by the reduction),
+like the sequential version.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from ..linalg.blockops import BatchedLU, gemm
+from ..linalg.blocktridiag import BlockTridiagonalMatrix
+
+__all__ = ["bcyclic_solve_spmd", "bcyclic_solve"]
+
+# Per-level tags; the two bases are spaced so that forward-elimination
+# and back-substitution tags can never collide across levels.
+_TAG_ELIM = 401
+_TAG_BACK = 451
+
+
+def bcyclic_solve_spmd(comm, row, rhs, nrows: int):
+    """Solve one block tridiagonal system with one row per rank.
+
+    Parameters
+    ----------
+    comm:
+        Communicator with ``comm.size >= nrows``.
+    row:
+        This rank's ``(L_i, D_i, U_i)`` block triple (``L_0`` and
+        ``U_{N-1}`` must be zero blocks), or ``None`` on idle ranks.
+    rhs:
+        This rank's ``(M, R)`` right-hand-side rows, or ``None``.
+    nrows:
+        Global number of block rows ``N``.
+
+    Returns
+    -------
+    ``(M, R)`` solution row (``None`` on idle ranks).
+    """
+    if comm.size < nrows:
+        raise ShapeError(
+            f"bcyclic needs one rank per row: size {comm.size} < N {nrows}"
+        )
+    i = comm.rank
+    if i >= nrows:
+        return None
+    if row is None or rhs is None:
+        raise ShapeError(f"rank {i} owns row {i} but received no data")
+    low, diag, up = (np.asarray(b) for b in row)
+    d = np.asarray(rhs)
+    m = diag.shape[0]
+    if d.ndim != 2 or d.shape[0] != m:
+        raise ShapeError(f"rhs must be (M, R), got {d.shape}")
+    low = low.copy()
+    diag = diag.copy()
+    up = up.copy()
+    d = d.copy()
+
+    # ---- forward elimination ------------------------------------------
+    # `history` records, per level this row survived, what it needs for
+    # back-substitution once it is eliminated: its level coefficients.
+    elim_level = None
+    elim_state = None
+    level = 0
+    dist = 1
+    while dist < nrows:
+        if i % dist != 0:
+            pass  # already eliminated at an earlier level; wait for backsub
+        elif i % (2 * dist) == dist:
+            # Eliminated at this level: factor D and ship packages.
+            dlu = BatchedLU(diag[None], block_offset=i)
+            package = {
+                "linv": dlu.solve(low[None])[0],
+                "uinv": dlu.solve(up[None])[0],
+                "dinv": dlu.solve(d[None])[0],
+            }
+            left = i - dist
+            right = i + dist
+            comm.send((i, package), left, _TAG_ELIM + level)
+            if right < nrows:
+                comm.send((i, package), right, _TAG_ELIM + level)
+            elim_level = level
+            elim_state = (dlu, low, up, d, left, right if right < nrows else None)
+        else:
+            # Kept: fold in the eliminated neighbours' packages.
+            left = i - dist
+            right = i + dist
+            if left >= 0:
+                _, pkg = comm.recv(source=left, tag=_TAG_ELIM + level)
+                # Row `left` was: L_l x_{left-dist} + D_l x_left + U_l x_i = d_l.
+                diag = diag - gemm(low, pkg["uinv"])
+                d = d - gemm(low, pkg["dinv"])
+                low = -gemm(low, pkg["linv"])
+            if right < nrows and right % (2 * dist) == dist:
+                _, pkg = comm.recv(source=right, tag=_TAG_ELIM + level)
+                diag = diag - gemm(up, pkg["linv"])
+                d = d - gemm(up, pkg["dinv"])
+                up = -gemm(up, pkg["uinv"])
+        level += 1
+        dist <<= 1
+
+    # ---- root solve + back-substitution --------------------------------
+    x = None
+    if i == 0:
+        x = BatchedLU(diag[None], block_offset=0).solve(d[None])[0]
+    for k in range(level - 1, -1, -1):
+        dk = 1 << k
+        if elim_level is not None and k > elim_level:
+            continue  # not yet resolved at this depth
+        if elim_level == k:
+            # Receive neighbours' solutions and recover this row.
+            dlu, low_k, up_k, d_k, left, right = elim_state
+            x_left = comm.recv(source=left, tag=_TAG_BACK + k)
+            rhs_k = d_k - gemm(low_k, x_left)
+            if right is not None:
+                x_right = comm.recv(source=right, tag=_TAG_BACK + k)
+                rhs_k = rhs_k - gemm(up_k, x_right)
+            x = dlu.solve(rhs_k[None])[0]
+        elif i % (2 * dk) == 0:
+            # Resolved earlier: ship x to the rows eliminated at level k.
+            if i - dk >= 0:
+                comm.send(x, i - dk, _TAG_BACK + k)
+            if i + dk < nrows:
+                comm.send(x, i + dk, _TAG_BACK + k)
+    return x
+
+
+def bcyclic_solve(matrix: BlockTridiagonalMatrix, b: np.ndarray,
+                  cost_model=None):
+    """Driver: solve ``A x = b`` with one simulated rank per block row.
+
+    Returns ``(x, SimulationResult)``.  Intended for moderate ``N``
+    (each block row becomes a thread); the sequential
+    :func:`repro.core.cyclic_reduction.cyclic_reduction_solve` covers
+    single-process use and :mod:`repro.perfmodel` models larger scale.
+    """
+    from ..comm import run_spmd
+    from ..linalg.blocktridiag import reshape_rhs, restore_rhs_shape
+
+    n, m = matrix.nblocks, matrix.block_size
+    bb, original = reshape_rhs(b, n, m)
+    zero = np.zeros((m, m), dtype=matrix.dtype)
+    rank_args = []
+    for i in range(n):
+        low = matrix.lower[i - 1] if i > 0 else zero
+        up = matrix.upper[i] if i < n - 1 else zero
+        rank_args.append(((low, matrix.diag[i], up), bb[i], n))
+    result = run_spmd(
+        bcyclic_solve_spmd, n,
+        cost_model=cost_model, copy_messages=False, rank_args=rank_args,
+    )
+    x = np.stack([result.values[i] for i in range(n)], axis=0)
+    return restore_rhs_shape(x, original), result

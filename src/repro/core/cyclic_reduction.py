@@ -1,0 +1,172 @@
+"""Block cyclic reduction (BCR) — the alternative prefix-free parallel
+baseline.
+
+Each reduction level eliminates the odd-indexed block rows by
+substituting their equations into the even-indexed ones, halving the
+system; ``ceil(log2 N)`` levels reduce to a single ``M x M`` block
+solve, after which back-substitution recovers the eliminated rows level
+by level.
+
+Like Thomas and ARD, BCR admits a factor/solve split: the reduced-level
+matrices and the elimination operators ``P_i = L_i D_{i-1}^{-1}`` /
+``Q_i = U_i D_{i+1}^{-1}`` are RHS-independent (``O(N M^3)`` once),
+while per right-hand side only matrix–vector sweeps remain
+(``O(N M^2 R)``).  This implementation is sequential; its *parallel*
+cost shape (``O(M^3 log N)`` critical path with one level per round) is
+modelled analytically in :mod:`repro.perfmodel.complexity` for the
+baseline-comparison experiment (abl-A3), as documented in DESIGN.md.
+
+Requires invertible diagonal blocks at every level — guaranteed for
+block diagonally dominant systems (dominance is preserved under the
+reduction), the same class recursive doubling targets.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from ..linalg.blockops import BatchedLU, gemm
+from ..linalg.blocktridiag import BlockTridiagonalMatrix
+from .refine import RefinableFactorization
+
+__all__ = ["CyclicReductionFactorization", "cyclic_reduction_solve"]
+
+
+@dataclasses.dataclass
+class _Level:
+    """Stored operators for one reduction level with ``n`` input rows.
+
+    ``p``/``q`` reduce the kept (even) rows' right-hand sides;
+    ``odd_lu``/``odd_sub``/``odd_sup`` back-substitute the eliminated
+    (odd) rows.  Boundary entries that reference nonexistent neighbours
+    hold zero blocks.
+    """
+
+    n: int
+    p: np.ndarray        # (k, m, m): L_{2j} D_{2j-1}^{-1}       (zero at j = 0)
+    q: np.ndarray        # (k, m, m): U_{2j} D_{2j+1}^{-1}       (zero when 2j+1 >= n)
+    odd_lu: BatchedLU | None  # factors of D_{2e+1}
+    odd_sub: np.ndarray  # (e, m, m): L_{2e+1}
+    odd_sup: np.ndarray  # (e, m, m): U_{2e+1}                   (zero when 2e+1 = n-1)
+
+
+class CyclicReductionFactorization(RefinableFactorization):
+    """Factored block cyclic reduction: factor once, solve many
+    (``solve(b, refine=k)`` adds iterative refinement).
+
+    Example
+    -------
+    >>> from repro.workloads import poisson_block_system, random_rhs
+    >>> A, _ = poisson_block_system(10, 3)
+    >>> F = CyclicReductionFactorization(A)
+    >>> b = random_rhs(10, 3, nrhs=2, seed=0)
+    >>> bool(A.residual(F.solve(b), b) < 1e-10)
+    True
+    """
+
+    def __init__(self, matrix: BlockTridiagonalMatrix):
+        if not isinstance(matrix, BlockTridiagonalMatrix):
+            raise ShapeError(
+                f"matrix must be a BlockTridiagonalMatrix, got {type(matrix).__name__}"
+            )
+        self.matrix = matrix
+        self.nblocks = matrix.nblocks
+        self.block_size = matrix.block_size
+        self.dtype = matrix.dtype
+        self.levels: list[_Level] = []
+
+        lower = matrix.lower.copy()
+        diag = matrix.diag.copy()
+        upper = matrix.upper.copy()
+        n, m = self.nblocks, self.block_size
+
+        while n > 1:
+            k = (n + 1) // 2   # kept rows: indices 0, 2, 4, ...
+            e = n // 2         # eliminated rows: indices 1, 3, 5, ...
+            odd_sub = np.zeros((e, m, m), dtype=self.dtype)
+            odd_sup = np.zeros((e, m, m), dtype=self.dtype)
+            odd_diag = np.empty((e, m, m), dtype=self.dtype)
+            for idx in range(e):
+                i = 2 * idx + 1
+                odd_diag[idx] = diag[i]
+                odd_sub[idx] = lower[i - 1]
+                if i < n - 1:
+                    odd_sup[idx] = upper[i]
+            odd_lu = BatchedLU(odd_diag)
+
+            p = np.zeros((k, m, m), dtype=self.dtype)
+            q = np.zeros((k, m, m), dtype=self.dtype)
+            new_lower = np.zeros((max(k - 1, 0), m, m), dtype=self.dtype)
+            new_diag = np.empty((k, m, m), dtype=self.dtype)
+            new_upper = np.zeros((max(k - 1, 0), m, m), dtype=self.dtype)
+            for j in range(k):
+                i = 2 * j
+                dj = diag[i].copy()
+                if i > 0:
+                    # P_j = L_i D_{i-1}^{-1}  via  (D_{i-1}^{-T} L_i^T)^T.
+                    p[j] = odd_lu.solve_one(j - 1, lower[i - 1].T, transposed=True).T
+                    dj -= gemm(p[j], upper[i - 1])
+                    if j > 0:
+                        new_lower[j - 1] = -gemm(p[j], lower[i - 2])
+                if i < n - 1:
+                    q[j] = odd_lu.solve_one(j, upper[i].T, transposed=True).T
+                    dj -= gemm(q[j], lower[i])
+                    if i + 1 < n - 1:
+                        new_upper[j] = -gemm(q[j], upper[i + 1])
+                new_diag[j] = dj
+            self.levels.append(
+                _Level(n=n, p=p, q=q, odd_lu=odd_lu, odd_sub=odd_sub, odd_sup=odd_sup)
+            )
+            lower, diag, upper = new_lower, new_diag, new_upper
+            n = k
+
+        # Root: a single M x M system.
+        self._root_lu = BatchedLU(diag[0][None, :, :])
+
+    def _solve_normalized(self, bb: np.ndarray) -> np.ndarray:
+        n, m = self.nblocks, self.block_size
+        r = bb.shape[2]
+        dtype = np.result_type(self.dtype, bb.dtype)
+
+        # Downward sweep: reduce the RHS level by level.
+        rhs_stack: list[np.ndarray] = []
+        d = bb.astype(dtype, copy=True)
+        for level in self.levels:
+            rhs_stack.append(d)
+            nn = level.n
+            k = (nn + 1) // 2
+            d_new = np.empty((k, m, r), dtype=dtype)
+            for j in range(k):
+                i = 2 * j
+                dj = d[i].copy()
+                if i > 0:
+                    dj -= gemm(level.p[j], d[i - 1])
+                if i < nn - 1:
+                    dj -= gemm(level.q[j], d[i + 1])
+                d_new[j] = dj
+            d = d_new
+
+        x = self._root_lu.solve(d[:1])
+
+        # Upward sweep: recover the eliminated rows level by level.
+        for level, d_level in zip(reversed(self.levels), reversed(rhs_stack)):
+            nn = level.n
+            x_full = np.empty((nn, m, r), dtype=dtype)
+            x_full[0::2] = x
+            e = nn // 2
+            for idx in range(e):
+                i = 2 * idx + 1
+                rhs = d_level[i] - gemm(level.odd_sub[idx], x_full[i - 1])
+                if i < nn - 1:
+                    rhs -= gemm(level.odd_sup[idx], x_full[i + 1])
+                x_full[i] = level.odd_lu.solve_one(idx, rhs)
+            x = x_full
+        return x
+
+
+def cyclic_reduction_solve(matrix: BlockTridiagonalMatrix, b: np.ndarray) -> np.ndarray:
+    """Convenience one-shot factor + solve."""
+    return CyclicReductionFactorization(matrix).solve(b)

@@ -1,0 +1,178 @@
+"""Transfer operators: block rows as first-order affine recurrences.
+
+With ``x_{-1} := 0``, block row ``i < N-1`` of ``A x = d`` solved for
+``x_{i+1}`` gives
+
+``x_{i+1} = T1_i x_i + T2_i x_{i-1} + g_i``
+
+where ``T1_i = -U_i^{-1} D_i``, ``T2_i = -U_i^{-1} L_i`` and
+``g_i = U_i^{-1} d_i``.  On the stacked state ``s_i = [x_i; x_{i-1}]``
+this is the affine map ``s_{i+1} = A_i s_i + [g_i; 0]`` with
+
+``A_i = [[T1_i, T2_i], [I, 0]]``.
+
+:class:`TransferOperators` builds ``T1``/``T2`` (and keeps the LU
+factors of the ``U_i`` for computing ``g`` per right-hand side — the
+matrix/vector split that ARD's factorization stores).  The module also
+provides the three structured local kernels every solver uses:
+
+- :func:`local_matrix_aggregate` — the chunk's composed matrix part,
+  exploiting the ``[[T1, T2], [I, 0]]`` structure (4 instead of 8
+  ``M x M`` products per row);
+- :func:`local_vector_aggregate` — the chunk's composed vector part
+  (pure matrix–vector work, the per-RHS cost);
+- :func:`forward_solution` — back-substitution: given the state at the
+  chunk entry, produce the owned solution rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from ..linalg.blockops import BatchedLU, gemm
+from .distribute import LocalChunk
+
+__all__ = [
+    "TransferOperators",
+    "local_matrix_aggregate",
+    "local_vector_aggregate",
+    "forward_solution",
+]
+
+
+class TransferOperators:
+    """Per-chunk transfer maps ``(T1_i, T2_i)`` plus the ``U_i`` factors.
+
+    Built from a :class:`~repro.core.distribute.LocalChunk`; covers the
+    chunk's ``ntransfer`` rows (all owned rows except a final closing
+    row).  The construction is the ``O((N/P) M^3)`` matrix work that RD
+    repeats per right-hand side and ARD performs once.
+    """
+
+    __slots__ = ("lo", "ntransfer", "block_size", "t1", "t2", "ulu", "dtype")
+
+    def __init__(self, chunk: LocalChunk):
+        t = chunk.ntransfer
+        m = chunk.block_size
+        self.lo = chunk.lo
+        self.ntransfer = t
+        self.block_size = m
+        self.dtype = chunk.dtype
+        if t > 0:
+            # Factor the superdiagonal blocks; raises SingularBlockError
+            # (with the global row index) if any is singular.
+            self.ulu = BatchedLU(chunk.sup[:t], block_offset=chunk.lo)
+            self.t1 = -self.ulu.solve(chunk.diag[:t])
+            self.t2 = -self.ulu.solve(chunk.sub[:t])
+        else:
+            self.ulu = None
+            self.t1 = np.empty((0, m, m), dtype=chunk.dtype)
+            self.t2 = np.empty((0, m, m), dtype=chunk.dtype)
+
+    def g(self, d_rows: np.ndarray) -> np.ndarray:
+        """Compute ``g_i = U_i^{-1} d_i`` for the chunk's transfer rows.
+
+        ``d_rows`` must be the ``(h, M, R)`` right-hand-side rows of the
+        chunk; only the first ``ntransfer`` rows are consumed.
+        """
+        d_rows = np.asarray(d_rows)
+        if d_rows.ndim != 3 or d_rows.shape[1] != self.block_size:
+            raise ShapeError(
+                f"rhs rows must be (h, {self.block_size}, R), got {d_rows.shape}"
+            )
+        if d_rows.shape[0] < self.ntransfer:
+            raise ShapeError(
+                f"need at least {self.ntransfer} rhs rows, got {d_rows.shape[0]}"
+            )
+        if self.ntransfer == 0:
+            return np.empty((0, self.block_size, d_rows.shape[2]), dtype=self.dtype)
+        return self.ulu.solve(d_rows[: self.ntransfer])
+
+    @property
+    def nbytes(self) -> int:
+        total = self.t1.nbytes + self.t2.nbytes
+        if self.ulu is not None:
+            total += self.ulu.nbytes
+        return total
+
+
+def local_matrix_aggregate(ops: TransferOperators) -> np.ndarray:
+    """Composed matrix part of the chunk's transfer maps as ``(2M, 2M)``.
+
+    Maintains the invariant that the running product
+    ``A_{i} ... A_{lo}`` has the form ``[[G, H], [Gp, Hp]]`` (its bottom
+    half equals the previous step's top half), so each row costs four
+    ``M x M`` products instead of a full ``(2M)^3`` multiply.
+    """
+    m = ops.block_size
+    g_cur = np.eye(m, dtype=ops.dtype)
+    h_cur = np.zeros((m, m), dtype=ops.dtype)
+    g_prev = np.zeros((m, m), dtype=ops.dtype)
+    h_prev = np.eye(m, dtype=ops.dtype)
+    for j in range(ops.ntransfer):
+        g_new = gemm(ops.t1[j], g_cur) + gemm(ops.t2[j], g_prev)
+        h_new = gemm(ops.t1[j], h_cur) + gemm(ops.t2[j], h_prev)
+        g_prev, h_prev = g_cur, h_cur
+        g_cur, h_cur = g_new, h_new
+    out = np.empty((2 * m, 2 * m), dtype=ops.dtype)
+    out[:m, :m] = g_cur
+    out[:m, m:] = h_cur
+    out[m:, :m] = g_prev
+    out[m:, m:] = h_prev
+    return out
+
+
+def local_vector_aggregate(ops: TransferOperators, g_rows: np.ndarray) -> np.ndarray:
+    """Composed vector part of the chunk's transfer maps as ``(2M, R)``.
+
+    Equals the state reached from ``s = 0`` by running the recurrence
+    across the chunk — pure matrix–vector work, ``O((N/P) M^2 R)``.
+    """
+    m = ops.block_size
+    if g_rows.shape[0] != ops.ntransfer:
+        raise ShapeError(
+            f"expected {ops.ntransfer} g rows, got {g_rows.shape[0]}"
+        )
+    r = g_rows.shape[2] if g_rows.ndim == 3 else 0
+    v_cur = np.zeros((m, r), dtype=ops.dtype)
+    v_prev = np.zeros((m, r), dtype=ops.dtype)
+    for j in range(ops.ntransfer):
+        v_new = gemm(ops.t1[j], v_cur) + gemm(ops.t2[j], v_prev) + g_rows[j]
+        v_prev = v_cur
+        v_cur = v_new
+    return np.concatenate([v_cur, v_prev], axis=0)
+
+
+def forward_solution(
+    ops: TransferOperators,
+    g_rows: np.ndarray,
+    entry_state: np.ndarray,
+    nrows: int,
+) -> np.ndarray:
+    """Back-substitution: produce the chunk's ``nrows`` solution rows.
+
+    ``entry_state`` is ``s_lo = [x_lo; x_{lo-1}]`` of shape ``(2M, R)``.
+    The first output row is ``x_lo``; subsequent rows apply the transfer
+    recurrence.  Only the first ``nrows - 1`` transfer maps are needed
+    (the chunk's last transfer produces the *next* rank's first row).
+    """
+    m = ops.block_size
+    r = entry_state.shape[1]
+    out = np.empty((nrows, m, r), dtype=ops.dtype)
+    if nrows == 0:
+        return out
+    x_cur = entry_state[:m]
+    x_prev = entry_state[m:]
+    out[0] = x_cur
+    steps = min(ops.ntransfer, nrows - 1)
+    for j in range(steps):
+        x_new = gemm(ops.t1[j], x_cur) + gemm(ops.t2[j], x_prev) + g_rows[j]
+        x_prev = x_cur
+        x_cur = x_new
+        out[j + 1] = x_cur
+    if steps < nrows - 1:
+        raise ShapeError(
+            f"chunk has {ops.ntransfer} transfers but {nrows} rows requested"
+        )
+    return out

@@ -1,0 +1,190 @@
+"""Traced recursive-doubling scan over affine pairs, with replay.
+
+The factor phase of ARD runs one Kogge–Stone scan over the ranks' chunk
+aggregates and records, per round, the matrix accumulator the rank held
+*before* combining with its left partner (:class:`ScanTrace`).  A later
+solve phase then :func:`replay_scan`\\ s the identical schedule but
+exchanges only the ``(2M, R)`` vector panels, combining each incoming
+panel with the stored matrix:
+
+    factor round:  ``(A, b) <- (A @ A_left,  A @ b_left + b)``
+    replay round:  ``b      <-  A_stored @ b_left + b``
+
+which is exactly the paper's acceleration: the ``O(M^3)`` matrix
+products happen once, every subsequent right-hand-side batch pays only
+``O(M^2 R)`` per round and ships ``O(M R)`` bytes instead of
+``O(M^2)``.
+
+Both passes also perform the one-round right shift that turns the
+inclusive prefix into the exclusive prefix each rank needs for its
+chunk's entry state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from ..linalg.blockops import gemm
+from ..prefix.affine import AffinePair
+
+__all__ = ["ScanTrace", "AffineScanResult", "affine_scan", "replay_scan"]
+
+_TAG_SCAN = 201
+_TAG_SHIFT = 202
+_TAG_SCAN_V = 203
+_TAG_SHIFT_V = 204
+
+
+@dataclasses.dataclass
+class AffineScanResult:
+    """Inclusive and exclusive rank prefixes of the scanned pairs."""
+
+    inclusive: AffinePair
+    exclusive: AffinePair
+
+
+@dataclasses.dataclass
+class ScanTrace:
+    """Matrix-side record of a factor-phase scan, enabling replay.
+
+    Attributes
+    ----------
+    dim:
+        State dimension (``2M``).
+    recv_a:
+        One entry per Kogge–Stone round: a copy of this rank's matrix
+        accumulator immediately before it combined with the incoming
+        left value, or ``None`` for rounds in which this rank did not
+        receive.
+    a_inclusive / a_exclusive:
+        Final matrix prefixes (the exclusive one maps ``[x_0; 0]`` to
+        the chunk entry state during back-substitution).
+    """
+
+    dim: int
+    recv_a: list[np.ndarray | None]
+    a_inclusive: np.ndarray
+    a_exclusive: np.ndarray
+
+    @property
+    def nbytes(self) -> int:
+        total = self.a_inclusive.nbytes + self.a_exclusive.nbytes
+        for a in self.recv_a:
+            if a is not None:
+                total += a.nbytes
+        return total
+
+
+def affine_scan(
+    comm, pair: AffinePair, *, record: bool = False
+) -> tuple[AffineScanResult, ScanTrace | None]:
+    """Kogge–Stone inclusive + exclusive scan of ``pair`` over ranks.
+
+    Combines strictly left-to-right (lower ranks first), matching the
+    global block-row order of the chunk aggregates.  With
+    ``record=True`` also returns the :class:`ScanTrace` needed by
+    :func:`replay_scan`.
+    """
+    size, rank = comm.size, comm.rank
+    dim, width = pair.dim, pair.width
+    acc = pair
+    recv_a: list[np.ndarray | None] = []
+    dist = 1
+    while dist < size:
+        if rank + dist < size:
+            comm.send((acc.a, acc.b), rank + dist, _TAG_SCAN)
+        if rank - dist >= 0:
+            if record:
+                recv_a.append(acc.a.copy())
+            left_a, left_b = comm.recv(rank - dist, _TAG_SCAN)
+            left = AffinePair(left_a, left_b, validate=False)
+            acc = acc.compose_after(left)
+        elif record:
+            recv_a.append(None)
+        dist <<= 1
+    inclusive = acc
+
+    # Right shift: rank r's exclusive prefix is rank r-1's inclusive.
+    if rank + 1 < size:
+        comm.send((inclusive.a, inclusive.b), rank + 1, _TAG_SHIFT)
+    if rank > 0:
+        exc_a, exc_b = comm.recv(rank - 1, _TAG_SHIFT)
+        exclusive = AffinePair(exc_a, exc_b, validate=False)
+    else:
+        exclusive = AffinePair.identity(dim, width, dtype=pair.a.dtype)
+
+    trace = None
+    if record:
+        trace = ScanTrace(
+            dim=dim,
+            recv_a=recv_a,
+            a_inclusive=inclusive.a.copy(),
+            a_exclusive=exclusive.a.copy(),
+        )
+    return AffineScanResult(inclusive=inclusive, exclusive=exclusive), trace
+
+
+def replay_scan(
+    comm, b: np.ndarray, trace: ScanTrace
+) -> tuple[np.ndarray, np.ndarray]:
+    """Re-run a recorded scan schedule on vector panels only.
+
+    Parameters
+    ----------
+    b:
+        This rank's ``(2M, R)`` chunk-aggregate vector part.
+    trace:
+        The :class:`ScanTrace` from the factor phase's
+        ``affine_scan(..., record=True)`` on the same communicator
+        geometry.
+
+    Returns
+    -------
+    (b_inclusive, b_exclusive):
+        Vector parts of the inclusive and exclusive rank prefixes.
+    """
+    size, rank = comm.size, comm.rank
+    b = np.asarray(b)
+    if b.ndim != 2 or b.shape[0] != trace.dim:
+        raise ShapeError(
+            f"panel must be ({trace.dim}, R), got {b.shape}"
+        )
+    expected_rounds = 0
+    dist = 1
+    while dist < size:
+        expected_rounds += 1
+        dist <<= 1
+    if len(trace.recv_a) != expected_rounds:
+        raise ShapeError(
+            f"trace has {len(trace.recv_a)} rounds, communicator needs "
+            f"{expected_rounds} — factor and solve geometries differ"
+        )
+    acc = b
+    dist = 1
+    round_idx = 0
+    while dist < size:
+        if rank + dist < size:
+            comm.send(acc, rank + dist, _TAG_SCAN_V)
+        if rank - dist >= 0:
+            stored = trace.recv_a[round_idx]
+            if stored is None:
+                raise ShapeError(
+                    f"trace round {round_idx} missing stored matrix — "
+                    "factor and solve geometries differ"
+                )
+            left_b = comm.recv(rank - dist, _TAG_SCAN_V)
+            acc = gemm(stored, left_b) + acc
+        round_idx += 1
+        dist <<= 1
+    b_inclusive = acc
+
+    if rank + 1 < size:
+        comm.send(b_inclusive, rank + 1, _TAG_SHIFT_V)
+    if rank > 0:
+        b_exclusive = comm.recv(rank - 1, _TAG_SHIFT_V)
+    else:
+        b_exclusive = np.zeros_like(b)
+    return b_inclusive, b_exclusive

@@ -1,0 +1,79 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by this library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+letting genuine programming errors (``TypeError`` from NumPy, etc.)
+propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ShapeError",
+    "SingularBlockError",
+    "StabilityWarning",
+    "CommError",
+    "DeadlockError",
+    "RankError",
+    "TagError",
+    "ConfigError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array argument has an incompatible or malformed shape."""
+
+
+class SingularBlockError(ReproError, ValueError):
+    """A block that must be inverted (e.g. a superdiagonal block ``U_i``
+    in the recursive doubling recurrence) is singular to working
+    precision.
+
+    Attributes
+    ----------
+    block_index:
+        Global block-row index of the offending block, or ``None`` when
+        unknown (e.g. inside a batched factorization).
+    """
+
+    def __init__(self, message: str, block_index: int | None = None):
+        super().__init__(message)
+        self.block_index = block_index
+
+
+class StabilityWarning(UserWarning):
+    """Emitted when diagnostics indicate the recurrence-based transform
+    is likely to amplify rounding error (large transfer-product growth)."""
+
+
+class CommError(ReproError, RuntimeError):
+    """Base class for errors raised by the simulated message-passing
+    runtime (:mod:`repro.comm`)."""
+
+
+class DeadlockError(CommError):
+    """The SPMD program can make no further progress: every live rank is
+    blocked on a receive/collective that can never be satisfied."""
+
+
+class RankError(CommError, ValueError):
+    """A rank argument is outside ``[0, comm.size)`` or otherwise invalid."""
+
+
+class TagError(CommError, ValueError):
+    """A message tag is invalid (negative or non-integer)."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid global or per-call configuration value was supplied."""
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """An experiment definition in :mod:`repro.harness` is malformed or
+    references unknown components."""

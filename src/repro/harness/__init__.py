@@ -1,0 +1,13 @@
+"""Experiment harness: regenerates every table/figure in EXPERIMENTS.md."""
+
+from .experiments import EXPERIMENTS, Experiment, ExperimentResult, get_experiment
+from .runner import run_all, run_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "ExperimentResult",
+    "get_experiment",
+    "run_all",
+    "run_experiment",
+]

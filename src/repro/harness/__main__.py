@@ -1,0 +1,54 @@
+"""Command-line entry point for the experiment harness.
+
+Usage::
+
+    python -m repro.harness list
+    python -m repro.harness run recon-F1 [--scale smoke] [--out results/]
+    python -m repro.harness all [--scale smoke] [--out results/]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import EXPERIMENTS
+from .runner import run_all, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("exp_id", choices=sorted(EXPERIMENTS))
+    run_p.add_argument("--scale", choices=("full", "smoke"), default="full")
+    run_p.add_argument("--out", default=None, help="directory for CSV output")
+    run_p.add_argument("--plot", action="store_true",
+                       help="also print the ASCII figure")
+
+    all_p = sub.add_parser("all", help="run every experiment")
+    all_p.add_argument("--scale", choices=("full", "smoke"), default="full")
+    all_p.add_argument("--out", default=None, help="directory for CSV output")
+    all_p.add_argument("--plot", action="store_true",
+                       help="also print the ASCII figures")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for exp in EXPERIMENTS.values():
+            print(f"{exp.exp_id:10s} {exp.title:24s} {exp.description}")
+        return 0
+    if args.command == "run":
+        run_experiment(args.exp_id, args.scale, out_dir=args.out, plot=args.plot)
+        return 0
+    run_all(args.scale, out_dir=args.out, plot=args.plot)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

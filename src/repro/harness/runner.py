@@ -1,0 +1,75 @@
+"""Experiment runner: execute, render, persist.
+
+``run_experiment`` executes one registry entry and optionally writes its
+rows as CSV under ``results/``; ``run_all`` sweeps the registry.  The
+CLI in :mod:`repro.harness.__main__` wraps these.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+
+from .experiments import EXPERIMENTS, ExperimentResult, get_experiment
+
+__all__ = ["run_experiment", "run_all"]
+
+
+def run_experiment(
+    exp_id: str,
+    scale: str = "full",
+    *,
+    out_dir: str | pathlib.Path | None = None,
+    verbose: bool = True,
+    plot: bool = False,
+) -> ExperimentResult:
+    """Run one experiment and return its result.
+
+    Parameters
+    ----------
+    exp_id:
+        Registry key, e.g. ``"recon-F1"``.
+    scale:
+        ``"full"`` (paper-scale parameters) or ``"smoke"`` (seconds).
+    out_dir:
+        When given, write ``<exp_id>.csv`` there.
+    verbose:
+        Print the rendered table and timing to stdout.
+    plot:
+        Also print the experiment's ASCII figure (when it has one).
+    """
+    exp = get_experiment(exp_id)
+    t0 = time.perf_counter()
+    result = exp.func(scale)
+    elapsed = time.perf_counter() - t0
+    if verbose:
+        print(result.render())
+        if plot:
+            from .plot import plot_experiment
+
+            figure = plot_experiment(result)
+            if figure:
+                print()
+                print(figure)
+        print(f"  [{exp_id} completed in {elapsed:.1f}s at scale={scale}]")
+    if out_dir is not None:
+        out = pathlib.Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / f"{exp_id}.csv").write_text(result.to_csv() + "\n")
+    return result
+
+
+def run_all(
+    scale: str = "full",
+    *,
+    out_dir: str | pathlib.Path | None = None,
+    verbose: bool = True,
+    plot: bool = False,
+) -> dict[str, ExperimentResult]:
+    """Run every registered experiment; returns results keyed by id."""
+    results = {}
+    for exp_id in EXPERIMENTS:
+        results[exp_id] = run_experiment(
+            exp_id, scale, out_dir=out_dir, verbose=verbose, plot=plot
+        )
+    return results

@@ -1,0 +1,128 @@
+"""Persistence for factorizations and matrices.
+
+The factor-once / solve-many workflow often spans *runs*, not just
+calls: a production code factors the operator once and reuses it across
+restarts.  These helpers save and load the library's factorization
+objects (ARD, SPIKE, Thomas, cyclic reduction) and
+:class:`~repro.linalg.blocktridiag.BlockTridiagonalMatrix` instances
+with a small versioned envelope so stale files fail loudly instead of
+mysteriously.
+
+Format: a pickle stream prefixed by a header dict recording the library
+version, the payload class, and problem dimensions.  Like all pickle
+formats, load only files you trust.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import pickle
+from typing import Any
+
+from . import __version__
+from .exceptions import ReproError
+
+__all__ = ["save", "load", "FormatError", "SAVABLE_CLASSES"]
+
+_MAGIC = "repro-factorization-v1"
+
+
+class FormatError(ReproError, ValueError):
+    """The file is not a repro save file or is incompatible."""
+
+
+def _savable_classes() -> dict[str, type]:
+    from .banded.matrix import BlockBandedMatrix
+    from .banded.solver import BandedARDFactorization
+    from .core.ard import ARDFactorization
+    from .core.cyclic_reduction import CyclicReductionFactorization
+    from .core.spike import SpikeFactorization
+    from .core.thomas import ThomasFactorization
+    from .linalg.blocktridiag import BlockTridiagonalMatrix
+
+    return {
+        cls.__name__: cls
+        for cls in (
+            ARDFactorization,
+            SpikeFactorization,
+            ThomasFactorization,
+            CyclicReductionFactorization,
+            BlockTridiagonalMatrix,
+            BandedARDFactorization,
+            BlockBandedMatrix,
+        )
+    }
+
+
+#: Names of the classes :func:`save` accepts.
+SAVABLE_CLASSES = tuple(sorted(
+    ("ARDFactorization", "SpikeFactorization", "ThomasFactorization",
+     "CyclicReductionFactorization", "BlockTridiagonalMatrix",
+     "BandedARDFactorization", "BlockBandedMatrix")
+))
+
+
+def save(path: str | pathlib.Path, obj: Any) -> pathlib.Path:
+    """Save a factorization or matrix to ``path``.
+
+    Returns the resolved path.  Raises
+    :class:`~repro.exceptions.ReproError` for unsupported objects.
+    """
+    classes = _savable_classes()
+    name = type(obj).__name__
+    if name not in classes or not isinstance(obj, classes[name]):
+        raise ReproError(
+            f"cannot save object of type {name}; supported: {SAVABLE_CLASSES}"
+        )
+    header = {
+        "magic": _MAGIC,
+        "library_version": __version__,
+        "class": name,
+        "nblocks": getattr(obj, "nblocks", None),
+        "block_size": getattr(obj, "block_size", None),
+    }
+    path = pathlib.Path(path)
+    with open(path, "wb") as fh:
+        pickle.dump(header, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        pickle.dump(obj, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    return path
+
+
+def load(path: str | pathlib.Path, expect: str | None = None) -> Any:
+    """Load a previously saved object.
+
+    Parameters
+    ----------
+    path:
+        File written by :func:`save`.
+    expect:
+        Optional class name to require (e.g. ``"ARDFactorization"``);
+        a mismatch raises :class:`FormatError` before unpickling the
+        payload.
+
+    Warning
+    -------
+    Uses :mod:`pickle`: only load files you trust.
+    """
+    path = pathlib.Path(path)
+    with open(path, "rb") as fh:
+        try:
+            header = pickle.load(fh)
+        except Exception as exc:
+            raise FormatError(f"{path} is not a repro save file: {exc}") from exc
+        if not isinstance(header, dict) or header.get("magic") != _MAGIC:
+            raise FormatError(f"{path} is not a repro save file (bad header)")
+        name = header.get("class")
+        classes = _savable_classes()
+        if name not in classes:
+            raise FormatError(f"{path} contains unknown class {name!r}")
+        if expect is not None and name != expect:
+            raise FormatError(
+                f"{path} contains {name}, expected {expect}"
+            )
+        obj = pickle.load(fh)
+    if not isinstance(obj, classes[name]):
+        raise FormatError(
+            f"{path} payload is {type(obj).__name__}, header said {name}"
+        )
+    return obj

@@ -1,0 +1,63 @@
+"""Machine models and host calibration.
+
+The virtual-time simulation and the analytic predictor share one
+:class:`~repro.comm.costmodel.CostModel`.  The default constants are
+2014-cluster-like (see that module); :func:`calibrate_flop_rate`
+measures this host's dense GEMM throughput so wall-clock-facing
+experiments (recon-F7) can convert counted flops to realistic seconds.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..comm.costmodel import CostModel, DEFAULT_COST_MODEL
+
+__all__ = [
+    "DEFAULT_COST_MODEL",
+    "calibrate_flop_rate",
+    "calibrated_cost_model",
+    "PAPER_ERA_MODEL",
+]
+
+#: A 2014-era cluster node: ~10 Gflop/s core, ~1 us latency, ~5 GB/s link.
+PAPER_ERA_MODEL = CostModel(
+    latency=2.0e-6,
+    inv_bandwidth=1.0 / 5.0e9,
+    overhead=0.5e-6,
+    flop_rate=10.0e9,
+)
+
+
+def calibrate_flop_rate(m: int = 192, reps: int = 5, seed: int = 0) -> float:
+    """Measure this host's dense GEMM throughput in flops/second.
+
+    Times ``reps`` products of ``m x m`` matrices and returns the best
+    rate (the usual practice for throughput calibration: the minimum
+    time is the least noise-contaminated sample).
+    """
+    if m < 2 or reps < 1:
+        raise ValueError(f"need m >= 2 and reps >= 1, got m={m}, reps={reps}")
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, m))
+    b = rng.standard_normal((m, m))
+    a @ b  # warm up BLAS threads / allocator
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        a @ b
+        best = min(best, time.perf_counter() - t0)
+    return (2.0 * m * m * m) / best
+
+
+def calibrated_cost_model(base: CostModel | None = None, **kwargs) -> CostModel:
+    """A cost model whose ``flop_rate`` is measured on this host.
+
+    Communication parameters come from ``base`` (default:
+    :data:`PAPER_ERA_MODEL`); ``kwargs`` forward to
+    :func:`calibrate_flop_rate`.
+    """
+    base = base or PAPER_ERA_MODEL
+    return base.scaled(flop_rate=calibrate_flop_rate(**kwargs))

@@ -1,0 +1,75 @@
+"""Predicted runtimes for every solver/parameter combination.
+
+Thin façade over :mod:`repro.perfmodel.complexity`: maps a method name
+and problem parameters to a predicted time under a
+:class:`~repro.comm.costmodel.CostModel`, mirroring exactly the methods
+exposed by :func:`repro.core.api.solve`.  Used by experiment recon-F6
+(model-vs-measured parity) and by the speedup-shape discussion in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from ..comm.costmodel import CostModel, DEFAULT_COST_MODEL
+from ..exceptions import ConfigError
+from . import complexity as C
+
+__all__ = ["predict_time", "predict_flops", "predict_cost", "PREDICTABLE_METHODS"]
+
+PREDICTABLE_METHODS = ("ard", "ard_factor", "ard_solve", "rd", "thomas", "cyclic",
+                       "bcr_parallel", "spike", "spike_factor", "spike_solve")
+
+
+def predict_cost(method: str, *, n: int, m: int, p: int = 1, r: int = 1
+                 ) -> C.AlgorithmCost:
+    """Critical-path :class:`~repro.perfmodel.complexity.AlgorithmCost`
+    for ``method`` on an ``N x M`` system, ``P`` ranks, ``R`` RHS.
+
+    ``"ard"`` is factor + solve; ``"ard_factor"``/``"ard_solve"`` give
+    the phases separately.  Sequential methods ignore ``p``.
+    """
+    if n < 1 or m < 1 or p < 1 or r < 0:
+        raise ConfigError(f"invalid parameters n={n}, m={m}, p={p}, r={r}")
+    if method == "ard_factor":
+        return C.ard_factor_cost(n, m, p)
+    if method == "ard_solve":
+        return C.ard_solve_cost(n, m, p, r)
+    if method == "ard":
+        factor = C.ard_factor_cost(n, m, p)
+        solve = C.ard_solve_cost(n, m, p, r)
+        return C.AlgorithmCost("ard", factor.phases + solve.phases)
+    if method == "rd":
+        return C.rd_cost(n, m, p, r)
+    if method == "thomas":
+        factor = C.thomas_factor_cost(n, m)
+        solve = C.thomas_solve_cost(n, m, r)
+        return C.AlgorithmCost("thomas", factor.phases + solve.phases)
+    if method == "cyclic":
+        factor = C.cyclic_factor_cost(n, m)
+        solve = C.cyclic_solve_cost(n, m, r)
+        return C.AlgorithmCost("cyclic", factor.phases + solve.phases)
+    if method == "bcr_parallel":
+        return C.bcr_parallel_cost(n, m, p, r)
+    if method == "spike_factor":
+        return C.spike_factor_cost(n, m, p)
+    if method == "spike_solve":
+        return C.spike_solve_cost(n, m, p, r)
+    if method == "spike":
+        factor = C.spike_factor_cost(n, m, p)
+        solve = C.spike_solve_cost(n, m, p, r)
+        return C.AlgorithmCost("spike", factor.phases + solve.phases)
+    raise ConfigError(
+        f"unknown method {method!r}; choose from {PREDICTABLE_METHODS}"
+    )
+
+
+def predict_flops(method: str, *, n: int, m: int, p: int = 1, r: int = 1) -> float:
+    """Predicted critical-path flops."""
+    return predict_cost(method, n=n, m=m, p=p, r=r).flops
+
+
+def predict_time(method: str, *, n: int, m: int, p: int = 1, r: int = 1,
+                 cost_model: CostModel | None = None) -> float:
+    """Predicted seconds under ``cost_model`` (default machine)."""
+    cm = cost_model or DEFAULT_COST_MODEL
+    return predict_cost(method, n=n, m=m, p=p, r=r).time(cm)

@@ -1,0 +1,107 @@
+"""Scalability analysis: speedup, efficiency, isoefficiency.
+
+Standard parallel-analysis companions to the cost models in
+:mod:`repro.perfmodel.complexity` — the quantities an IPDPS-era
+evaluation derives from its runtime model:
+
+- :func:`speedup` / :func:`efficiency` against the best sequential
+  baseline (block Thomas, which has no log terms),
+- :func:`isoefficiency_n` — the problem size ``N(P)`` needed to hold a
+  target efficiency as ``P`` grows, found by bisection on the model.
+
+For recursive doubling the model predicts isoefficiency
+``N = Θ(P log P)`` (the scan term must be amortized by local work);
+the tests verify the solver reproduces that growth.
+"""
+
+from __future__ import annotations
+
+from ..comm.costmodel import CostModel, DEFAULT_COST_MODEL
+from ..exceptions import ConfigError
+from .predictor import predict_time
+
+__all__ = ["sequential_time", "speedup", "efficiency", "isoefficiency_n",
+           "ard_breakeven_r"]
+
+
+def sequential_time(n: int, m: int, r: int,
+                    cost_model: CostModel | None = None) -> float:
+    """Best sequential time: factored block Thomas (factor + R solves)."""
+    return predict_time("thomas", n=n, m=m, r=r, cost_model=cost_model)
+
+
+def speedup(method: str, *, n: int, m: int, p: int, r: int = 1,
+            cost_model: CostModel | None = None) -> float:
+    """Predicted speedup of ``method`` on ``P`` ranks over sequential
+    Thomas on the same problem."""
+    return sequential_time(n, m, r, cost_model) / predict_time(
+        method, n=n, m=m, p=p, r=r, cost_model=cost_model
+    )
+
+
+def efficiency(method: str, *, n: int, m: int, p: int, r: int = 1,
+               cost_model: CostModel | None = None) -> float:
+    """Parallel efficiency ``speedup / P``."""
+    return speedup(method, n=n, m=m, p=p, r=r, cost_model=cost_model) / p
+
+
+def ard_breakeven_r(*, n: int, m: int, p: int,
+                    cost_model: CostModel | None = None,
+                    r_max: int = 1 << 20) -> int:
+    """Smallest R at which ARD (factor + solve) beats naive RD.
+
+    For R = 1 the factor/solve split costs slightly more than one fused
+    RD pass (extra exclusive-prefix bookkeeping); the break-even arrives
+    within a handful of right-hand sides and is the practical answer to
+    "when is the acceleration worth it?".  Returns ``r_max + 1`` if the
+    model never crosses (cannot happen for valid parameters, but the
+    bound keeps the search total).
+    """
+    cm = cost_model or DEFAULT_COST_MODEL
+    for r in range(1, r_max + 1):
+        ard = predict_time("ard", n=n, m=m, p=p, r=r, cost_model=cm)
+        rd = predict_time("rd", n=n, m=m, p=p, r=r, cost_model=cm)
+        if ard < rd:
+            return r
+    return r_max + 1
+
+
+def isoefficiency_n(method: str, *, m: int, p: int, r: int = 1,
+                    target: float = 0.5,
+                    cost_model: CostModel | None = None,
+                    n_max: int = 1 << 26) -> int:
+    """Smallest ``N`` at which ``method`` reaches ``target`` efficiency.
+
+    Bisection over ``N`` (efficiency is monotone increasing in ``N`` for
+    these models: local work amortizes the fixed log P terms).  Raises
+    :class:`~repro.exceptions.ConfigError` if the target is unreachable
+    below ``n_max`` (e.g. a target above the method's asymptotic
+    efficiency).
+    """
+    if not 0.0 < target < 1.5:
+        raise ConfigError(f"target efficiency must be in (0, 1.5), got {target}")
+    cm = cost_model or DEFAULT_COST_MODEL
+
+    def eff(n: int) -> float:
+        return efficiency(method, n=n, m=m, p=p, r=r, cost_model=cm)
+
+    lo, hi = p, None
+    n = max(2 * p, 4)
+    while n <= n_max:
+        if eff(n) >= target:
+            hi = n
+            break
+        lo = n
+        n *= 2
+    if hi is None:
+        raise ConfigError(
+            f"{method} cannot reach efficiency {target} with P={p}, M={m} "
+            f"below N={n_max} (asymptote at N={n_max}: {eff(n_max):.3f})"
+        )
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if eff(mid) >= target:
+            hi = mid
+        else:
+            lo = mid
+    return hi

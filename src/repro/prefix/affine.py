@@ -1,0 +1,142 @@
+"""The affine-map semigroup at the heart of recursive doubling.
+
+A block tridiagonal solve becomes a prefix computation over affine maps
+``s -> A s + b`` (see DESIGN.md): composing the maps of consecutive
+block rows is associative, so prefixes parallelize.  The key structural
+fact the *accelerated* algorithm exploits is visible in the composition
+rule
+
+``(later) ∘ (earlier) = (A_l A_e,  A_l b_e + b_l)``:
+
+the matrix part composes with a matrix–matrix product — ``O(k^3)`` —
+while the vector part needs only matrix–vector work — ``O(k^2 r)`` —
+and the matrix part never depends on ``b``.  ARD therefore computes the
+matrix prefixes once and replays only the vector parts per RHS batch.
+
+``b`` is a ``(k, r)`` panel: ``r`` right-hand sides are carried through
+one composition at once.  ``r = 0`` is valid and gives a matrix-only
+pair (used by the ARD factor phase).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from ..linalg.blockops import gemm
+
+__all__ = ["AffinePair", "affine_compose"]
+
+
+class AffinePair:
+    """One element of the affine-map semigroup: ``s -> A s + b``.
+
+    Attributes
+    ----------
+    a:
+        ``(k, k)`` matrix part.
+    b:
+        ``(k, r)`` vector-panel part (``r`` may be 0).
+    """
+
+    __slots__ = ("a", "b")
+
+    def __init__(self, a: np.ndarray, b: np.ndarray, *, validate: bool = True):
+        if validate:
+            a = np.asarray(a)
+            b = np.asarray(b)
+            if a.ndim != 2 or a.shape[0] != a.shape[1]:
+                raise ShapeError(f"matrix part must be square, got {a.shape}")
+            if b.ndim != 2 or b.shape[0] != a.shape[0]:
+                raise ShapeError(
+                    f"vector part must be ({a.shape[0]}, r), got {b.shape}"
+                )
+        self.a = a
+        self.b = b
+
+    @property
+    def dim(self) -> int:
+        """State dimension ``k``."""
+        return self.a.shape[0]
+
+    @property
+    def width(self) -> int:
+        """Number of carried right-hand sides ``r``."""
+        return self.b.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        """On-wire payload size (drives the modelled message cost)."""
+        return self.a.nbytes + self.b.nbytes
+
+    @classmethod
+    def identity(cls, dim: int, width: int = 0, dtype=np.float64) -> "AffinePair":
+        """The identity map ``s -> s`` (with a zero ``(dim, width)`` panel)."""
+        return cls(
+            np.eye(dim, dtype=dtype),
+            np.zeros((dim, width), dtype=dtype),
+            validate=False,
+        )
+
+    def compose_after(self, earlier: "AffinePair") -> "AffinePair":
+        """The map "``self`` applied after ``earlier``".
+
+        ``(self ∘ earlier)(s) = self.a @ (earlier.a @ s + earlier.b) + self.b``.
+        """
+        if earlier.dim != self.dim:
+            raise ShapeError(
+                f"cannot compose dims {earlier.dim} and {self.dim}"
+            )
+        if earlier.width != self.width:
+            raise ShapeError(
+                f"cannot compose widths {earlier.width} and {self.width}"
+            )
+        new_a = gemm(self.a, earlier.a)
+        new_b = gemm(self.a, earlier.b)
+        new_b += self.b
+        return AffinePair(new_a, new_b, validate=False)
+
+    def apply(self, s: np.ndarray) -> np.ndarray:
+        """Evaluate the map at state ``s``.
+
+        ``s`` may be ``(k,)`` (requires ``width <= 1``) or ``(k, r)``
+        with ``r == width``.  A width-0 pair applies its matrix only.
+        """
+        s = np.asarray(s)
+        out = gemm(self.a, s)
+        if self.width == 0:
+            return out
+        if s.ndim == 1:
+            if self.width != 1:
+                raise ShapeError(
+                    f"vector state needs width <= 1, pair has width {self.width}"
+                )
+            return out + self.b[:, 0]
+        if s.shape[1] != self.width:
+            raise ShapeError(
+                f"state has {s.shape[1]} columns, pair carries {self.width}"
+            )
+        return out + self.b
+
+    def copy(self) -> "AffinePair":
+        return AffinePair(self.a.copy(), self.b.copy(), validate=False)
+
+    def allclose(self, other: "AffinePair", rtol: float = 1e-10, atol: float = 1e-12) -> bool:
+        return (
+            self.a.shape == other.a.shape
+            and self.b.shape == other.b.shape
+            and bool(np.allclose(self.a, other.a, rtol=rtol, atol=atol))
+            and bool(np.allclose(self.b, other.b, rtol=rtol, atol=atol))
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AffinePair(dim={self.dim}, width={self.width})"
+
+
+def affine_compose(earlier: AffinePair, later: AffinePair) -> AffinePair:
+    """Scan operator: combine ``earlier`` (lower indices) with ``later``.
+
+    This is the associative operation recursive doubling scans over;
+    argument order follows the library's left-to-right scan convention.
+    """
+    return later.compose_after(earlier)

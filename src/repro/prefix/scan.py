@@ -1,0 +1,156 @@
+"""Sequential and distributed prefix (scan) algorithms.
+
+Three distributed schedules are provided so the scan-algorithm ablation
+(experiment abl-A1) can compare them on identical payloads:
+
+``dist_scan_kogge_stone``
+    The recursive-doubling schedule the paper builds on:
+    ``ceil(log2 P)`` rounds, every rank active every round.
+``dist_scan_blelloch``
+    Work-efficient two-sweep tree scan: ``2 log2 P`` rounds but half
+    the combines; requires a power-of-two rank count and an identity.
+``dist_scan_pipeline``
+    The trivial O(P)-depth baseline: each rank waits for its left
+    neighbour's prefix.
+
+All return the *inclusive* prefix on every rank and combine strictly
+left-to-right, so non-commutative operations (like affine-map
+composition) are safe.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence, TYPE_CHECKING
+
+from ..exceptions import ShapeError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..comm.communicator import Communicator
+
+__all__ = [
+    "seq_inclusive_scan",
+    "seq_exclusive_scan",
+    "dist_scan_kogge_stone",
+    "dist_scan_blelloch",
+    "dist_scan_pipeline",
+    "DIST_SCANS",
+]
+
+_TAG_KS = 101
+_TAG_BL_UP = 102
+_TAG_BL_DOWN = 103
+_TAG_PIPE = 104
+
+
+def seq_inclusive_scan(items: Sequence[Any], op: Callable[[Any, Any], Any]) -> list[Any]:
+    """Inclusive prefixes of ``items`` under ``op`` (left-to-right)."""
+    out: list[Any] = []
+    acc = None
+    for i, item in enumerate(items):
+        acc = item if i == 0 else op(acc, item)
+        out.append(acc)
+    return out
+
+
+def seq_exclusive_scan(
+    items: Sequence[Any], op: Callable[[Any, Any], Any], identity: Any
+) -> list[Any]:
+    """Exclusive prefixes: ``out[i] = op(items[0], ..., items[i-1])``,
+    with ``out[0] = identity``."""
+    out: list[Any] = []
+    acc = identity
+    for item in items:
+        out.append(acc)
+        acc = op(acc, item)
+    return out
+
+
+def dist_scan_kogge_stone(
+    comm: "Communicator", value: Any, op: Callable[[Any, Any], Any]
+) -> Any:
+    """Recursive-doubling (Kogge–Stone) inclusive scan over ranks."""
+    size, rank = comm.size, comm.rank
+    acc = value
+    dist = 1
+    while dist < size:
+        if rank + dist < size:
+            comm.send(acc, rank + dist, _TAG_KS)
+        if rank - dist >= 0:
+            left = comm.recv(rank - dist, _TAG_KS)
+            acc = op(left, acc)
+        dist <<= 1
+    return acc
+
+
+def dist_scan_blelloch(
+    comm: "Communicator", value: Any, op: Callable[[Any, Any], Any], identity: Any
+) -> Any:
+    """Blelloch work-efficient scan (up-sweep + down-sweep).
+
+    Requires ``comm.size`` to be a power of two.  Computes the exclusive
+    scan internally and returns the inclusive prefix
+    ``op(exclusive, value)``, so ``identity`` must be a two-sided
+    identity for ``op``.
+    """
+    size, rank = comm.size, comm.rank
+    if size & (size - 1):
+        raise ShapeError(f"Blelloch scan needs power-of-two ranks, got {size}")
+    if size == 1:
+        return value
+
+    # Up-sweep: reduction tree.  At level `dist`, rank r with
+    # r & (2*dist - 1) == 2*dist - 1 is the parent; its left child
+    # (rank r - dist) sends its subtree total.  Parents cache the left
+    # totals per level — the down-sweep needs them.
+    acc = value
+    left_totals: dict[int, Any] = {}
+    dist = 1
+    while dist < size:
+        low = rank & (2 * dist - 1)
+        if low == 2 * dist - 1:
+            left = comm.recv(rank - dist, _TAG_BL_UP)
+            left_totals[dist] = left
+            acc = op(left, acc)
+        elif low == dist - 1:
+            comm.send(acc, rank + dist, _TAG_BL_UP)
+        dist <<= 1
+
+    # Down-sweep: the root's exclusive prefix is the identity.  A parent
+    # passes its carried prefix to its left child unchanged and extends
+    # its own by the left subtree's total.
+    carried = identity if rank == size - 1 else None
+    dist = size // 2
+    while dist >= 1:
+        low = rank & (2 * dist - 1)
+        if low == 2 * dist - 1:
+            comm.send(carried, rank - dist, _TAG_BL_DOWN)
+            carried = op(carried, left_totals[dist])
+        elif low == dist - 1:
+            carried = comm.recv(rank + dist, _TAG_BL_DOWN)
+        dist >>= 1
+    return op(carried, value)
+
+
+def dist_scan_pipeline(
+    comm: "Communicator", value: Any, op: Callable[[Any, Any], Any]
+) -> Any:
+    """Linear-depth pipeline scan: rank ``r`` waits for rank ``r-1``.
+
+    The O(P) baseline against which recursive doubling's O(log P) win
+    is measured in experiment abl-A1.
+    """
+    size, rank = comm.size, comm.rank
+    acc = value
+    if rank > 0:
+        left = comm.recv(rank - 1, _TAG_PIPE)
+        acc = op(left, acc)
+    if rank + 1 < size:
+        comm.send(acc, rank + 1, _TAG_PIPE)
+    return acc
+
+
+DIST_SCANS = {
+    "kogge_stone": dist_scan_kogge_stone,
+    "pipeline": dist_scan_pipeline,
+    # "blelloch" requires an identity argument; see dist_scan_blelloch.
+}

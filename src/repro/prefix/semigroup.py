@@ -1,0 +1,72 @@
+"""Semigroup/monoid protocol for prefix computations.
+
+Recursive doubling is a parallel prefix (scan) over an associative
+operation; this module gives the scan framework a tiny algebraic
+vocabulary: a :class:`Monoid` bundles the binary operation with its
+identity, and :func:`check_associative` provides the property-test hook
+used by the test suite.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Sequence
+
+__all__ = ["Monoid", "check_associative"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Monoid:
+    """An associative binary operation with identity.
+
+    Attributes
+    ----------
+    op:
+        Binary operation ``op(earlier, later)``.  *Order matters*: scans
+        in this library always combine left-to-right, with the first
+        argument covering earlier indices.
+    identity:
+        Two-sided identity element, or a zero-argument factory when the
+        identity must be freshly allocated per use (pass
+        ``identity_factory`` instead in that case).
+    equal:
+        Equality predicate used by tests; defaults to ``==``.
+    """
+
+    op: Callable[[Any, Any], Any]
+    identity: Any = None
+    equal: Callable[[Any, Any], bool] = dataclasses.field(
+        default=lambda a, b: bool(a == b)
+    )
+
+    def fold(self, items: Sequence[Any]) -> Any:
+        """Left fold of ``items``; identity for an empty sequence."""
+        if not items:
+            return self.identity
+        acc = items[0]
+        for item in items[1:]:
+            acc = self.op(acc, item)
+        return acc
+
+
+def check_associative(
+    op: Callable[[Any, Any], Any],
+    samples: Sequence[Any],
+    equal: Callable[[Any, Any], bool] | None = None,
+) -> None:
+    """Assert ``op`` is associative over all ordered triples of ``samples``.
+
+    Raises ``AssertionError`` naming the offending triple.  Intended for
+    tests (cubic in ``len(samples)``).
+    """
+    eq = equal or (lambda a, b: bool(a == b))
+    for i, a in enumerate(samples):
+        for j, b in enumerate(samples):
+            for k, c in enumerate(samples):
+                left = op(op(a, b), c)
+                right = op(a, op(b, c))
+                if not eq(left, right):
+                    raise AssertionError(
+                        f"op not associative on samples ({i}, {j}, {k}): "
+                        f"{left!r} != {right!r}"
+                    )

@@ -1,0 +1,20 @@
+"""Shared utilities: partitioning, flop accounting, seeding, tables."""
+
+from .partition import BlockPartition, chunk_bounds, chunk_sizes, owner_of
+from .flops import FlopCounter, current_counter, counting_flops, record_flops
+from .seeding import rng_from_seed, spawn_rngs
+from .tables import render_table
+
+__all__ = [
+    "BlockPartition",
+    "chunk_bounds",
+    "chunk_sizes",
+    "owner_of",
+    "FlopCounter",
+    "current_counter",
+    "counting_flops",
+    "record_flops",
+    "rng_from_seed",
+    "spawn_rngs",
+    "render_table",
+]

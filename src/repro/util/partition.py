@@ -1,0 +1,135 @@
+"""Block-row partitioning of a length-``n`` sequence across ``p`` ranks.
+
+All distributed solvers in this library assign each rank a contiguous
+chunk of block rows.  The convention is the standard balanced one: the
+first ``n % p`` ranks receive ``ceil(n/p)`` rows and the rest receive
+``floor(n/p)``.  Ranks may own zero rows when ``p > n``; every algorithm
+in :mod:`repro.core` tolerates empty chunks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Sequence
+
+from ..exceptions import ShapeError
+
+__all__ = ["chunk_sizes", "chunk_bounds", "owner_of", "BlockPartition"]
+
+
+def chunk_sizes(n: int, p: int) -> list[int]:
+    """Sizes of the ``p`` contiguous chunks of ``n`` items.
+
+    >>> chunk_sizes(10, 3)
+    [4, 3, 3]
+    """
+    if n < 0:
+        raise ShapeError(f"n must be non-negative, got {n}")
+    if p <= 0:
+        raise ShapeError(f"p must be positive, got {p}")
+    base, extra = divmod(n, p)
+    return [base + (1 if r < extra else 0) for r in range(p)]
+
+
+def chunk_bounds(n: int, p: int, rank: int) -> tuple[int, int]:
+    """Half-open interval ``[lo, hi)`` of items owned by ``rank``.
+
+    >>> chunk_bounds(10, 3, 1)
+    (4, 7)
+    """
+    if not 0 <= rank < p:
+        raise ShapeError(f"rank {rank} out of range for p={p}")
+    base, extra = divmod(n, p)
+    lo = rank * base + min(rank, extra)
+    hi = lo + base + (1 if rank < extra else 0)
+    return lo, hi
+
+
+def owner_of(n: int, p: int, index: int) -> int:
+    """Rank owning global item ``index`` under the balanced partition.
+
+    >>> owner_of(10, 3, 6)
+    1
+    """
+    if not 0 <= index < n:
+        raise ShapeError(f"index {index} out of range for n={n}")
+    base, extra = divmod(n, p)
+    # First `extra` chunks have size base+1 and cover [0, extra*(base+1)).
+    pivot = extra * (base + 1)
+    if index < pivot:
+        return index // (base + 1)
+    if base == 0:
+        # All items live in the first `extra` chunks; unreachable here
+        # because index >= pivot == n.  Defensive only.
+        raise ShapeError(f"index {index} beyond populated chunks")
+    return extra + (index - pivot) // base
+
+
+@dataclasses.dataclass(frozen=True)
+class BlockPartition:
+    """Balanced contiguous partition of ``nblocks`` block rows over
+    ``nranks`` ranks.
+
+    Instances are cheap value objects; solvers create one per call.
+
+    >>> part = BlockPartition(nblocks=10, nranks=3)
+    >>> part.bounds(0), part.size(2)
+    ((0, 4), 3)
+    """
+
+    nblocks: int
+    nranks: int
+
+    def __post_init__(self) -> None:
+        if self.nblocks < 0:
+            raise ShapeError(f"nblocks must be non-negative, got {self.nblocks}")
+        if self.nranks <= 0:
+            raise ShapeError(f"nranks must be positive, got {self.nranks}")
+
+    def bounds(self, rank: int) -> tuple[int, int]:
+        """Half-open global index range owned by ``rank``."""
+        return chunk_bounds(self.nblocks, self.nranks, rank)
+
+    def size(self, rank: int) -> int:
+        lo, hi = self.bounds(rank)
+        return hi - lo
+
+    def sizes(self) -> list[int]:
+        return chunk_sizes(self.nblocks, self.nranks)
+
+    def owner(self, index: int) -> int:
+        """Rank owning global block row ``index``."""
+        return owner_of(self.nblocks, self.nranks, index)
+
+    def local_index(self, index: int) -> tuple[int, int]:
+        """Map a global index to ``(rank, local_index)``."""
+        rank = self.owner(index)
+        lo, _ = self.bounds(rank)
+        return rank, index - lo
+
+    def nonempty_ranks(self) -> list[int]:
+        """Ranks that own at least one block row, in order."""
+        return [r for r in range(self.nranks) if self.size(r) > 0]
+
+    def last_nonempty_rank(self) -> int:
+        """Highest rank owning at least one block row.
+
+        Raises :class:`~repro.exceptions.ShapeError` when ``nblocks == 0``.
+        """
+        ranks = self.nonempty_ranks()
+        if not ranks:
+            raise ShapeError("partition has no populated ranks (nblocks == 0)")
+        return ranks[-1]
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        """Iterate over per-rank ``(lo, hi)`` bounds."""
+        for rank in range(self.nranks):
+            yield self.bounds(rank)
+
+    def scatter(self, items: Sequence) -> list:
+        """Split ``items`` (length ``nblocks``) into per-rank lists."""
+        if len(items) != self.nblocks:
+            raise ShapeError(
+                f"expected {self.nblocks} items, got {len(items)}"
+            )
+        return [list(items[lo:hi]) for lo, hi in self]

@@ -1,0 +1,42 @@
+"""Deterministic random-number management.
+
+Every stochastic component of the library (workload generators, property
+tests, benchmark harness) accepts either an integer seed or an existing
+:class:`numpy.random.Generator`.  These helpers normalize the two and
+derive independent child streams for parallel contexts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rng_from_seed", "spawn_rngs"]
+
+SeedLike = "int | np.random.Generator | np.random.SeedSequence | None"
+
+
+def rng_from_seed(seed=None) -> np.random.Generator:
+    """Normalize ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh entropy), an ``int``, a ``SeedSequence``, or an
+    existing ``Generator`` (returned unchanged so callers can share one).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent generators from ``seed``.
+
+    Used to give each simulated rank its own stream so results do not
+    depend on rank execution order.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if isinstance(seed, np.random.Generator):
+        return [np.random.default_rng(s) for s in seed.bit_generator.seed_seq.spawn(n)]
+    seq = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in seq.spawn(n)]

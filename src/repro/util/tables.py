@@ -1,0 +1,68 @@
+"""Plain-text table rendering for the experiment harness.
+
+The benchmark harness reproduces the paper's tables/figures as rows of
+numbers; this module renders them as aligned ASCII tables (and CSV) so
+benchmark output is readable in a terminal and diffable in CI.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Any, Iterable, Sequence
+
+__all__ = ["render_table", "render_csv", "format_value"]
+
+
+def format_value(value: Any, float_fmt: str = "{:.4g}") -> str:
+    """Format one cell: floats via ``float_fmt``, others via ``str``."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return float_fmt.format(value)
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    float_fmt: str = "{:.4g}",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5]]))
+    a  b
+    -  ---
+    1  2.5
+    """
+    str_rows = [[format_value(v, float_fmt) for v in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    out.write("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip() + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for row in str_rows:
+        out.write("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip() + "\n")
+    return out.getvalue().rstrip("\n")
+
+
+def render_csv(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Render rows as minimal CSV (no quoting; cells must not contain commas)."""
+    lines = [",".join(headers)]
+    for row in rows:
+        cells = [format_value(v, "{:.10g}") for v in row]
+        for cell in cells:
+            if "," in cell:
+                raise ValueError(f"cell contains comma: {cell!r}")
+        lines.append(",".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Workload generators for the evaluation's block tridiagonal systems."""
+
+from .generators import (
+    absorbing_helmholtz_system,
+    banded_oscillatory_system,
+    convection_diffusion_system,
+    helmholtz_block_system,
+    heat_implicit_system,
+    multigroup_diffusion_system,
+    point_source_rhs,
+    poisson_block_system,
+    random_block_dd_system,
+    random_rhs,
+    smooth_rhs,
+    toeplitz_block_system,
+)
+
+__all__ = [
+    "absorbing_helmholtz_system",
+    "banded_oscillatory_system",
+    "convection_diffusion_system",
+    "helmholtz_block_system",
+    "heat_implicit_system",
+    "multigroup_diffusion_system",
+    "point_source_rhs",
+    "poisson_block_system",
+    "random_block_dd_system",
+    "random_rhs",
+    "smooth_rhs",
+    "toeplitz_block_system",
+]

@@ -1,0 +1,488 @@
+"""Workload generators: the block tridiagonal systems of the evaluation.
+
+The paper motivates block tridiagonal systems from "a wide variety of
+scientific and engineering applications"; these generators provide
+concrete instances of the standard ones:
+
+- line-blocked 2D Poisson / implicit heat stencils (``poisson_block_system``,
+  ``heat_implicit_system``),
+- non-symmetric convection–diffusion (``convection_diffusion_system``),
+- multigroup diffusion with dense inter-group coupling blocks
+  (``multigroup_diffusion_system``) — the natural "hundreds of RHS with
+  one matrix" application (one RHS per source configuration),
+- random block-diagonally-dominant systems (``random_block_dd_system``)
+  for property tests and complexity sweeps,
+- constant-block Toeplitz systems (``toeplitz_block_system``).
+
+All generated matrices satisfy the recursive doubling requirements:
+invertible superdiagonal blocks and block diagonal dominance (so the
+transfer-product growth stays bounded; see
+:mod:`repro.core.diagnostics`).
+
+Every generator returns ``(matrix, info)`` where ``info`` is a dict of
+the construction parameters (recorded by the harness into experiment
+rows).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..config import get_config
+from ..exceptions import ShapeError
+from ..linalg.blocktridiag import BlockTridiagonalMatrix
+from ..util.seeding import rng_from_seed
+
+__all__ = [
+    "poisson_block_system",
+    "heat_implicit_system",
+    "convection_diffusion_system",
+    "multigroup_diffusion_system",
+    "random_block_dd_system",
+    "toeplitz_block_system",
+    "random_rhs",
+    "smooth_rhs",
+    "point_source_rhs",
+]
+
+Info = dict[str, Any]
+
+
+def _check_nm(nblocks: int, block_size: int) -> None:
+    if nblocks < 1:
+        raise ShapeError(f"nblocks must be >= 1, got {nblocks}")
+    if block_size < 1:
+        raise ShapeError(f"block_size must be >= 1, got {block_size}")
+
+
+def _tridiag_block(m: int, sub: float, diag: float, sup: float, dtype) -> np.ndarray:
+    """Scalar tridiagonal ``m x m`` block."""
+    block = np.zeros((m, m), dtype=dtype)
+    idx = np.arange(m)
+    block[idx, idx] = diag
+    block[idx[1:], idx[:-1]] = sub
+    block[idx[:-1], idx[1:]] = sup
+    return block
+
+
+def toeplitz_block_system(
+    nblocks: int,
+    lower_block: np.ndarray,
+    diag_block: np.ndarray,
+    upper_block: np.ndarray,
+) -> tuple[BlockTridiagonalMatrix, Info]:
+    """Block Toeplitz tridiagonal system with the given constant blocks."""
+    lower_block = np.asarray(lower_block)
+    diag_block = np.asarray(diag_block)
+    upper_block = np.asarray(upper_block)
+    m = diag_block.shape[0]
+    for name, blk in (("lower", lower_block), ("diag", diag_block), ("upper", upper_block)):
+        if blk.shape != (m, m):
+            raise ShapeError(f"{name} block must be ({m}, {m}), got {blk.shape}")
+    _check_nm(nblocks, m)
+    lower = np.broadcast_to(lower_block, (max(nblocks - 1, 0), m, m)).copy()
+    diag = np.broadcast_to(diag_block, (nblocks, m, m)).copy()
+    upper = np.broadcast_to(upper_block, (max(nblocks - 1, 0), m, m)).copy()
+    mat = BlockTridiagonalMatrix(
+        lower if nblocks > 1 else None, diag, upper if nblocks > 1 else None, copy=False
+    )
+    return mat, {"name": "toeplitz", "nblocks": nblocks, "block_size": m}
+
+
+def poisson_block_system(
+    nblocks: int, block_size: int, *, coupling: float = 1.0, seed=None
+) -> tuple[BlockTridiagonalMatrix, Info]:
+    """Line-blocked 2D Poisson (5-point stencil) on an ``N x M`` grid.
+
+    Block row ``i`` couples grid line ``i`` to its neighbours:
+    ``D = tridiag(-1, 4, -1)``, ``L = U = -coupling * I``.  With
+    ``coupling <= 1`` the system is strictly block diagonally dominant
+    and the superdiagonal blocks are trivially invertible — the friendly
+    regime for recursive doubling.
+
+    ``seed`` is accepted (and ignored) so all generators share one
+    calling convention.
+    """
+    _check_nm(nblocks, block_size)
+    if not 0 < coupling:
+        raise ShapeError(f"coupling must be positive, got {coupling}")
+    dtype = get_config().dtype
+    diag_block = _tridiag_block(block_size, -1.0, 4.0, -1.0, dtype)
+    off = -coupling * np.eye(block_size, dtype=dtype)
+    mat, _ = toeplitz_block_system(nblocks, off, diag_block, off)
+    return mat, {
+        "name": "poisson",
+        "nblocks": nblocks,
+        "block_size": block_size,
+        "coupling": coupling,
+    }
+
+
+def heat_implicit_system(
+    nblocks: int, block_size: int, *, dt: float = 0.1, dx: float = 1.0,
+    diffusivity: float = 1.0, seed=None
+) -> tuple[BlockTridiagonalMatrix, Info]:
+    """Backward-Euler operator ``I + dt * kappa / dx^2 * Laplacian`` on a
+    2D grid, line-blocked.
+
+    This is the canonical same-matrix/many-RHS workload: every implicit
+    time step solves against the same operator with a new RHS.
+    """
+    _check_nm(nblocks, block_size)
+    if dt <= 0 or dx <= 0 or diffusivity <= 0:
+        raise ShapeError("dt, dx and diffusivity must be positive")
+    dtype = get_config().dtype
+    c = dt * diffusivity / (dx * dx)
+    diag_block = _tridiag_block(block_size, -c, 1.0 + 4.0 * c, -c, dtype)
+    off = -c * np.eye(block_size, dtype=dtype)
+    mat, _ = toeplitz_block_system(nblocks, off, diag_block, off)
+    return mat, {
+        "name": "heat_implicit",
+        "nblocks": nblocks,
+        "block_size": block_size,
+        "dt": dt,
+        "dx": dx,
+        "diffusivity": diffusivity,
+    }
+
+
+def convection_diffusion_system(
+    nblocks: int, block_size: int, *, peclet: float = 0.5, seed=None
+) -> tuple[BlockTridiagonalMatrix, Info]:
+    """Non-symmetric convection–diffusion stencil.
+
+    The convection term skews the off-diagonal couplings:
+    ``L = -(1 + peclet) I``, ``U = -(1 - peclet) I`` and the in-block
+    tridiagonal is skewed the same way.  Requires ``|peclet| < 1`` so
+    the superdiagonal blocks stay invertible and dominance holds.
+    """
+    _check_nm(nblocks, block_size)
+    if not abs(peclet) < 1:
+        raise ShapeError(f"|peclet| must be < 1, got {peclet}")
+    dtype = get_config().dtype
+    diag_block = _tridiag_block(
+        block_size, -(1.0 + peclet), 4.0 + 2.0 * abs(peclet), -(1.0 - peclet), dtype
+    )
+    low = -(1.0 + peclet) * np.eye(block_size, dtype=dtype)
+    up = -(1.0 - peclet) * np.eye(block_size, dtype=dtype)
+    mat, _ = toeplitz_block_system(nblocks, low, diag_block, up)
+    return mat, {
+        "name": "convection_diffusion",
+        "nblocks": nblocks,
+        "block_size": block_size,
+        "peclet": peclet,
+    }
+
+
+def helmholtz_block_system(
+    nblocks: int, block_size: int, *, theta: float = 1.2, eps: float = 0.2,
+    seed=None
+) -> tuple[BlockTridiagonalMatrix, Info]:
+    """Helmholtz-like (oscillatory) system with *bounded* transfer growth.
+
+    With ``L = U = -I`` and ``D = tridiag(-eps, theta, -eps)``, the
+    transfer recurrence ``x_{i+1} = D x_i - x_{i-1} + g`` decouples per
+    eigenvalue ``d_k`` of ``D`` into ``lambda^2 - d_k lambda + 1 = 0``;
+    for ``|d_k| < 2`` — guaranteed by ``|theta| + 2 eps < 2`` — the
+    characteristic roots are complex conjugates on the unit circle, so
+    the composed transfer products stay bounded for *any* ``N``.
+
+    This is the regime where recurrence-based recursive doubling is
+    accurate at arbitrary length (see DESIGN.md's stability caveat); the
+    large-``N`` experiments use it.  Note the trade-off: the matrix is
+    *not* diagonally dominant here (indefinite, like a Helmholtz
+    operator away from resonance).
+    """
+    _check_nm(nblocks, block_size)
+    if abs(theta) + 2 * abs(eps) >= 2:
+        raise ShapeError(
+            f"need |theta| + 2|eps| < 2 for bounded growth, got "
+            f"theta={theta}, eps={eps}"
+        )
+    theta = _detune_helmholtz(theta, eps, nblocks, block_size)
+    dtype = get_config().dtype
+    diag_block = _tridiag_block(block_size, -eps, theta, -eps, dtype)
+    off = -np.eye(block_size, dtype=dtype)
+    mat, _ = toeplitz_block_system(nblocks, off, diag_block, off)
+    return mat, {
+        "name": "helmholtz",
+        "nblocks": nblocks,
+        "block_size": block_size,
+        "theta": theta,
+        "eps": eps,
+    }
+
+
+def absorbing_helmholtz_system(
+    nblocks: int, block_size: int, *, theta: float = 1.2, eps: float = 0.2,
+    damping: float = 0.2, seed=None
+) -> tuple[BlockTridiagonalMatrix, Info]:
+    """Complex Helmholtz system with absorption (``D + i*damping*I``).
+
+    The imaginary shift models an absorbing medium (or a shifted-Laplace
+    preconditioner): every eigenvalue satisfies ``|eig| >= damping``, so
+    the operator is uniformly well conditioned with *no* resonance
+    detuning needed.  The price is mild transfer-product growth
+    ``~exp(damping/2 * N)`` — keep ``damping * N`` modest (growth is
+    reported by :func:`repro.core.diagnostics.diagnose` as usual).
+
+    This is also the canonical complex-arithmetic workload: all solvers
+    in :mod:`repro.core` operate on ``complex128`` transparently.
+    """
+    _check_nm(nblocks, block_size)
+    if abs(theta) + 2 * abs(eps) >= 2:
+        raise ShapeError(
+            f"need |theta| + 2|eps| < 2 for bounded real-part growth, got "
+            f"theta={theta}, eps={eps}"
+        )
+    if damping <= 0:
+        raise ShapeError(f"damping must be positive, got {damping}")
+    diag_block = _tridiag_block(block_size, -eps, theta, -eps, np.complex128)
+    diag_block += 1j * damping * np.eye(block_size)
+    off = -np.eye(block_size, dtype=np.complex128)
+    mat, _ = toeplitz_block_system(nblocks, off, diag_block, off)
+    return mat, {
+        "name": "absorbing_helmholtz",
+        "nblocks": nblocks,
+        "block_size": block_size,
+        "theta": theta,
+        "eps": eps,
+        "damping": damping,
+    }
+
+
+def _detune_helmholtz(theta: float, eps: float, n: int, m: int) -> float:
+    """Nudge ``theta`` away from resonances of the Helmholtz system.
+
+    The eigenvalues of the generated matrix are known in closed form:
+    ``d_k - 2 cos(j pi / (N+1))`` with ``d_k = theta - 2 eps cos(k pi /
+    (M+1))``.  An unlucky ``(N, M, theta)`` makes one of them (nearly)
+    zero — the operator hits a resonance and every solver's accuracy
+    collapses, which would contaminate the evaluation.  We shift
+    ``theta`` in steps comparable to the eigenvalue grid spacing until
+    the spectral gap exceeds ``~1/(N+1)``, keeping the best candidate.
+    """
+    grid = 2.0 * np.cos(np.arange(1, n + 1) * np.pi / (n + 1))
+    modes = -2.0 * eps * np.cos(np.arange(1, m + 1) * np.pi / (m + 1))
+    target = 1.0 / (n + 1)
+    step = 0.9 / (n + 1)
+    best_theta, best_gap = theta, -1.0
+    cand = theta
+    for _ in range(64):
+        gap = float(np.abs((cand + modes)[:, None] - grid[None, :]).min())
+        if gap > best_gap:
+            best_theta, best_gap = cand, gap
+        if gap >= target and abs(cand) + 2 * abs(eps) < 2:
+            return cand
+        cand += step
+        if abs(cand) + 2 * abs(eps) >= 2:  # walked out of the stable window
+            cand = theta - step
+            step = -step
+    return best_theta
+
+
+def multigroup_diffusion_system(
+    nblocks: int, ngroups: int, *, scattering: float = 0.2,
+    absorption: float = 1.0, coupling: float = 0.5, seed=None
+) -> tuple[BlockTridiagonalMatrix, Info]:
+    """1D multigroup neutron-diffusion-like system.
+
+    Each spatial cell carries ``ngroups`` energy groups; the diagonal
+    blocks are dense (removal on the diagonal plus a random non-negative
+    scattering matrix), and spatial coupling is ``-coupling * I``.  The
+    block size is the group count — the setting where blocks are dense
+    and ``R`` (independent source configurations) is large, i.e. the
+    paper's target regime.
+    """
+    _check_nm(nblocks, ngroups)
+    if scattering < 0 or absorption <= 0 or coupling <= 0:
+        raise ShapeError("scattering >= 0, absorption > 0, coupling > 0 required")
+    rng = rng_from_seed(seed)
+    dtype = get_config().dtype
+    m = ngroups
+    diag = np.empty((nblocks, m, m), dtype=dtype)
+    for i in range(nblocks):
+        scatter = scattering * rng.random((m, m))
+        np.fill_diagonal(scatter, 0.0)
+        removal = absorption + 2.0 * coupling + scatter.sum(axis=1)
+        diag[i] = np.diag(removal) - scatter
+    off = -coupling * np.eye(m, dtype=dtype)
+    lower = np.broadcast_to(off, (max(nblocks - 1, 0), m, m)).copy()
+    upper = lower.copy()
+    mat = BlockTridiagonalMatrix(
+        lower if nblocks > 1 else None, diag, upper if nblocks > 1 else None, copy=False
+    )
+    return mat, {
+        "name": "multigroup_diffusion",
+        "nblocks": nblocks,
+        "block_size": m,
+        "scattering": scattering,
+        "absorption": absorption,
+        "coupling": coupling,
+    }
+
+
+def random_block_dd_system(
+    nblocks: int, block_size: int, *, dominance: float = 2.0, seed=None
+) -> tuple[BlockTridiagonalMatrix, Info]:
+    """Random block tridiagonal system with enforced block diagonal
+    dominance.
+
+    Off-diagonal blocks are standard Gaussian (hence almost surely
+    invertible); each diagonal block is a Gaussian block shifted by
+    ``dominance * s * I`` where ``s`` bounds the row sum of the
+    neighbouring blocks' norms, guaranteeing
+    ``||D_i^{-1}|| (||L_i|| + ||U_i||) < 1/(dominance - 1)`` style
+    dominance.  ``dominance > 1`` keeps recursive doubling's transfer
+    products bounded.
+    """
+    _check_nm(nblocks, block_size)
+    if dominance <= 1.0:
+        raise ShapeError(f"dominance must exceed 1.0, got {dominance}")
+    rng = rng_from_seed(seed)
+    dtype = get_config().dtype
+    lower = rng.standard_normal((max(nblocks - 1, 0), block_size, block_size)).astype(dtype)
+    upper = rng.standard_normal((max(nblocks - 1, 0), block_size, block_size)).astype(dtype)
+    diag = rng.standard_normal((nblocks, block_size, block_size)).astype(dtype)
+    idx = np.arange(block_size)
+    for i in range(nblocks):
+        norm = np.abs(diag[i]).sum()
+        if i > 0:
+            norm += np.abs(lower[i - 1]).sum(axis=1).max()
+        if i < nblocks - 1:
+            norm += np.abs(upper[i]).sum(axis=1).max()
+        # Shift away from zero in the direction of the existing entry to
+        # avoid cancellation weakening the dominance.
+        sign = np.where(diag[i][idx, idx] >= 0, 1.0, -1.0)
+        diag[i][idx, idx] += sign * dominance * norm
+    mat = BlockTridiagonalMatrix(
+        lower if nblocks > 1 else None, diag, upper if nblocks > 1 else None, copy=False
+    )
+    return mat, {
+        "name": "random_block_dd",
+        "nblocks": nblocks,
+        "block_size": block_size,
+        "dominance": dominance,
+    }
+
+
+def banded_oscillatory_system(
+    nblocks: int, block_size: int, *, bandwidth: int = 2, seed=None,
+    rotate: bool = True
+):
+    """Block *banded* oscillatory system with bounded transfer growth.
+
+    The scalar stencil is the palindromic polynomial
+    ``p(z) = prod_l (z^2 - 2 cos(phi_l) z + 1)`` (``l = 1..b``), whose
+    roots sit on the unit circle — the banded analogue of the Helmholtz
+    regime where recursive doubling stays accurate at any ``N``.  A
+    small diagonal shift (``O(1/N)``, hence ``O(1)`` total growth)
+    detunes the Toeplitz symbol away from resonances, and with
+    ``rotate=True`` every block row is conjugated by a random orthogonal
+    matrix so the blocks are dense while the spectrum (and the transfer
+    growth) is preserved.
+
+    Returns ``(BlockBandedMatrix, info)``; the natural workload for
+    :class:`repro.banded.BandedARDFactorization`.
+    """
+    from ..banded.matrix import BlockBandedMatrix
+
+    _check_nm(nblocks, block_size)
+    b = bandwidth
+    if b < 1:
+        raise ShapeError(f"bandwidth must be >= 1, got {b}")
+    if nblocks < 2 * b + 1:
+        raise ShapeError(
+            f"need nblocks >= 2*bandwidth + 1, got N={nblocks}, b={b}"
+        )
+    rng = rng_from_seed(seed)
+    dtype = get_config().dtype
+    m, n = block_size, nblocks
+
+    # Palindromic stencil with unit-circle roots at phases phi_l.
+    phases = (np.arange(1, b + 1) * 2.0 - 0.7) * np.pi / (2 * b + 1)
+    poly = np.array([1.0])
+    for phi in phases:
+        poly = np.convolve(poly, [1.0, -2.0 * np.cos(phi), 1.0])
+    # poly[j] is the coefficient of z^{2b - j}; band offset k carries the
+    # coefficient of z^{b + k}.
+    coeff = {k: poly[2 * b - (b + k)] for k in range(-b, b + 1)}
+
+    # Detune the symbol f(theta) = sum_k c_k e^{i k theta} away from zero
+    # over the eigenvalue grid theta_j = j pi / (N + 1).
+    thetas = np.arange(1, n + 1) * np.pi / (n + 1)
+    symbol = np.zeros_like(thetas)
+    for k, c in coeff.items():
+        symbol += c * np.cos(k * thetas)
+    span = 4.0 / (n + 1) * max(1.0, np.abs(symbol).max())
+    candidates = np.linspace(-span, span, 81)
+    gaps = [np.abs(symbol + delta).min() for delta in candidates]
+    delta = float(candidates[int(np.argmax(gaps))])
+
+    # Random per-row orthogonal conjugation keeps the spectrum but makes
+    # blocks dense.
+    if rotate:
+        qs = []
+        for _ in range(n):
+            q, _r = np.linalg.qr(rng.standard_normal((m, m)))
+            qs.append(q)
+    eye = np.eye(m, dtype=dtype)
+    bands = np.zeros((2 * b + 1, n, m, m), dtype=dtype)
+    for k in range(-b, b + 1):
+        block = coeff[k] * eye + (delta * eye if k == 0 else 0.0)
+        for i in range(max(0, -k), min(n, n - k)):
+            if rotate:
+                bands[b + k, i] = qs[i] @ block @ qs[i + k].T
+            else:
+                bands[b + k, i] = block
+    matrix = BlockBandedMatrix(bands, copy=False)
+    return matrix, {
+        "name": "banded_oscillatory",
+        "nblocks": n,
+        "block_size": m,
+        "bandwidth": b,
+        "delta": delta,
+        "rotate": rotate,
+    }
+
+
+# -- right-hand-side generators -------------------------------------------
+
+
+def random_rhs(nblocks: int, block_size: int, nrhs: int = 1, seed=None) -> np.ndarray:
+    """Standard-normal right-hand sides of shape ``(N, M, R)``."""
+    _check_nm(nblocks, block_size)
+    if nrhs < 1:
+        raise ShapeError(f"nrhs must be >= 1, got {nrhs}")
+    rng = rng_from_seed(seed)
+    return rng.standard_normal((nblocks, block_size, nrhs)).astype(get_config().dtype)
+
+
+def smooth_rhs(nblocks: int, block_size: int, nrhs: int = 1) -> np.ndarray:
+    """Smooth sinusoidal right-hand sides (one frequency per column)."""
+    _check_nm(nblocks, block_size)
+    if nrhs < 1:
+        raise ShapeError(f"nrhs must be >= 1, got {nrhs}")
+    grid = np.linspace(0.0, np.pi, nblocks * block_size)
+    cols = [np.sin((k + 1) * grid) for k in range(nrhs)]
+    out = np.stack(cols, axis=-1).reshape(nblocks, block_size, nrhs)
+    return out.astype(get_config().dtype)
+
+
+def point_source_rhs(
+    nblocks: int, block_size: int, sources: list[tuple[int, int, float]]
+) -> np.ndarray:
+    """One RHS per source: a unit (scaled) impulse at ``(block, entry)``.
+
+    ``sources`` is a list of ``(block_index, entry_index, amplitude)``;
+    column ``k`` of the result is the ``k``-th source.
+    """
+    _check_nm(nblocks, block_size)
+    out = np.zeros((nblocks, block_size, len(sources)), dtype=get_config().dtype)
+    for k, (bi, ei, amp) in enumerate(sources):
+        if not (0 <= bi < nblocks and 0 <= ei < block_size):
+            raise ShapeError(f"source {k} at ({bi}, {ei}) is out of range")
+        out[bi, ei, k] = amp
+    return out

@@ -1,0 +1,27 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import helmholtz_block_system, random_rhs
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_system():
+    """A well-conditioned 12x3 block system plus a 2-RHS right-hand side."""
+    matrix, _ = helmholtz_block_system(12, 3)
+    b = random_rhs(12, 3, nrhs=2, seed=0)
+    return matrix, b
+
+
+def invertible_block(rng: np.random.Generator, m: int) -> np.ndarray:
+    """A random block guaranteed comfortably invertible."""
+    a = rng.standard_normal((m, m))
+    return a + m * np.eye(m)

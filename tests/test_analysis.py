@@ -1,0 +1,104 @@
+"""Tests for repro.linalg.analysis (sparse import, condition estimate)."""
+
+import numpy as np
+import pytest
+import scipy.sparse
+
+from repro.core import ARDFactorization, ThomasFactorization
+from repro.exceptions import ShapeError
+from repro.linalg.analysis import estimate_condition, from_scipy_sparse, onenorm
+from repro.workloads import (
+    helmholtz_block_system,
+    poisson_block_system,
+    random_block_dd_system,
+    random_rhs,
+)
+
+
+class TestFromScipySparse:
+    def test_roundtrip(self):
+        mat, _ = random_block_dd_system(6, 3, seed=0)
+        sparse = scipy.sparse.csr_matrix(mat.to_dense())
+        back = from_scipy_sparse(sparse, 3)
+        assert back.allclose(mat)
+
+    def test_coo_with_duplicates_summed(self):
+        rows = [0, 0, 1]
+        cols = [0, 0, 1]
+        vals = [1.0, 2.0, 5.0]
+        a = scipy.sparse.coo_matrix((vals, (rows, cols)), shape=(4, 4))
+        mat = from_scipy_sparse(a, 2)
+        assert mat.diag[0][0, 0] == 3.0
+        assert mat.diag[0][1, 1] == 5.0
+
+    def test_complex_preserved(self):
+        a = scipy.sparse.coo_matrix(([1 + 2j], ([0], [0])), shape=(2, 2))
+        mat = from_scipy_sparse(a, 1)
+        assert mat.dtype.kind == "c"
+
+    def test_off_band_rejected(self):
+        a = scipy.sparse.coo_matrix(([1.0], ([0], [5])), shape=(6, 6))
+        with pytest.raises(ShapeError, match="outside"):
+            from_scipy_sparse(a, 2)
+
+    def test_bad_order(self):
+        a = scipy.sparse.eye(5)
+        with pytest.raises(ShapeError):
+            from_scipy_sparse(a, 2)
+
+    def test_dense_input_rejected(self):
+        with pytest.raises(ShapeError, match="scipy.sparse"):
+            from_scipy_sparse(np.eye(4), 2)
+
+    def test_solve_after_import(self):
+        mat, _ = poisson_block_system(8, 3)
+        imported = from_scipy_sparse(mat.to_sparse(), 3)
+        b = random_rhs(8, 3, nrhs=2, seed=1)
+        x = ThomasFactorization(imported).solve(b)
+        assert mat.residual(x, b) < 1e-11
+
+
+class TestOneNorm:
+    def test_matches_dense(self):
+        mat, _ = random_block_dd_system(7, 3, seed=2)
+        dense = np.abs(mat.to_dense()).sum(axis=0).max()
+        assert onenorm(mat) == pytest.approx(dense)
+
+    def test_single_block(self):
+        mat, _ = random_block_dd_system(1, 4, seed=3)
+        dense = np.abs(mat.to_dense()).sum(axis=0).max()
+        assert onenorm(mat) == pytest.approx(dense)
+
+
+class TestConditionEstimate:
+    def test_within_factor_of_truth(self):
+        mat, _ = helmholtz_block_system(24, 3)
+        truth = np.linalg.cond(mat.to_dense(), 1)
+        est = estimate_condition(mat, ThomasFactorization(mat))
+        assert 0.1 * truth <= est <= 1.5 * truth
+
+    def test_lower_bound_property(self):
+        """Hager's estimate never exceeds the true condition number
+        (up to roundoff)."""
+        for seed in range(3):
+            mat, _ = random_block_dd_system(10, 2, seed=seed)
+            truth = np.linalg.cond(mat.to_dense(), 1)
+            est = estimate_condition(mat, ThomasFactorization(mat))
+            assert est <= truth * 1.01
+
+    def test_works_with_distributed_factorization(self):
+        mat, _ = helmholtz_block_system(16, 3)
+        est = estimate_condition(mat, ARDFactorization(mat, nranks=4))
+        assert est > 1.0
+
+    def test_identity_has_condition_one(self):
+        from repro.linalg.blocktridiag import BlockTridiagonalMatrix
+
+        eye = BlockTridiagonalMatrix.block_identity(5, 3)
+        est = estimate_condition(eye, ThomasFactorization(eye))
+        assert est == pytest.approx(1.0)
+
+    def test_iters_validation(self):
+        mat, _ = poisson_block_system(4, 2)
+        with pytest.raises(ShapeError):
+            estimate_condition(mat, ThomasFactorization(mat), iters=0)

@@ -1,0 +1,203 @@
+"""Tests for the block banded generalization (repro.banded)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.banded import (
+    BandedARDFactorization,
+    BandedChunk,
+    BlockBandedMatrix,
+    distribute_banded,
+)
+from repro.core import ARDFactorization
+from repro.exceptions import ShapeError
+from repro.workloads import banded_oscillatory_system, helmholtz_block_system, random_rhs
+
+
+def _dense_solve(matrix, b):
+    n, m = matrix.nblocks, matrix.block_size
+    r = b.shape[2]
+    x = np.linalg.solve(matrix.to_dense(), b.reshape(n * m, r))
+    return x.reshape(n, m, r)
+
+
+class TestBlockBandedMatrix:
+    def test_shapes_and_metadata(self):
+        mat, info = banded_oscillatory_system(12, 3, bandwidth=2, seed=0)
+        assert mat.nblocks == 12
+        assert mat.block_size == 3
+        assert mat.bandwidth == 2
+        assert mat.shape == (36, 36)
+        assert info["bandwidth"] == 2
+
+    def test_matvec_matches_dense(self):
+        mat, _ = banded_oscillatory_system(10, 2, bandwidth=2, seed=1)
+        x = random_rhs(10, 2, 3, seed=2)
+        dense = mat.to_dense() @ x.reshape(20, 3)
+        np.testing.assert_allclose(
+            mat.matvec(x).reshape(20, 3), dense, atol=1e-12
+        )
+
+    def test_from_dense_roundtrip(self):
+        mat, _ = banded_oscillatory_system(8, 2, bandwidth=2, seed=3)
+        back = BlockBandedMatrix.from_dense(mat.to_dense(), 2, 2)
+        assert back.allclose(mat)
+
+    def test_from_dense_off_band_rejected(self):
+        a = np.eye(8)
+        a[0, 7] = 1.0
+        with pytest.raises(ShapeError, match="outside"):
+            BlockBandedMatrix.from_dense(a, 2, 1)
+
+    def test_from_tridiagonal(self):
+        tri, _ = helmholtz_block_system(6, 2)
+        banded = BlockBandedMatrix.from_tridiagonal(tri)
+        np.testing.assert_allclose(banded.to_dense(), tri.to_dense())
+
+    def test_block_access(self):
+        mat, _ = banded_oscillatory_system(6, 2, bandwidth=2, seed=4)
+        np.testing.assert_array_equal(mat.block(2, 4), mat.bands[4, 2])
+        np.testing.assert_array_equal(mat.block(0, 5), np.zeros((2, 2)))
+        with pytest.raises(ShapeError):
+            mat.block(6, 0)
+
+    def test_out_of_range_nonzeros_rejected(self):
+        bands = np.ones((3, 2, 1, 1))  # offset -1 nonzero in row 0: invalid
+        with pytest.raises(ShapeError, match="out-of-range"):
+            BlockBandedMatrix(bands)
+
+    def test_residual(self):
+        mat, _ = banded_oscillatory_system(8, 2, bandwidth=2, seed=5)
+        b = random_rhs(8, 2, 1, seed=6)
+        x = _dense_solve(mat, b)
+        assert mat.residual(x, b) < 1e-11
+
+
+class TestDistribution:
+    def test_chunks_cover_rows(self):
+        mat, _ = banded_oscillatory_system(13, 2, bandwidth=2, seed=7)
+        chunks = distribute_banded(mat, 4)
+        rows = [i for c in chunks for i in range(c.lo, c.hi)]
+        assert rows == list(range(13))
+
+    def test_ntransfer(self):
+        mat, _ = banded_oscillatory_system(10, 2, bandwidth=2, seed=8)
+        chunks = distribute_banded(mat, 2)
+        # Transfers stop b=2 rows before the end.
+        assert chunks[0].ntransfer == chunks[0].nrows
+        assert chunks[1].ntransfer == chunks[1].nrows - 2
+
+    def test_chunk_validation(self):
+        with pytest.raises(ShapeError):
+            BandedChunk(nblocks=4, bandwidth=1, lo=3, hi=2,
+                        rows=np.zeros((3, 0, 2, 2)))
+
+
+@pytest.mark.parametrize("bandwidth", [1, 2, 3])
+@pytest.mark.parametrize("p", [1, 2, 3, 5])
+class TestBandedArdCorrectness:
+    def test_matches_dense(self, bandwidth, p):
+        n = max(2 * bandwidth + 1, 14)
+        mat, _ = banded_oscillatory_system(n, 3, bandwidth=bandwidth, seed=9)
+        b = random_rhs(n, 3, nrhs=3, seed=10)
+        x = BandedARDFactorization(mat, nranks=p).solve(b)
+        np.testing.assert_allclose(x, _dense_solve(mat, b), rtol=1e-7,
+                                   atol=1e-9)
+
+    def test_more_ranks_than_rows(self, bandwidth, p):
+        n = 2 * bandwidth + 2
+        mat, _ = banded_oscillatory_system(n, 2, bandwidth=bandwidth, seed=11)
+        b = random_rhs(n, 2, nrhs=1, seed=12)
+        x = BandedARDFactorization(mat, nranks=p + 4).solve(b)
+        assert mat.residual(x, b) < 1e-9
+
+
+class TestBandwidthOneEquivalence:
+    def test_matches_tridiagonal_ard(self):
+        """b=1 banded ARD must agree with the tridiagonal ARD to
+        rounding — the paper's algorithm is the special case."""
+        tri, _ = helmholtz_block_system(16, 3)
+        banded = BlockBandedMatrix.from_tridiagonal(tri)
+        b = random_rhs(16, 3, nrhs=4, seed=13)
+        x_tri = ARDFactorization(tri, nranks=4).solve(b)
+        x_band = BandedARDFactorization(banded, nranks=4).solve(b)
+        np.testing.assert_allclose(x_band, x_tri, rtol=1e-9, atol=1e-11)
+
+
+class TestFactorSolveSplit:
+    def test_factor_reuse(self):
+        mat, _ = banded_oscillatory_system(20, 2, bandwidth=2, seed=14)
+        fact = BandedARDFactorization(mat, nranks=3)
+        for seed in range(3):
+            b = random_rhs(20, 2, nrhs=2, seed=seed)
+            assert mat.residual(fact.solve(b), b) < 1e-9
+
+    def test_solve_flops_linear_in_r(self):
+        mat, _ = banded_oscillatory_system(24, 3, bandwidth=2, seed=15)
+        fact = BandedARDFactorization(mat, nranks=2)
+        flops = {}
+        for r in (1, 8):
+            fact.solve(random_rhs(24, 3, r, seed=16))
+            flops[r] = fact.last_solve_result.total_flops
+        assert flops[8] / flops[1] == pytest.approx(8.0, rel=0.05)
+
+    def test_refine_supported(self):
+        mat, _ = banded_oscillatory_system(18, 2, bandwidth=2, seed=17)
+        fact = BandedARDFactorization(mat, nranks=2)
+        b = random_rhs(18, 2, nrhs=2, seed=18)
+        assert mat.residual(fact.solve(b, refine=1), b) < 1e-12
+
+    def test_metadata(self):
+        mat, _ = banded_oscillatory_system(12, 2, bandwidth=2, seed=19)
+        fact = BandedARDFactorization(mat, nranks=2)
+        assert fact.bandwidth == 2
+        assert fact.nbytes > 0
+        assert fact.factor_virtual_time > 0
+
+
+class TestValidation:
+    def test_too_small_n_rejected(self):
+        bands = np.zeros((5, 4, 2, 2))  # b=2 but only N=4 rows
+        bands[2] = np.eye(2)
+        small = BlockBandedMatrix(bands)
+        with pytest.raises(ShapeError, match="2b"):
+            BandedARDFactorization(small, nranks=1)
+
+    def test_wrong_type_rejected(self):
+        tri, _ = helmholtz_block_system(6, 2)
+        with pytest.raises(ShapeError, match="BlockBandedMatrix"):
+            BandedARDFactorization(tri, nranks=1)
+
+    def test_generator_validation(self):
+        with pytest.raises(ShapeError):
+            banded_oscillatory_system(3, 2, bandwidth=2)
+        with pytest.raises(ShapeError):
+            banded_oscillatory_system(8, 2, bandwidth=0)
+
+    def test_unrotated_generator(self):
+        mat, info = banded_oscillatory_system(10, 2, bandwidth=2, seed=21,
+                                              rotate=False)
+        assert info["rotate"] is False
+        # Off-diagonal blocks are scalar multiples of identity.
+        off = mat.bands[4, 0]
+        assert abs(off[0, 1]) < 1e-14
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(7, 30),
+    m=st.integers(1, 4),
+    bw=st.integers(1, 3),
+    p=st.integers(1, 5),
+    seed=st.integers(0, 5000),
+)
+def test_property_banded_matches_dense(n, m, bw, p, seed):
+    if n < 2 * bw + 1:
+        n = 2 * bw + 1
+    mat, _ = banded_oscillatory_system(n, m, bandwidth=bw, seed=seed)
+    b = random_rhs(n, m, nrhs=2, seed=seed + 1)
+    x = BandedARDFactorization(mat, nranks=p).solve(b)
+    xref = _dense_solve(mat, b)
+    scale = max(1.0, float(np.max(np.abs(xref))))
+    assert float(np.max(np.abs(x - xref))) / scale < 1e-7

@@ -1,0 +1,84 @@
+"""Tests for memory-bounded batched solves and the break-even model."""
+
+import numpy as np
+import pytest
+
+from repro.core import ARDFactorization, ThomasFactorization
+from repro.exceptions import ShapeError
+from repro.perfmodel import PAPER_ERA_MODEL, ard_breakeven_r, predict_time
+from repro.workloads import helmholtz_block_system, random_rhs
+
+
+class TestMaxBatch:
+    def test_results_identical_across_batch_sizes(self):
+        mat, _ = helmholtz_block_system(16, 3)
+        fact = ARDFactorization(mat, nranks=3)
+        b = random_rhs(16, 3, nrhs=13, seed=0)
+        full = fact.solve(b)
+        for batch in (1, 4, 5, 13, 100):
+            np.testing.assert_allclose(
+                fact.solve(b, max_batch=batch), full, rtol=1e-12, atol=1e-14
+            )
+
+    def test_sequential_factorization_supports_it(self):
+        mat, _ = helmholtz_block_system(10, 2)
+        fact = ThomasFactorization(mat)
+        b = random_rhs(10, 2, nrhs=7, seed=1)
+        np.testing.assert_allclose(
+            fact.solve(b, max_batch=2), fact.solve(b), atol=1e-14
+        )
+
+    def test_combines_with_refine(self):
+        mat, _ = helmholtz_block_system(12, 3)
+        fact = ARDFactorization(mat, nranks=2)
+        b = random_rhs(12, 3, nrhs=6, seed=2)
+        x = fact.solve(b, refine=1, max_batch=2)
+        assert mat.residual(x, b) < 1e-12
+
+    def test_invalid_batch_rejected(self):
+        from repro.workloads import poisson_block_system
+
+        mat, _ = poisson_block_system(6, 2)
+        fact = ThomasFactorization(mat)
+        with pytest.raises(ShapeError):
+            fact.solve(random_rhs(6, 2, 2, seed=3), max_batch=0)
+
+
+class TestBreakeven:
+    def test_small_breakeven(self):
+        """The factor/solve split pays off within a handful of RHS."""
+        r_star = ard_breakeven_r(n=256, m=8, p=16, cost_model=PAPER_ERA_MODEL)
+        assert 1 <= r_star <= 8
+
+    def test_breakeven_is_tight(self):
+        r_star = ard_breakeven_r(n=512, m=16, p=8, cost_model=PAPER_ERA_MODEL)
+        kwargs = dict(n=512, m=16, p=8, cost_model=PAPER_ERA_MODEL)
+        assert predict_time("ard", r=r_star, **kwargs) < predict_time(
+            "rd", r=r_star, **kwargs
+        )
+        if r_star > 1:
+            assert predict_time("ard", r=r_star - 1, **kwargs) >= predict_time(
+                "rd", r=r_star - 1, **kwargs
+            )
+
+    def test_matches_simulation(self):
+        """The modelled break-even is consistent with measured virtual
+        times: at 4x the break-even R, ARD clearly wins in simulation."""
+        from repro.comm import run_spmd
+        from repro.core import distribute_matrix, distribute_rhs, rd_solve_spmd
+
+        n, m, p = 64, 4, 4
+        r_star = ard_breakeven_r(n=n, m=m, p=p, cost_model=PAPER_ERA_MODEL)
+        r = max(4 * r_star, 8)
+        mat, _ = helmholtz_block_system(n, m)
+        b = random_rhs(n, m, r, seed=4)
+        fact = ARDFactorization(mat, nranks=p, cost_model=PAPER_ERA_MODEL)
+        fact.solve(b)
+        ard_vt = fact.factor_result.virtual_time + fact.last_solve_result.virtual_time
+        chunks = distribute_matrix(mat, p)
+        d = distribute_rhs(b, p)
+        rd_vt = run_spmd(
+            rd_solve_spmd, p, cost_model=PAPER_ERA_MODEL, copy_messages=False,
+            rank_args=list(zip(chunks, d)),
+        ).virtual_time
+        assert ard_vt < rd_vt

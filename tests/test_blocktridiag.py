@@ -1,0 +1,195 @@
+"""Tests for the BlockTridiagonalMatrix type."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ShapeError
+from repro.linalg.blocktridiag import (
+    BlockTridiagonalMatrix,
+    reshape_rhs,
+    restore_rhs_shape,
+)
+
+
+def random_btm(rng, n, m):
+    lower = rng.standard_normal((n - 1, m, m)) if n > 1 else None
+    diag = rng.standard_normal((n, m, m)) + m * np.eye(m)
+    upper = rng.standard_normal((n - 1, m, m)) if n > 1 else None
+    return BlockTridiagonalMatrix(lower, diag, upper)
+
+
+class TestConstruction:
+    def test_basic(self, rng):
+        mat = random_btm(rng, 4, 3)
+        assert mat.nblocks == 4
+        assert mat.block_size == 3
+        assert mat.shape == (12, 12)
+        assert mat.dtype == np.float64
+
+    def test_single_block_without_offdiag(self, rng):
+        mat = BlockTridiagonalMatrix(None, rng.standard_normal((1, 2, 2)), None)
+        assert mat.nblocks == 1
+        assert mat.lower.shape == (0, 2, 2)
+
+    def test_single_block_partial_none_rejected(self, rng):
+        diag = rng.standard_normal((1, 2, 2))
+        with pytest.raises(ShapeError):
+            BlockTridiagonalMatrix(np.zeros((0, 2, 2)), diag, None)
+
+    def test_offdiag_none_multi_block_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            BlockTridiagonalMatrix(None, rng.standard_normal((2, 2, 2)), None)
+
+    def test_shape_mismatch_rejected(self, rng):
+        diag = rng.standard_normal((3, 2, 2))
+        bad = rng.standard_normal((1, 2, 2))
+        good = rng.standard_normal((2, 2, 2))
+        with pytest.raises(ShapeError):
+            BlockTridiagonalMatrix(bad, diag, good)
+        with pytest.raises(ShapeError):
+            BlockTridiagonalMatrix(good, diag, bad)
+
+    def test_nonsquare_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            BlockTridiagonalMatrix(None, rng.standard_normal((1, 2, 3)), None)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            BlockTridiagonalMatrix(None, np.zeros((0, 2, 2)), None)
+
+    def test_copy_semantics(self, rng):
+        diag = rng.standard_normal((1, 2, 2))
+        mat = BlockTridiagonalMatrix(None, diag, None, copy=True)
+        diag[:] = 0.0
+        assert not np.allclose(mat.diag, 0.0)
+
+    def test_integer_input_promoted_to_float(self):
+        mat = BlockTridiagonalMatrix(None, np.ones((1, 2, 2), dtype=int), None)
+        assert mat.dtype.kind == "f"
+
+    def test_block_identity(self):
+        eye = BlockTridiagonalMatrix.block_identity(3, 2)
+        np.testing.assert_array_equal(eye.to_dense(), np.eye(6))
+
+
+class TestFromDense:
+    def test_roundtrip(self, rng):
+        mat = random_btm(rng, 4, 3)
+        back = BlockTridiagonalMatrix.from_dense(mat.to_dense(), 3)
+        assert back.allclose(mat)
+
+    def test_rejects_off_band(self):
+        a = np.eye(6)
+        a[0, 5] = 1.0  # outside the block tridiagonal band
+        with pytest.raises(ShapeError, match="outside"):
+            BlockTridiagonalMatrix.from_dense(a, 2)
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ShapeError):
+            BlockTridiagonalMatrix.from_dense(np.eye(5), 2)
+
+
+class TestBlockAccess:
+    def test_band_blocks(self, rng):
+        mat = random_btm(rng, 3, 2)
+        np.testing.assert_array_equal(mat.block(1, 1), mat.diag[1])
+        np.testing.assert_array_equal(mat.block(2, 1), mat.lower[1])
+        np.testing.assert_array_equal(mat.block(0, 1), mat.upper[0])
+
+    def test_off_band_zero(self, rng):
+        mat = random_btm(rng, 4, 2)
+        np.testing.assert_array_equal(mat.block(0, 3), np.zeros((2, 2)))
+
+    def test_out_of_range(self, rng):
+        mat = random_btm(rng, 2, 2)
+        with pytest.raises(ShapeError):
+            mat.block(2, 0)
+
+    def test_block_rows(self, rng):
+        mat = random_btm(rng, 3, 2)
+        rows = list(mat.block_rows())
+        assert rows[0][0] is None and rows[-1][2] is None
+        np.testing.assert_array_equal(rows[1][0], mat.lower[0])
+        np.testing.assert_array_equal(rows[1][2], mat.upper[1])
+
+
+class TestMatvec:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 6), st.integers(1, 4), st.integers(1, 3),
+           st.integers(0, 999))
+    def test_matches_dense(self, n, m, r, seed):
+        rng = np.random.default_rng(seed)
+        mat = random_btm(rng, n, m)
+        x = rng.standard_normal((n, m, r))
+        dense = mat.to_dense() @ x.reshape(n * m, r)
+        np.testing.assert_allclose(
+            mat.matvec(x).reshape(n * m, r), dense, atol=1e-10
+        )
+
+    def test_layout_roundtrip(self, rng):
+        mat = random_btm(rng, 3, 2)
+        flat = rng.standard_normal(6)
+        assert mat.matvec(flat).shape == (6,)
+        two_d = rng.standard_normal((6, 4))
+        assert mat.matvec(two_d).shape == (6, 4)
+        blocks = rng.standard_normal((3, 2))
+        assert mat.matvec(blocks).shape == (3, 2)
+
+    def test_bad_layout(self, rng):
+        mat = random_btm(rng, 3, 2)
+        with pytest.raises(ShapeError):
+            mat.matvec(np.zeros(7))
+
+    def test_residual(self, rng):
+        mat = random_btm(rng, 3, 2)
+        b = rng.standard_normal((3, 2, 1))
+        x = np.linalg.solve(mat.to_dense(), b.reshape(6, 1)).reshape(3, 2, 1)
+        assert mat.residual(x, b) < 1e-12
+        assert mat.residual(np.zeros_like(x), b) == pytest.approx(1.0)
+
+
+class TestExports:
+    def test_banded_solve_agrees(self, rng):
+        mat = random_btm(rng, 4, 3)
+        b = rng.standard_normal(12)
+        ab, bw = mat.to_banded()
+        x = scipy.linalg.solve_banded((bw, bw), ab, b)
+        np.testing.assert_allclose(mat.to_dense() @ x, b, atol=1e-9)
+
+    def test_sparse_matches_dense(self, rng):
+        mat = random_btm(rng, 3, 2)
+        np.testing.assert_allclose(mat.to_sparse().toarray(), mat.to_dense())
+
+    def test_transpose(self, rng):
+        mat = random_btm(rng, 4, 2)
+        np.testing.assert_allclose(mat.transpose().to_dense(), mat.to_dense().T)
+
+    def test_copy_and_allclose(self, rng):
+        mat = random_btm(rng, 3, 2)
+        dup = mat.copy()
+        assert mat.allclose(dup)
+        dup.diag[0, 0, 0] += 1.0
+        assert not mat.allclose(dup)
+
+    def test_allclose_shape_mismatch(self, rng):
+        assert not random_btm(rng, 3, 2).allclose(random_btm(rng, 2, 2))
+
+    def test_nbytes(self, rng):
+        assert random_btm(rng, 3, 2).nbytes == (3 + 2 + 2) * 4 * 8
+
+
+class TestRhsReshape:
+    def test_all_layouts(self):
+        n, m = 4, 3
+        for shape in [(n, m), (n, m, 5), (n * m,), (n * m, 5)]:
+            arr = np.arange(np.prod(shape), dtype=float).reshape(shape)
+            norm, original = reshape_rhs(arr, n, m)
+            assert norm.shape[:2] == (n, m)
+            back = restore_rhs_shape(norm, original)
+            np.testing.assert_array_equal(back, arr)
+
+    def test_bad_shape(self):
+        with pytest.raises(ShapeError):
+            reshape_rhs(np.zeros((3, 5)), 4, 3)

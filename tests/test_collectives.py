@@ -1,0 +1,184 @@
+"""Tests for collective operations across rank counts (incl. non-powers
+of two) and operator classes (commutative and not)."""
+
+import numpy as np
+import pytest
+
+from repro.comm import MAX, MIN, SUM, run_spmd
+from repro.exceptions import CommError
+
+SIZES = [1, 2, 3, 4, 5, 7, 8]
+
+
+def concat(a, b):
+    """A non-commutative associative operation: string concatenation."""
+    return a + b
+
+
+@pytest.mark.parametrize("p", SIZES)
+class TestBroadcastGather:
+    def test_bcast_from_every_root(self, p):
+        def program(comm):
+            out = []
+            for root in range(comm.size):
+                value = f"msg{root}" if comm.rank == root else None
+                out.append(comm.bcast(value, root=root))
+            return out
+
+        res = run_spmd(program, p)
+        for values in res.values:
+            assert values == [f"msg{r}" for r in range(p)]
+
+    def test_gather_rank_order(self, p):
+        def program(comm):
+            return comm.gather(comm.rank * 2, root=0)
+
+        res = run_spmd(program, p)
+        assert res.values[0] == [2 * r for r in range(p)]
+        for other in res.values[1:]:
+            assert other is None
+
+    def test_gather_nonzero_root(self, p):
+        root = p - 1
+
+        def program(comm):
+            return comm.gather(chr(65 + comm.rank), root=root)
+
+        res = run_spmd(program, p)
+        assert res.values[root] == [chr(65 + r) for r in range(p)]
+
+    def test_allgather(self, p):
+        def program(comm):
+            return comm.allgather(comm.rank**2)
+
+        res = run_spmd(program, p)
+        expected = [r**2 for r in range(p)]
+        assert all(v == expected for v in res.values)
+
+    def test_scatter(self, p):
+        def program(comm):
+            items = [f"item{i}" for i in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(items, root=0)
+
+        res = run_spmd(program, p)
+        assert res.values == [f"item{r}" for r in range(p)]
+
+    def test_alltoall(self, p):
+        def program(comm):
+            return comm.alltoall([comm.rank * 100 + d for d in range(comm.size)])
+
+        res = run_spmd(program, p)
+        for r, got in enumerate(res.values):
+            assert got == [src * 100 + r for src in range(p)]
+
+
+@pytest.mark.parametrize("p", SIZES)
+class TestReductions:
+    def test_allreduce_sum(self, p):
+        res = run_spmd(lambda comm: comm.allreduce(comm.rank + 1), p)
+        expected = p * (p + 1) // 2
+        assert all(v == expected for v in res.values)
+
+    def test_allreduce_arrays(self, p):
+        def program(comm):
+            return comm.allreduce(np.full(3, float(comm.rank)), SUM)
+
+        res = run_spmd(program, p)
+        np.testing.assert_allclose(res.values[0], np.full(3, p * (p - 1) / 2))
+
+    def test_reduce_max_min(self, p):
+        def program(comm):
+            hi = comm.reduce(comm.rank, MAX, root=0)
+            lo = comm.reduce(-comm.rank, MIN, root=0)
+            return (hi, lo)
+
+        res = run_spmd(program, p)
+        assert res.values[0] == (p - 1, -(p - 1))
+
+    def test_allreduce_noncommutative_rank_order(self, p):
+        def program(comm):
+            return comm.allreduce(chr(97 + comm.rank), concat)
+
+        res = run_spmd(program, p)
+        expected = "".join(chr(97 + r) for r in range(p))
+        assert all(v == expected for v in res.values)
+
+    def test_scan_inclusive(self, p):
+        def program(comm):
+            return comm.scan(chr(97 + comm.rank), concat)
+
+        res = run_spmd(program, p)
+        for r, got in enumerate(res.values):
+            assert got == "".join(chr(97 + i) for i in range(r + 1))
+
+    def test_exscan(self, p):
+        def program(comm):
+            return comm.exscan(chr(97 + comm.rank), concat)
+
+        res = run_spmd(program, p)
+        assert res.values[0] is None
+        for r in range(1, p):
+            assert res.values[r] == "".join(chr(97 + i) for i in range(r))
+
+    def test_barrier_completes(self, p):
+        def program(comm):
+            for _ in range(3):
+                comm.barrier()
+            return True
+
+        assert all(run_spmd(program, p).values)
+
+
+class TestCollectiveErrors:
+    def test_scatter_requires_items_at_root(self):
+        def program(comm):
+            return comm.scatter(None, root=0)
+
+        with pytest.raises(CommError):
+            run_spmd(program, 2)
+
+    def test_scatter_wrong_length(self):
+        def program(comm):
+            items = [1] if comm.rank == 0 else None
+            return comm.scatter(items, root=0)
+
+        with pytest.raises(CommError):
+            run_spmd(program, 2)
+
+    def test_alltoall_wrong_length(self):
+        def program(comm):
+            return comm.alltoall([1])
+
+        with pytest.raises(CommError):
+            run_spmd(program, 3)
+
+
+class TestConsecutiveCollectives:
+    def test_no_crosstalk(self):
+        """Back-to-back collectives with eager sends must not mix."""
+
+        def program(comm):
+            a = comm.allreduce(comm.rank)
+            b = comm.allreduce(comm.rank * 10)
+            c = comm.scan(comm.rank, SUM)
+            d = comm.allgather(comm.rank)
+            return (a, b, c, d)
+
+        res = run_spmd(program, 5)
+        total = sum(range(5))
+        for r, (a, b, c, d) in enumerate(res.values):
+            assert a == total
+            assert b == total * 10
+            assert c == sum(range(r + 1))
+            assert d == list(range(5))
+
+    def test_interleaved_p2p_and_collectives(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send("direct", 1, tag=11)
+            total = comm.allreduce(1)
+            direct = comm.recv(source=0, tag=11) if comm.rank == 1 else None
+            return (total, direct)
+
+        res = run_spmd(program, 3)
+        assert res.values[1] == (3, "direct")

@@ -1,0 +1,232 @@
+"""Tests for point-to-point messaging and communicator management."""
+
+import pytest
+
+from repro.comm import ANY_SOURCE, ANY_TAG, Request, Status, run_spmd
+from repro.exceptions import RankError, TagError
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send({"v": 42}, 1, tag=7)
+                return None
+            return comm.recv(source=0, tag=7)
+
+        res = run_spmd(program, 2)
+        assert res.values[1] == {"v": 42}
+
+    def test_fifo_per_source(self):
+        def program(comm):
+            if comm.rank == 0:
+                for i in range(5):
+                    comm.send(i, 1, tag=3)
+                return None
+            return [comm.recv(source=0, tag=3) for _ in range(5)]
+
+        res = run_spmd(program, 2)
+        assert res.values[1] == [0, 1, 2, 3, 4]
+
+    def test_tag_selective_matching(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send("a", 1, tag=1)
+                comm.send("b", 1, tag=2)
+                return None
+            first = comm.recv(source=0, tag=2)
+            second = comm.recv(source=0, tag=1)
+            return (first, second)
+
+        res = run_spmd(program, 2)
+        assert res.values[1] == ("b", "a")
+
+    def test_any_source(self):
+        def program(comm):
+            if comm.rank == 2:
+                got = {comm.recv(source=ANY_SOURCE, tag=4) for _ in range(2)}
+                return got
+            comm.send(comm.rank, 2, tag=4)
+            return None
+
+        res = run_spmd(program, 3)
+        assert res.values[2] == {0, 1}
+
+    def test_any_tag(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send("x", 1, tag=9)
+                return None
+            return comm.recv(source=0, tag=ANY_TAG)
+
+        assert run_spmd(program, 2).values[1] == "x"
+
+    def test_status_filled(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(b"abcd", 1, tag=6)
+                return None
+            status = Status()
+            comm.recv(source=ANY_SOURCE, tag=ANY_TAG, status=status)
+            return (status.source, status.tag, status.nbytes)
+
+        assert run_spmd(program, 2).values[1] == (0, 6, 4)
+
+    def test_self_send(self):
+        def program(comm):
+            comm.send("self", comm.rank, tag=1)
+            return comm.recv(source=comm.rank, tag=1)
+
+        assert run_spmd(program, 1).values[0] == "self"
+
+    def test_sendrecv(self):
+        def program(comm):
+            partner = 1 - comm.rank
+            return comm.sendrecv(comm.rank, partner, 5, source=partner, recvtag=5)
+
+        res = run_spmd(program, 2)
+        assert res.values == [1, 0]
+
+
+class TestNonblocking:
+    def test_isend_completes_immediately(self):
+        def program(comm):
+            if comm.rank == 0:
+                req = comm.isend("x", 1)
+                done, _ = req.test()
+                assert done
+                req.wait()
+                return None
+            return comm.recv(source=0)
+
+        assert run_spmd(program, 2).values[1] == "x"
+
+    def test_irecv_wait(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send("payload", 1)
+                return None
+            req = comm.irecv(source=0)
+            done, _ = req.test()
+            assert not done
+            return req.wait()
+
+        assert run_spmd(program, 2).values[1] == "payload"
+
+    def test_waitall(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(1, 1, tag=1)
+                comm.send(2, 1, tag=2)
+                return None
+            reqs = [comm.irecv(source=0, tag=1), comm.irecv(source=0, tag=2)]
+            return Request.waitall(reqs)
+
+        assert run_spmd(program, 2).values[1] == [1, 2]
+
+    def test_wait_idempotent(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send("v", 1)
+                return None
+            req = comm.irecv(source=0)
+            return (req.wait(), req.wait())
+
+        assert run_spmd(program, 2).values[1] == ("v", "v")
+
+
+class TestValidation:
+    def test_bad_dest(self):
+        def program(comm):
+            comm.send("x", 5)
+
+        with pytest.raises(RankError):
+            run_spmd(program, 2)
+
+    def test_bad_source(self):
+        def program(comm):
+            comm.recv(source=-3)
+
+        with pytest.raises(RankError):
+            run_spmd(program, 2)
+
+    def test_bad_tag(self):
+        def program(comm):
+            comm.send("x", 0, tag=-1)
+
+        with pytest.raises(TagError):
+            run_spmd(program, 1)
+
+    def test_huge_tag_rejected(self):
+        def program(comm):
+            comm.send("x", 0, tag=1 << 30)
+
+        with pytest.raises(TagError):
+            run_spmd(program, 1)
+
+
+class TestCommManagement:
+    def test_split_groups(self):
+        def program(comm):
+            sub = comm.split(color=comm.rank % 2)
+            return (sub.size, sub.rank, sub.allreduce(comm.rank))
+
+        res = run_spmd(program, 6)
+        # Even ranks {0,2,4}: sum 6; odd ranks {1,3,5}: sum 9.
+        assert res.values[0] == (3, 0, 6)
+        assert res.values[1] == (3, 0, 9)
+        assert res.values[4] == (3, 2, 6)
+
+    def test_split_none_color(self):
+        def program(comm):
+            sub = comm.split(color=None if comm.rank == 0 else 1)
+            if sub is None:
+                return "excluded"
+            return sub.size
+
+        res = run_spmd(program, 3)
+        assert res.values == ["excluded", 2, 2]
+
+    def test_split_key_ordering(self):
+        def program(comm):
+            # Reverse ordering via descending keys.
+            sub = comm.split(color=0, key=-comm.rank)
+            return sub.rank
+
+        res = run_spmd(program, 3)
+        assert res.values == [2, 1, 0]
+
+    def test_split_isolated_matching(self):
+        def program(comm):
+            sub = comm.split(color=comm.rank % 2)
+            # Messages in sub must not leak into the parent communicator.
+            if sub.rank == 0 and sub.size > 1:
+                sub.send("subworld", 1, tag=3)
+            elif sub.rank == 1:
+                return sub.recv(source=0, tag=3)
+            return None
+
+        res = run_spmd(program, 4)
+        assert res.values[2] == "subworld"
+        assert res.values[3] == "subworld"
+
+    def test_dup_isolated(self):
+        def program(comm):
+            dup = comm.dup()
+            if comm.rank == 0:
+                dup.send("via-dup", 1, tag=2)
+                comm.send("via-world", 1, tag=2)
+                return None
+            world_msg = comm.recv(source=0, tag=2)
+            dup_msg = dup.recv(source=0, tag=2)
+            return (world_msg, dup_msg)
+
+        res = run_spmd(program, 2)
+        assert res.values[1] == ("via-world", "via-dup")
+
+    def test_properties(self):
+        def program(comm):
+            return (comm.rank, comm.size)
+
+        res = run_spmd(program, 3)
+        assert res.values == [(0, 3), (1, 3), (2, 3)]

@@ -1,0 +1,110 @@
+"""Tests for repro.comm.costmodel and repro.comm.clock."""
+
+import numpy as np
+import pytest
+
+from repro.comm.clock import VirtualClock
+from repro.comm.costmodel import CostModel, DEFAULT_COST_MODEL, payload_nbytes
+from repro.exceptions import ConfigError
+from repro.prefix import AffinePair
+from repro.util.flops import FlopCounter
+
+
+class TestCostModel:
+    def test_message_time(self):
+        cm = CostModel(latency=1e-6, inv_bandwidth=1e-9, overhead=0.0)
+        assert cm.message_time(1000) == pytest.approx(1e-6 + 1e-6)
+
+    def test_compute_time(self):
+        cm = CostModel(flop_rate=1e9)
+        assert cm.compute_time(2e9) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CostModel(latency=-1.0)
+        with pytest.raises(ConfigError):
+            CostModel(flop_rate=0.0)
+
+    def test_scaled(self):
+        cm = DEFAULT_COST_MODEL.scaled(flop_rate=1.0)
+        assert cm.flop_rate == 1.0
+        assert cm.latency == DEFAULT_COST_MODEL.latency
+
+
+class TestPayloadNbytes:
+    def test_ndarray(self):
+        assert payload_nbytes(np.zeros(10)) == 80
+
+    def test_bytes(self):
+        assert payload_nbytes(b"abc") == 3
+
+    def test_scalar(self):
+        assert payload_nbytes(3) == 8
+        assert payload_nbytes(3.5) == 8
+        assert payload_nbytes(True) == 8
+
+    def test_none(self):
+        assert payload_nbytes(None) == 1
+
+    def test_str(self):
+        assert payload_nbytes("hello") == 5
+
+    def test_tuple_sums(self):
+        t = (np.zeros(4), np.zeros(2))
+        assert payload_nbytes(t) == 8 + 32 + 16
+
+    def test_dict(self):
+        assert payload_nbytes({"k": np.zeros(1)}) == 8 + 1 + 8
+
+    def test_object_with_nbytes(self):
+        pair = AffinePair(np.eye(3), np.zeros((3, 2)))
+        assert payload_nbytes(pair) == pair.nbytes
+
+    def test_fallback_pickles(self):
+        class Thing:
+            pass
+
+        assert payload_nbytes(Thing()) > 0
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        clock = VirtualClock(DEFAULT_COST_MODEL)
+        assert clock.now == 0.0
+
+    def test_advance(self):
+        clock = VirtualClock(DEFAULT_COST_MODEL)
+        clock.advance(1.5)
+        assert clock.now == 1.5
+
+    def test_advance_negative_rejected(self):
+        clock = VirtualClock(DEFAULT_COST_MODEL)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_advance_to_only_forward(self):
+        clock = VirtualClock(DEFAULT_COST_MODEL)
+        clock.advance_to(2.0)
+        clock.advance_to(1.0)
+        assert clock.now == 2.0
+
+    def test_sync_compute(self):
+        fc = FlopCounter()
+        cm = CostModel(flop_rate=1e6)
+        clock = VirtualClock(cm, fc)
+        fc.add("gemm", 1_000_000)
+        assert clock.sync_compute() == pytest.approx(1.0)
+        # Re-sync without new flops is a no-op.
+        assert clock.sync_compute() == pytest.approx(1.0)
+        fc.add("gemm", 500_000)
+        assert clock.sync_compute() == pytest.approx(1.5)
+
+    def test_sync_without_counter(self):
+        clock = VirtualClock(DEFAULT_COST_MODEL, None)
+        assert clock.sync_compute() == 0.0
+
+    def test_charge_overhead(self):
+        cm = CostModel(overhead=2e-6)
+        clock = VirtualClock(cm)
+        clock.charge_overhead()
+        assert clock.now == pytest.approx(2e-6)

@@ -1,0 +1,105 @@
+"""Tests for stability/feasibility diagnostics."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.diagnostics import (
+    SystemDiagnostics,
+    block_diagonal_dominance,
+    diagnose,
+    superdiagonal_rconds,
+    transfer_growth_factor,
+)
+from repro.exceptions import ShapeError, StabilityWarning
+from repro.linalg.blocktridiag import BlockTridiagonalMatrix
+from repro.workloads import (
+    helmholtz_block_system,
+    poisson_block_system,
+    random_block_dd_system,
+)
+
+
+class TestSuperdiagonalRconds:
+    def test_identity_blocks(self):
+        mat, _ = poisson_block_system(4, 3)  # U = -I: perfectly conditioned
+        np.testing.assert_allclose(superdiagonal_rconds(mat), 1.0)
+
+    def test_single_block(self):
+        mat, _ = poisson_block_system(1, 3)
+        assert superdiagonal_rconds(mat).size == 0
+
+    def test_singular_detected(self):
+        diag = np.stack([np.eye(2)] * 2)
+        off = np.zeros((1, 2, 2))
+        mat = BlockTridiagonalMatrix(off.copy(), diag, off.copy())
+        assert superdiagonal_rconds(mat)[0] == 0.0
+
+
+class TestDominance:
+    def test_strongly_dominant(self):
+        mat, _ = random_block_dd_system(6, 3, dominance=4.0, seed=0)
+        assert block_diagonal_dominance(mat) > 1.0
+
+    def test_helmholtz_not_dominant(self):
+        mat, _ = helmholtz_block_system(8, 3)
+        assert block_diagonal_dominance(mat) < 1.0
+
+    def test_single_block_no_neighbours(self):
+        mat, _ = poisson_block_system(1, 2)
+        assert block_diagonal_dominance(mat) == np.inf
+
+
+class TestGrowthFactor:
+    def test_bounded_for_helmholtz(self):
+        mat, _ = helmholtz_block_system(128, 4)
+        assert transfer_growth_factor(mat) < 100.0
+
+    def test_explodes_for_poisson(self):
+        mat, _ = poisson_block_system(24, 4)
+        assert transfer_growth_factor(mat) > 1e6
+
+    def test_growth_monotone_in_length(self):
+        short, _ = poisson_block_system(8, 3)
+        long, _ = poisson_block_system(16, 3)
+        assert transfer_growth_factor(long) > transfer_growth_factor(short)
+
+    def test_single_block(self):
+        mat, _ = poisson_block_system(1, 3)
+        assert transfer_growth_factor(mat) == 1.0
+
+    def test_probe_validation(self):
+        mat, _ = poisson_block_system(4, 2)
+        with pytest.raises(ShapeError):
+            transfer_growth_factor(mat, nprobe=0)
+
+
+class TestDiagnose:
+    def test_feasible_and_stable(self):
+        mat, _ = helmholtz_block_system(32, 3)
+        diag = diagnose(mat, warn=False)
+        assert isinstance(diag, SystemDiagnostics)
+        assert diag.rd_feasible
+        assert diag.rd_stable
+
+    def test_feasible_but_unstable_warns(self):
+        mat, _ = poisson_block_system(32, 4)
+        with pytest.warns(StabilityWarning):
+            diag = diagnose(mat)
+        assert diag.rd_feasible
+        assert not diag.rd_stable
+
+    def test_warn_suppressed(self):
+        mat, _ = poisson_block_system(32, 4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", StabilityWarning)
+            diagnose(mat, warn=False)
+
+    def test_infeasible_reports_inf_growth(self):
+        diag_blocks = np.stack([np.eye(2)] * 2)
+        off = np.zeros((1, 2, 2))
+        mat = BlockTridiagonalMatrix(off.copy(), diag_blocks, off.copy())
+        diag = diagnose(mat, warn=False)
+        assert not diag.rd_feasible
+        assert diag.growth == np.inf

@@ -1,0 +1,106 @@
+"""Tests for matrix/RHS distribution across ranks."""
+
+import numpy as np
+import pytest
+
+from repro.core.distribute import (
+    LocalChunk,
+    distribute_matrix,
+    distribute_rhs,
+    gather_solution,
+)
+from repro.exceptions import ShapeError
+from repro.workloads import helmholtz_block_system, random_rhs
+
+
+class TestLocalChunk:
+    def test_properties(self):
+        mat, _ = helmholtz_block_system(10, 3)
+        chunks = distribute_matrix(mat, 3)
+        c = chunks[1]
+        assert c.nrows == c.hi - c.lo
+        assert c.block_size == 3
+        assert c.nblocks == 10
+        assert not c.owns_closing_row
+        assert chunks[2].owns_closing_row
+
+    def test_ntransfer_interior_vs_closing(self):
+        mat, _ = helmholtz_block_system(10, 3)
+        chunks = distribute_matrix(mat, 3)
+        assert chunks[0].ntransfer == chunks[0].nrows
+        assert chunks[2].ntransfer == chunks[2].nrows - 1
+
+    def test_validation_range(self):
+        with pytest.raises(ShapeError):
+            LocalChunk(
+                nblocks=4, lo=3, hi=2,
+                diag=np.zeros((0, 2, 2)), sub=np.zeros((0, 2, 2)),
+                sup=np.zeros((0, 2, 2)),
+            )
+
+    def test_validation_shapes(self):
+        with pytest.raises(ShapeError):
+            LocalChunk(
+                nblocks=4, lo=0, hi=2,
+                diag=np.zeros((2, 2, 2)), sub=np.zeros((1, 2, 2)),
+                sup=np.zeros((2, 2, 2)),
+            )
+
+
+class TestDistributeMatrix:
+    def test_blocks_match_source(self):
+        mat, _ = helmholtz_block_system(10, 3)
+        chunks = distribute_matrix(mat, 3)
+        for chunk in chunks:
+            for j in range(chunk.nrows):
+                i = chunk.lo + j
+                np.testing.assert_array_equal(chunk.diag[j], mat.diag[i])
+                if i > 0:
+                    np.testing.assert_array_equal(chunk.sub[j], mat.lower[i - 1])
+                else:
+                    np.testing.assert_array_equal(chunk.sub[j], 0.0)
+                if i < 9:
+                    np.testing.assert_array_equal(chunk.sup[j], mat.upper[i])
+                else:
+                    np.testing.assert_array_equal(chunk.sup[j], 0.0)
+
+    def test_chunks_cover_rows(self):
+        mat, _ = helmholtz_block_system(11, 2)
+        for p in (1, 2, 3, 5, 11, 16):
+            chunks = distribute_matrix(mat, p)
+            rows = [i for c in chunks for i in range(c.lo, c.hi)]
+            assert rows == list(range(11))
+
+    def test_empty_ranks_when_p_exceeds_n(self):
+        mat, _ = helmholtz_block_system(3, 2)
+        chunks = distribute_matrix(mat, 5)
+        assert [c.nrows for c in chunks] == [1, 1, 1, 0, 0]
+        assert chunks[2].owns_closing_row
+        assert not chunks[4].owns_closing_row
+
+    def test_chunks_are_copies(self):
+        mat, _ = helmholtz_block_system(4, 2)
+        chunks = distribute_matrix(mat, 2)
+        chunks[0].diag[0, 0, 0] = 99.0
+        assert mat.diag[0, 0, 0] != 99.0
+
+
+class TestDistributeRhs:
+    def test_round_trip(self):
+        b = random_rhs(10, 3, nrhs=2, seed=0)
+        parts = distribute_rhs(b, 3)
+        np.testing.assert_array_equal(gather_solution(parts), b)
+
+    def test_rejects_non_3d(self):
+        with pytest.raises(ShapeError):
+            distribute_rhs(np.zeros((4, 3)), 2)
+
+    def test_empty_chunks_allowed_in_gather(self):
+        b = random_rhs(2, 3, nrhs=1, seed=0)
+        parts = distribute_rhs(b, 4)
+        assert parts[3].shape == (0, 3, 1)
+        np.testing.assert_array_equal(gather_solution(parts), b)
+
+    def test_gather_nothing_rejected(self):
+        with pytest.raises(ShapeError):
+            gather_solution([np.zeros((0, 2, 1))])

@@ -1,0 +1,92 @@
+"""Tests for repro.util.flops."""
+
+import threading
+
+from repro.util.flops import (
+    FlopCounter,
+    counting_flops,
+    current_counter,
+    gemm_flops,
+    lu_flops,
+    lu_solve_flops,
+    record_flops,
+)
+
+
+class TestFlopCounter:
+    def test_empty(self):
+        fc = FlopCounter()
+        assert fc.total == 0
+        assert fc.snapshot() == {}
+
+    def test_add(self):
+        fc = FlopCounter()
+        fc.add("gemm", 100)
+        fc.add("gemm", 50)
+        fc.add("lu", 7)
+        assert fc.total == 157
+        assert fc.by_kernel["gemm"] == 150
+
+    def test_merge(self):
+        a, b = FlopCounter(), FlopCounter()
+        a.add("gemm", 1)
+        b.add("gemm", 2)
+        b.add("trsm", 3)
+        a.merge(b)
+        assert a.snapshot() == {"gemm": 3, "trsm": 3}
+
+    def test_reset(self):
+        fc = FlopCounter()
+        fc.add("x", 5)
+        fc.reset()
+        assert fc.total == 0
+
+
+class TestCountingContext:
+    def test_records_inside_context(self):
+        with counting_flops() as fc:
+            record_flops("gemm", 10)
+        assert fc.total == 10
+
+    def test_noop_outside_context(self):
+        record_flops("gemm", 10)  # must not raise
+        assert current_counter() is None
+
+    def test_nesting_restores(self):
+        with counting_flops() as outer:
+            record_flops("a", 1)
+            with counting_flops() as inner:
+                record_flops("b", 2)
+            record_flops("c", 4)
+        assert outer.snapshot() == {"a": 1, "c": 4}
+        assert inner.snapshot() == {"b": 2}
+
+    def test_explicit_counter(self):
+        fc = FlopCounter()
+        with counting_flops(fc) as got:
+            assert got is fc
+            record_flops("k", 3)
+        assert fc.total == 3
+
+    def test_thread_isolation(self):
+        results = {}
+
+        def other():
+            results["counter"] = current_counter()
+
+        with counting_flops():
+            t = threading.Thread(target=other)
+            t.start()
+            t.join()
+        assert results["counter"] is None
+
+
+class TestKernelFormulas:
+    def test_gemm(self):
+        assert gemm_flops(2, 3, 4) == 48
+
+    def test_lu(self):
+        assert lu_flops(3) == 18
+
+    def test_lu_solve(self):
+        assert lu_solve_flops(3, 2) == 36

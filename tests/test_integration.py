@@ -1,0 +1,143 @@
+"""End-to-end integration tests across modules.
+
+These exercise whole user workflows: time stepping with factor reuse,
+multi-shot solves, cross-solver consistency on shared problems, and the
+harness + perfmodel working together.
+"""
+
+import numpy as np
+import pytest
+
+from repro import factor, solve
+from repro.core import ARDFactorization, ThomasFactorization
+from repro.core.diagnostics import diagnose
+from repro.core.spike import SpikeFactorization
+from repro.perfmodel import PAPER_ERA_MODEL
+from repro.workloads import (
+    absorbing_helmholtz_system,
+    heat_implicit_system,
+    helmholtz_block_system,
+    multigroup_diffusion_system,
+    point_source_rhs,
+    random_rhs,
+    smooth_rhs,
+)
+
+
+class TestTimeSteppingWorkflow:
+    def test_ard_trajectory_matches_thomas(self):
+        """Sequential time stepping: ARD (distributed) and Thomas
+        (sequential) must produce the same trajectory on a
+        bounded-growth operator."""
+        n, m, steps = 24, 4, 10
+        mat, _ = helmholtz_block_system(n, m)
+        ard = ARDFactorization(mat, nranks=4)
+        thomas = ThomasFactorization(mat)
+        u_ard = smooth_rhs(n, m, 1)
+        u_thomas = u_ard.copy()
+        for _ in range(steps):
+            u_ard = ard.solve(u_ard)
+            u_thomas = thomas.solve(u_thomas)
+        np.testing.assert_allclose(u_ard, u_thomas, rtol=1e-8, atol=1e-10)
+
+    def test_spike_trajectory_on_dominant_operator(self):
+        n, m, steps = 32, 6, 8
+        mat, _ = heat_implicit_system(n, m, dt=0.05)
+        spike = SpikeFactorization(mat, nranks=4)
+        thomas = ThomasFactorization(mat)
+        u_s = smooth_rhs(n, m, 1)
+        u_t = u_s.copy()
+        for _ in range(steps):
+            u_s = spike.solve(u_s)
+            u_t = thomas.solve(u_t)
+        np.testing.assert_allclose(u_s, u_t, rtol=1e-9, atol=1e-12)
+
+
+class TestMultiShotWorkflow:
+    def test_point_sources_superpose(self):
+        """Linearity check across the whole pipeline: solving two unit
+        sources separately must equal solving their sum."""
+        n, m = 20, 3
+        mat, _ = helmholtz_block_system(n, m)
+        fact = ARDFactorization(mat, nranks=4)
+        b = point_source_rhs(n, m, [(3, 1, 1.0), (15, 2, 1.0)])
+        x = fact.solve(b)
+        combined = fact.solve(b[:, :, :1] + b[:, :, 1:])
+        np.testing.assert_allclose(
+            x[:, :, :1] + x[:, :, 1:], combined, rtol=1e-9, atol=1e-12
+        )
+
+    def test_batched_equals_columnwise(self):
+        n, m, r = 16, 4, 6
+        mat, _ = helmholtz_block_system(n, m)
+        fact = ARDFactorization(mat, nranks=3)
+        b = random_rhs(n, m, r, seed=0)
+        batched = fact.solve(b)
+        for col in range(r):
+            single = fact.solve(b[:, :, col:col + 1])
+            np.testing.assert_allclose(
+                batched[:, :, col:col + 1], single, rtol=1e-10, atol=1e-13
+            )
+
+
+class TestMethodSelectionWorkflow:
+    @pytest.mark.parametrize("gen,expect_rd_ok", [
+        (helmholtz_block_system, True),
+        (heat_implicit_system, False),
+    ])
+    def test_diagnose_steers_method_choice(self, gen, expect_rd_ok):
+        mat, _ = gen(48, 4)
+        checks = diagnose(mat, warn=False)
+        assert (checks.rd_feasible and checks.rd_stable) == expect_rd_ok
+        method = "ard" if (checks.rd_feasible and checks.rd_stable) else "spike"
+        b = random_rhs(48, 4, nrhs=2, seed=1)
+        x = solve(mat, b, method=method, nranks=4)
+        assert mat.residual(x, b) < 1e-9
+
+
+class TestCrossSolverConsistency:
+    def test_all_factorizations_agree_complex(self):
+        mat, _ = absorbing_helmholtz_system(16, 3)
+        b = random_rhs(16, 3, nrhs=2, seed=2).astype(np.complex128)
+        solutions = {}
+        for method in ("ard", "spike", "thomas", "cyclic"):
+            fact = factor(mat, method=method, nranks=4)
+            solutions[method] = fact.solve(b)
+        ref = solutions["thomas"]
+        for method, x in solutions.items():
+            np.testing.assert_allclose(x, ref, rtol=1e-8, atol=1e-10,
+                                       err_msg=method)
+
+    def test_multigroup_all_methods(self):
+        mat, _ = multigroup_diffusion_system(10, 4, seed=3, coupling=2.0,
+                                             absorption=0.1)
+        b = random_rhs(10, 4, nrhs=3, seed=4)
+        xs = [solve(mat, b, method=mth, nranks=2)
+              for mth in ("ard", "rd", "spike", "thomas", "cyclic", "dense")]
+        for x in xs[1:]:
+            np.testing.assert_allclose(x, xs[0], rtol=1e-7, atol=1e-9)
+
+
+class TestTimingConsistency:
+    def test_virtual_times_reproducible(self):
+        """The whole stack (solvers + comm + cost model) must yield
+        bit-identical virtual times across repeated runs."""
+        mat, _ = helmholtz_block_system(32, 4)
+        b = random_rhs(32, 4, nrhs=4, seed=5)
+        times = set()
+        for _ in range(3):
+            fact = ARDFactorization(mat, nranks=4, cost_model=PAPER_ERA_MODEL)
+            fact.solve(b)
+            times.add((fact.factor_result.virtual_time,
+                       fact.last_solve_result.virtual_time))
+        assert len(times) == 1
+
+    def test_factor_time_independent_of_rhs_count(self):
+        mat, _ = helmholtz_block_system(32, 4)
+        f1 = ARDFactorization(mat, nranks=4, cost_model=PAPER_ERA_MODEL)
+        f2 = ARDFactorization(mat, nranks=4, cost_model=PAPER_ERA_MODEL)
+        f1.solve(random_rhs(32, 4, 1, seed=6))
+        f2.solve(random_rhs(32, 4, 64, seed=7))
+        assert f1.factor_result.virtual_time == f2.factor_result.virtual_time
+        assert (f2.last_solve_result.virtual_time
+                > f1.last_solve_result.virtual_time)

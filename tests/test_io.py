@@ -1,0 +1,112 @@
+"""Tests for factorization persistence (repro.io)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import io
+from repro.core import (
+    ARDFactorization,
+    CyclicReductionFactorization,
+    SpikeFactorization,
+    ThomasFactorization,
+)
+from repro.exceptions import ReproError
+from repro.workloads import (
+    helmholtz_block_system,
+    poisson_block_system,
+    random_rhs,
+)
+
+
+@pytest.fixture
+def systems():
+    oscillatory, _ = helmholtz_block_system(12, 3)
+    dominant, _ = poisson_block_system(12, 3)
+    b = random_rhs(12, 3, nrhs=2, seed=0)
+    return oscillatory, dominant, b
+
+
+class TestRoundTrip:
+    def test_ard(self, systems, tmp_path):
+        mat, _, b = systems
+        fact = ARDFactorization(mat, nranks=3)
+        path = io.save(tmp_path / "f.repro", fact)
+        loaded = io.load(path)
+        np.testing.assert_allclose(loaded.solve(b), fact.solve(b), atol=1e-14)
+
+    def test_spike(self, systems, tmp_path):
+        _, mat, b = systems
+        fact = SpikeFactorization(mat, nranks=3)
+        loaded = io.load(io.save(tmp_path / "f.repro", fact))
+        np.testing.assert_allclose(loaded.solve(b), fact.solve(b), atol=1e-14)
+
+    def test_thomas_and_cyclic(self, systems, tmp_path):
+        _, mat, b = systems
+        for cls in (ThomasFactorization, CyclicReductionFactorization):
+            fact = cls(mat)
+            loaded = io.load(io.save(tmp_path / "f.repro", fact))
+            np.testing.assert_allclose(loaded.solve(b), fact.solve(b),
+                                       atol=1e-14)
+
+    def test_matrix(self, systems, tmp_path):
+        mat, _, _ = systems
+        loaded = io.load(io.save(tmp_path / "m.repro", mat))
+        assert loaded.allclose(mat)
+
+    def test_banded(self, tmp_path):
+        from repro.banded import BandedARDFactorization
+        from repro.workloads import banded_oscillatory_system
+
+        mat, _ = banded_oscillatory_system(12, 2, bandwidth=2, seed=0)
+        b = random_rhs(12, 2, nrhs=2, seed=1)
+        fact = BandedARDFactorization(mat, nranks=3)
+        loaded = io.load(io.save(tmp_path / "f.repro", fact))
+        np.testing.assert_allclose(loaded.solve(b), fact.solve(b), atol=1e-14)
+        loaded_mat = io.load(io.save(tmp_path / "m.repro", mat),
+                             expect="BlockBandedMatrix")
+        assert loaded_mat.allclose(mat)
+
+    def test_loaded_supports_refine(self, systems, tmp_path):
+        _, mat, b = systems
+        fact = io.load(io.save(tmp_path / "f.repro",
+                               ThomasFactorization(mat)))
+        assert mat.residual(fact.solve(b, refine=1), b) < 1e-13
+
+
+class TestValidation:
+    def test_unsupported_object(self, tmp_path):
+        with pytest.raises(ReproError, match="cannot save"):
+            io.save(tmp_path / "x.repro", {"not": "savable"})
+
+    def test_not_a_save_file(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"garbage that is not a pickle")
+        with pytest.raises(io.FormatError):
+            io.load(path)
+
+    def test_wrong_header_magic(self, tmp_path):
+        path = tmp_path / "bad.repro"
+        with open(path, "wb") as fh:
+            pickle.dump({"magic": "something-else"}, fh)
+            pickle.dump(123, fh)
+        with pytest.raises(io.FormatError, match="bad header"):
+            io.load(path)
+
+    def test_expect_mismatch(self, systems, tmp_path):
+        mat, _, _ = systems
+        path = io.save(tmp_path / "m.repro", mat)
+        with pytest.raises(io.FormatError, match="expected"):
+            io.load(path, expect="ARDFactorization")
+        loaded = io.load(path, expect="BlockTridiagonalMatrix")
+        assert loaded.nblocks == 12
+
+    def test_header_payload_mismatch(self, tmp_path):
+        path = tmp_path / "forged.repro"
+        with open(path, "wb") as fh:
+            pickle.dump({"magic": "repro-factorization-v1",
+                         "class": "ARDFactorization"}, fh)
+            pickle.dump([1, 2, 3], fh)
+        with pytest.raises(io.FormatError, match="payload"):
+            io.load(path)

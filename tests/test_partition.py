@@ -1,0 +1,135 @@
+"""Tests for repro.util.partition (unit + property-based)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ShapeError
+from repro.util.partition import BlockPartition, chunk_bounds, chunk_sizes, owner_of
+
+
+class TestChunkSizes:
+    def test_even_split(self):
+        assert chunk_sizes(12, 4) == [3, 3, 3, 3]
+
+    def test_uneven_split(self):
+        assert chunk_sizes(10, 3) == [4, 3, 3]
+
+    def test_more_ranks_than_items(self):
+        assert chunk_sizes(2, 5) == [1, 1, 0, 0, 0]
+
+    def test_zero_items(self):
+        assert chunk_sizes(0, 3) == [0, 0, 0]
+
+    def test_negative_n(self):
+        with pytest.raises(ShapeError):
+            chunk_sizes(-1, 3)
+
+    def test_nonpositive_p(self):
+        with pytest.raises(ShapeError):
+            chunk_sizes(3, 0)
+
+    @given(st.integers(0, 500), st.integers(1, 64))
+    def test_sizes_sum_to_n(self, n, p):
+        assert sum(chunk_sizes(n, p)) == n
+
+    @given(st.integers(0, 500), st.integers(1, 64))
+    def test_sizes_balanced(self, n, p):
+        sizes = chunk_sizes(n, p)
+        assert max(sizes) - min(sizes) <= 1
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestChunkBounds:
+    def test_bounds_example(self):
+        assert chunk_bounds(10, 3, 0) == (0, 4)
+        assert chunk_bounds(10, 3, 1) == (4, 7)
+        assert chunk_bounds(10, 3, 2) == (7, 10)
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(ShapeError):
+            chunk_bounds(10, 3, 3)
+        with pytest.raises(ShapeError):
+            chunk_bounds(10, 3, -1)
+
+    @given(st.integers(0, 300), st.integers(1, 32))
+    def test_bounds_tile_range(self, n, p):
+        covered = []
+        for r in range(p):
+            lo, hi = chunk_bounds(n, p, r)
+            assert 0 <= lo <= hi <= n
+            covered.extend(range(lo, hi))
+        assert covered == list(range(n))
+
+    @given(st.integers(0, 300), st.integers(1, 32))
+    def test_bounds_match_sizes(self, n, p):
+        sizes = chunk_sizes(n, p)
+        for r in range(p):
+            lo, hi = chunk_bounds(n, p, r)
+            assert hi - lo == sizes[r]
+
+
+class TestOwnerOf:
+    def test_example(self):
+        assert owner_of(10, 3, 0) == 0
+        assert owner_of(10, 3, 3) == 0
+        assert owner_of(10, 3, 4) == 1
+        assert owner_of(10, 3, 9) == 2
+
+    def test_out_of_range(self):
+        with pytest.raises(ShapeError):
+            owner_of(10, 3, 10)
+        with pytest.raises(ShapeError):
+            owner_of(10, 3, -1)
+
+    @given(st.integers(1, 300), st.integers(1, 32), st.data())
+    def test_owner_consistent_with_bounds(self, n, p, data):
+        idx = data.draw(st.integers(0, n - 1))
+        r = owner_of(n, p, idx)
+        lo, hi = chunk_bounds(n, p, r)
+        assert lo <= idx < hi
+
+
+class TestBlockPartition:
+    def test_basic(self):
+        part = BlockPartition(nblocks=10, nranks=3)
+        assert part.sizes() == [4, 3, 3]
+        assert part.bounds(1) == (4, 7)
+        assert part.size(2) == 3
+        assert part.owner(6) == 1
+        assert part.local_index(6) == (1, 2)
+
+    def test_iter(self):
+        part = BlockPartition(nblocks=5, nranks=2)
+        assert list(part) == [(0, 3), (3, 5)]
+
+    def test_nonempty_ranks(self):
+        part = BlockPartition(nblocks=2, nranks=5)
+        assert part.nonempty_ranks() == [0, 1]
+        assert part.last_nonempty_rank() == 1
+
+    def test_last_nonempty_empty_partition(self):
+        part = BlockPartition(nblocks=0, nranks=3)
+        with pytest.raises(ShapeError):
+            part.last_nonempty_rank()
+
+    def test_scatter(self):
+        part = BlockPartition(nblocks=5, nranks=2)
+        assert part.scatter("abcde") == [["a", "b", "c"], ["d", "e"]]
+
+    def test_scatter_wrong_length(self):
+        part = BlockPartition(nblocks=5, nranks=2)
+        with pytest.raises(ShapeError):
+            part.scatter("abc")
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            BlockPartition(nblocks=-1, nranks=2)
+        with pytest.raises(ShapeError):
+            BlockPartition(nblocks=3, nranks=0)
+
+    @given(st.integers(1, 200), st.integers(1, 16))
+    def test_last_nonempty_owns_last_row(self, n, p):
+        part = BlockPartition(nblocks=n, nranks=p)
+        last = part.last_nonempty_rank()
+        lo, hi = part.bounds(last)
+        assert hi == n and lo < n

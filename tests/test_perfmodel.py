@@ -1,0 +1,163 @@
+"""Tests for the analytic complexity/time models and calibration."""
+
+import numpy as np
+import pytest
+
+from repro.comm import CostModel, run_spmd
+from repro.config import config_context
+from repro.core import (
+    ARDFactorization,
+    CyclicReductionFactorization,
+    ThomasFactorization,
+    distribute_matrix,
+    distribute_rhs,
+    rd_solve_spmd,
+)
+from repro.exceptions import ConfigError
+from repro.perfmodel import (
+    PAPER_ERA_MODEL,
+    calibrate_flop_rate,
+    calibrated_cost_model,
+    predict_cost,
+    predict_flops,
+    predict_time,
+    speedup_model,
+)
+from repro.util.flops import counting_flops
+from repro.workloads import helmholtz_block_system, random_rhs
+
+
+class TestPredictorDispatch:
+    def test_all_methods_positive(self):
+        for method in ("ard", "ard_factor", "ard_solve", "rd", "thomas",
+                       "cyclic", "bcr_parallel"):
+            assert predict_flops(method, n=64, m=4, p=4, r=8) > 0
+            assert predict_time(method, n=64, m=4, p=4, r=8) > 0
+
+    def test_unknown_method(self):
+        with pytest.raises(ConfigError):
+            predict_cost("nope", n=4, m=2)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            predict_cost("rd", n=0, m=2)
+
+    def test_phase_lookup(self):
+        cost = predict_cost("ard_factor", n=64, m=4, p=4)
+        assert cost.phase("scan").messages > 0
+        with pytest.raises(KeyError):
+            cost.phase("nonexistent")
+
+
+class TestModelShapes:
+    def test_rd_linear_in_r(self):
+        f1 = predict_flops("rd", n=128, m=8, p=8, r=1)
+        f64 = predict_flops("rd", n=128, m=8, p=8, r=64)
+        assert f64 / f1 == pytest.approx(64.0, rel=0.01)
+
+    def test_ard_sublinear_in_r(self):
+        f1 = predict_flops("ard", n=128, m=8, p=8, r=1)
+        f64 = predict_flops("ard", n=128, m=8, p=8, r=64)
+        assert f64 / f1 < 32  # far below RD's 64x
+
+    def test_ard_factor_cubic_in_m(self):
+        f4 = predict_flops("ard_factor", n=128, m=4, p=8)
+        f8 = predict_flops("ard_factor", n=128, m=8, p=8)
+        assert f8 / f4 == pytest.approx(8.0, rel=0.15)
+
+    def test_ard_solve_quadratic_in_m(self):
+        f4 = predict_flops("ard_solve", n=128, m=4, p=8, r=16)
+        f8 = predict_flops("ard_solve", n=128, m=8, p=8, r=16)
+        assert f8 / f4 == pytest.approx(4.0, rel=0.15)
+
+    def test_strong_scaling_decreases_then_flattens(self):
+        times = [
+            predict_time("ard_factor", n=4096, m=8, p=p, cost_model=PAPER_ERA_MODEL)
+            for p in (1, 4, 16, 64)
+        ]
+        assert times == sorted(times, reverse=True)
+        # Efficiency degrades: halving gains at high P.
+        assert times[2] / times[3] < 4.0
+
+    def test_speedup_model_regimes(self):
+        assert speedup_model(64, 1) == pytest.approx(1.0, rel=0.02)
+        assert speedup_model(64, 16) == pytest.approx(12.8, rel=0.01)
+        assert speedup_model(64, 10**6) == pytest.approx(64.0, rel=0.01)
+
+
+class TestModelVsInstrumented:
+    @pytest.mark.parametrize("n,m,p,r", [(64, 4, 4, 8), (96, 8, 8, 4)])
+    def test_ard_factor_within_10pct(self, n, m, p, r):
+        mat, _ = helmholtz_block_system(n, m)
+        fact = ARDFactorization(mat, nranks=p)
+        measured = max(s.flops for s in fact.factor_result.stats)
+        predicted = predict_flops("ard_factor", n=n, m=m, p=p)
+        assert measured / predicted == pytest.approx(1.0, abs=0.1)
+
+    @pytest.mark.parametrize("n,m,p,r", [(64, 4, 4, 8), (96, 8, 8, 4)])
+    def test_ard_solve_within_10pct(self, n, m, p, r):
+        mat, _ = helmholtz_block_system(n, m)
+        fact = ARDFactorization(mat, nranks=p)
+        fact.solve(random_rhs(n, m, r, seed=0))
+        measured = max(s.flops for s in fact.last_solve_result.stats)
+        predicted = predict_flops("ard_solve", n=n, m=m, p=p, r=r)
+        assert measured / predicted == pytest.approx(1.0, abs=0.1)
+
+    def test_rd_within_10pct(self):
+        n, m, p, r = 64, 4, 4, 4
+        mat, _ = helmholtz_block_system(n, m)
+        chunks = distribute_matrix(mat, p)
+        d = distribute_rhs(random_rhs(n, m, r, seed=1), p)
+        res = run_spmd(
+            rd_solve_spmd, p, rank_args=[(c, dd) for c, dd in zip(chunks, d)]
+        )
+        measured = max(s.flops for s in res.stats)
+        predicted = predict_flops("rd", n=n, m=m, p=p, r=r)
+        assert measured / predicted == pytest.approx(1.0, abs=0.1)
+
+    def test_thomas_within_5pct(self):
+        n, m, r = 64, 6, 8
+        mat, _ = helmholtz_block_system(n, m)
+        b = random_rhs(n, m, r, seed=2)
+        with config_context(flop_counting=True), counting_flops() as fc:
+            ThomasFactorization(mat).solve(b)
+        assert fc.total / predict_flops("thomas", n=n, m=m, r=r) == pytest.approx(
+            1.0, abs=0.05
+        )
+
+    def test_cyclic_within_10pct(self):
+        n, m, r = 64, 6, 8
+        mat, _ = helmholtz_block_system(n, m)
+        b = random_rhs(n, m, r, seed=3)
+        with config_context(flop_counting=True), counting_flops() as fc:
+            CyclicReductionFactorization(mat).solve(b)
+        assert fc.total / predict_flops("cyclic", n=n, m=m, r=r) == pytest.approx(
+            1.0, abs=0.1
+        )
+
+    def test_predicted_time_brackets_virtual_time(self):
+        n, m, p, r = 128, 8, 8, 16
+        mat, _ = helmholtz_block_system(n, m)
+        fact = ARDFactorization(mat, nranks=p, cost_model=PAPER_ERA_MODEL)
+        fact.solve(random_rhs(n, m, r, seed=4))
+        measured = (
+            fact.factor_result.virtual_time + fact.last_solve_result.virtual_time
+        )
+        predicted = predict_time("ard", n=n, m=m, p=p, r=r,
+                                 cost_model=PAPER_ERA_MODEL)
+        assert 0.3 * predicted < measured < 1.7 * predicted
+
+
+class TestCalibration:
+    def test_flop_rate_sane(self):
+        rate = calibrate_flop_rate(m=96, reps=2)
+        assert 1e7 < rate < 1e13  # any real machine lands here
+
+    def test_calibrated_model(self):
+        cm = calibrated_cost_model(m=96, reps=2)
+        assert isinstance(cm, CostModel)
+        assert cm.latency == PAPER_ERA_MODEL.latency
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            calibrate_flop_rate(m=1)

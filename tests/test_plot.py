@@ -1,0 +1,103 @@
+"""Tests for the ASCII figure renderer."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.harness.experiments import ExperimentResult
+from repro.harness.plot import ascii_plot, plot_experiment
+
+
+class TestAsciiPlot:
+    def test_basic_contains_markers_and_legend(self):
+        text = ascii_plot(
+            {"a": [(1, 1), (10, 10)], "b": [(1, 10), (10, 1)]},
+            logx=True, logy=True, title="T",
+        )
+        assert text.splitlines()[0] == "T"
+        assert "o a" in text and "x b" in text
+        assert "o" in text and "x" in text
+
+    def test_extreme_corners_mapped(self):
+        text = ascii_plot({"s": [(1, 1), (100, 100)]}, width=20, height=6)
+        rows = [line for line in text.splitlines() if "|" in line]
+        # Max point on the top row, min point on the bottom row.
+        assert "o" in rows[0]
+        assert "o" in rows[-1]
+
+    def test_log_axis_drops_nonpositive(self):
+        text = ascii_plot({"s": [(0, 1), (-1, 2), (10, 3), (100, 4)]},
+                          logx=True)
+        assert text.count("o") >= 2  # legend marker + plotted points
+
+    def test_nan_skipped(self):
+        text = ascii_plot({"s": [(1, math.nan), (2, 5.0)]})
+        assert "o" in text
+
+    def test_all_unplottable_raises(self):
+        with pytest.raises(ShapeError, match="no plottable"):
+            ascii_plot({"s": [(0, 1)]}, logx=True)
+
+    def test_tiny_canvas_rejected(self):
+        with pytest.raises(ShapeError):
+            ascii_plot({"s": [(1, 1)]}, width=5, height=2)
+
+    def test_overlap_marker(self):
+        text = ascii_plot(
+            {"a": [(1, 1)], "b": [(1, 1)]}, width=20, height=6
+        )
+        assert "&" in text
+
+    def test_constant_series_handled(self):
+        text = ascii_plot({"s": [(1, 5), (2, 5), (3, 5)]})
+        assert "o" in text
+
+    def test_axis_labels(self):
+        text = ascii_plot({"s": [(1, 1), (2, 2)]}, xlabel="R", ylabel="t",
+                          logy=True)
+        assert "x: R" in text
+        assert "y: t (log)" in text
+
+
+class TestPlotExperiment:
+    def _fake(self, exp_id, headers, rows):
+        return ExperimentResult(exp_id, "fake", headers, rows)
+
+    def test_known_recipe(self):
+        result = self._fake(
+            "recon-F1",
+            ["R", "rd_vt", "ard_factor_vt", "ard_solve_vt", "ard_total_vt",
+             "speedup", "rd_measured"],
+            [[1, 1e-5, 1e-5, 1e-6, 1.1e-5, 0.9, True],
+             [64, 6.4e-4, 1e-5, 5e-5, 6e-5, 10.7, True]],
+        )
+        text = plot_experiment(result)
+        assert text is not None
+        assert "recon-F1" in text
+
+    def test_unknown_recipe_returns_none(self):
+        result = self._fake("recon-T1", ["a"], [[1]])
+        assert plot_experiment(result) is None
+
+    def test_non_numeric_rows_filtered(self):
+        result = self._fake(
+            "abl-A2",
+            ["batch", "calls", "total_solve_vt", "wall_s"],
+            [["oops", 1, 2.0, 3.0], [8, 2, 1.0, 0.5]],
+        )
+        assert plot_experiment(result) is not None
+
+    def test_every_figure_recipe_matches_real_headers(self):
+        """Each recipe's columns must exist in the real experiment output
+        (smoke scale) — guards against renamed columns."""
+        from repro.harness.plot import _FIGURES
+        from repro.harness import run_experiment
+
+        for exp_id in ("recon-F1", "abl-A2"):
+            result = run_experiment(exp_id, "smoke", verbose=False)
+            x_col, y_cols, _, _ = _FIGURES[exp_id]
+            assert x_col in result.headers
+            for y in y_cols:
+                assert y in result.headers
+            assert plot_experiment(result) is not None

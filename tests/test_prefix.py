@@ -1,0 +1,202 @@
+"""Tests for the parallel-prefix framework (semigroup, affine, scans)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.comm import run_spmd
+from repro.exceptions import ShapeError
+from repro.prefix import (
+    AffinePair,
+    Monoid,
+    affine_compose,
+    check_associative,
+    dist_scan_blelloch,
+    dist_scan_kogge_stone,
+    dist_scan_pipeline,
+    seq_exclusive_scan,
+    seq_inclusive_scan,
+)
+
+
+def concat(a, b):
+    return a + b
+
+
+class TestMonoid:
+    def test_fold(self):
+        m = Monoid(op=concat, identity="")
+        assert m.fold(["a", "b", "c"]) == "abc"
+        assert m.fold([]) == ""
+
+    def test_check_associative_passes(self):
+        check_associative(concat, ["a", "b", "c"])
+
+    def test_check_associative_catches_violation(self):
+        def subtract(a, b):
+            return a - b
+
+        with pytest.raises(AssertionError, match="not associative"):
+            check_associative(subtract, [1, 2, 3])
+
+
+class TestAffinePair:
+    def test_identity_applies_as_noop(self, rng):
+        ident = AffinePair.identity(4, 2)
+        s = rng.standard_normal((4, 2))
+        np.testing.assert_allclose(ident.apply(s), s)
+
+    def test_compose_matches_sequential_application(self, rng):
+        f = AffinePair(rng.standard_normal((3, 3)), rng.standard_normal((3, 2)))
+        g = AffinePair(rng.standard_normal((3, 3)), rng.standard_normal((3, 2)))
+        s = rng.standard_normal((3, 2))
+        combined = affine_compose(f, g)  # f first, then g
+        np.testing.assert_allclose(combined.apply(s), g.apply(f.apply(s)), atol=1e-12)
+
+    def test_identity_neutral(self, rng):
+        f = AffinePair(rng.standard_normal((3, 3)), rng.standard_normal((3, 1)))
+        ident = AffinePair.identity(3, 1)
+        assert affine_compose(ident, f).allclose(f)
+        assert affine_compose(f, ident).allclose(f)
+
+    def test_zero_width(self, rng):
+        a = rng.standard_normal((3, 3))
+        f = AffinePair(a, np.zeros((3, 0)))
+        assert f.width == 0
+        g = affine_compose(f, f)
+        np.testing.assert_allclose(g.a, a @ a)
+
+    def test_apply_vector_state(self, rng):
+        f = AffinePair(rng.standard_normal((3, 3)), rng.standard_normal((3, 1)))
+        s = rng.standard_normal(3)
+        np.testing.assert_allclose(f.apply(s), f.a @ s + f.b[:, 0])
+
+    def test_apply_width_mismatch(self, rng):
+        f = AffinePair(np.eye(3), np.zeros((3, 2)))
+        with pytest.raises(ShapeError):
+            f.apply(rng.standard_normal((3, 5)))
+        with pytest.raises(ShapeError):
+            f.apply(rng.standard_normal(3))
+
+    def test_compose_dim_mismatch(self):
+        f = AffinePair(np.eye(2), np.zeros((2, 1)))
+        g = AffinePair(np.eye(3), np.zeros((3, 1)))
+        with pytest.raises(ShapeError):
+            affine_compose(f, g)
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            AffinePair(np.zeros((2, 3)), np.zeros((2, 1)))
+        with pytest.raises(ShapeError):
+            AffinePair(np.eye(2), np.zeros((3, 1)))
+
+    def test_nbytes_and_copy(self, rng):
+        f = AffinePair(np.eye(3), np.zeros((3, 2)))
+        assert f.nbytes == 9 * 8 + 6 * 8
+        dup = f.copy()
+        dup.a[0, 0] = 99.0
+        assert f.a[0, 0] == 1.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 4), st.integers(0, 3), st.integers(0, 999))
+    def test_property_associative(self, dim, width, seed):
+        rng = np.random.default_rng(seed)
+        pairs = [
+            AffinePair(rng.standard_normal((dim, dim)),
+                       rng.standard_normal((dim, width)))
+            for _ in range(3)
+        ]
+        left = affine_compose(affine_compose(pairs[0], pairs[1]), pairs[2])
+        right = affine_compose(pairs[0], affine_compose(pairs[1], pairs[2]))
+        assert left.allclose(right, rtol=1e-8, atol=1e-8)
+
+
+class TestSequentialScans:
+    def test_inclusive(self):
+        assert seq_inclusive_scan(["a", "b", "c"], concat) == ["a", "ab", "abc"]
+
+    def test_inclusive_empty(self):
+        assert seq_inclusive_scan([], concat) == []
+
+    def test_exclusive(self):
+        assert seq_exclusive_scan(["a", "b", "c"], concat, "") == ["", "a", "ab"]
+
+    @given(st.lists(st.integers(-10, 10), max_size=20))
+    def test_property_inclusive_matches_partial_sums(self, items):
+        import operator
+
+        got = seq_inclusive_scan(items, operator.add)
+        expected = list(np.cumsum(items)) if items else []
+        assert got == expected
+
+
+class TestDistributedScans:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 5, 8])
+    def test_kogge_stone_matches_seq(self, p):
+        def program(comm):
+            return dist_scan_kogge_stone(comm, chr(97 + comm.rank), concat)
+
+        res = run_spmd(program, p)
+        expected = seq_inclusive_scan([chr(97 + r) for r in range(p)], concat)
+        assert res.values == expected
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 7])
+    def test_pipeline_matches_seq(self, p):
+        def program(comm):
+            return dist_scan_pipeline(comm, chr(97 + comm.rank), concat)
+
+        res = run_spmd(program, p)
+        expected = seq_inclusive_scan([chr(97 + r) for r in range(p)], concat)
+        assert res.values == expected
+
+    @pytest.mark.parametrize("p", [1, 2, 4, 8, 16])
+    def test_blelloch_matches_seq(self, p):
+        def program(comm):
+            return dist_scan_blelloch(comm, chr(97 + comm.rank), concat, "")
+
+        res = run_spmd(program, p)
+        expected = seq_inclusive_scan([chr(97 + r) for r in range(p)], concat)
+        assert res.values == expected
+
+    def test_blelloch_rejects_non_power_of_two(self):
+        def program(comm):
+            return dist_scan_blelloch(comm, "x", concat, "")
+
+        with pytest.raises(ShapeError):
+            run_spmd(program, 3)
+
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    def test_scans_agree_on_affine_pairs(self, p):
+        rng = np.random.default_rng(0)
+        mats = rng.standard_normal((p, 4, 4)) / 2.0
+        vecs = rng.standard_normal((p, 4, 2))
+
+        def make_pair(r):
+            return AffinePair(mats[r], vecs[r])
+
+        def ks(comm):
+            return dist_scan_kogge_stone(comm, make_pair(comm.rank), affine_compose)
+
+        def bl(comm):
+            return dist_scan_blelloch(
+                comm, make_pair(comm.rank), affine_compose, AffinePair.identity(4, 2)
+            )
+
+        def pipe(comm):
+            return dist_scan_pipeline(comm, make_pair(comm.rank), affine_compose)
+
+        ks_res = run_spmd(ks, p).values
+        bl_res = run_spmd(bl, p).values
+        pipe_res = run_spmd(pipe, p).values
+        seq = seq_inclusive_scan([make_pair(r) for r in range(p)], affine_compose)
+        for r in range(p):
+            assert ks_res[r].allclose(seq[r], rtol=1e-9, atol=1e-9)
+            assert bl_res[r].allclose(seq[r], rtol=1e-9, atol=1e-9)
+            assert pipe_res[r].allclose(seq[r], rtol=1e-9, atol=1e-9)
+
+    def test_pipeline_message_count_linear(self):
+        def program(comm):
+            dist_scan_pipeline(comm, comm.rank, lambda a, b: a + b)
+
+        res = run_spmd(program, 6)
+        assert res.total_msgs_sent == 5

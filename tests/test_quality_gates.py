@@ -1,0 +1,100 @@
+"""Repository-wide quality gates.
+
+Not about one module's behaviour: these tests enforce the documentation
+and API-hygiene invariants a downstream user relies on — every public
+callable documented, every subpackage importable, ``__all__`` names
+real.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro",
+    "repro.comm",
+    "repro.core",
+    "repro.linalg",
+    "repro.prefix",
+    "repro.workloads",
+    "repro.perfmodel",
+    "repro.harness",
+    "repro.util",
+    "repro.io",
+    "repro.config",
+    "repro.exceptions",
+]
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_importable(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} has no module docstring"
+
+
+def _walk_modules():
+    seen = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        seen.append(info.name)
+    return seen
+
+
+def test_all_modules_import_cleanly():
+    for name in _walk_modules():
+        importlib.import_module(name)
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_dunder_all_names_exist(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol}"
+
+
+def _public_callables(module):
+    for symbol in getattr(module, "__all__", []):
+        obj = getattr(module, symbol)
+        if callable(obj):
+            yield symbol, obj
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_public_callables_documented(name):
+    module = importlib.import_module(name)
+    undocumented = []
+    for symbol, obj in _public_callables(module):
+        doc = inspect.getdoc(obj)
+        if not doc or len(doc) < 10:
+            undocumented.append(symbol)
+    assert not undocumented, f"{name}: undocumented public API {undocumented}"
+
+
+def test_public_classes_document_their_methods():
+    """Every public method of the headline classes carries a docstring."""
+    from repro.comm.communicator import Communicator
+    from repro.core.ard import ARDFactorization
+    from repro.core.spike import SpikeFactorization
+    from repro.linalg.blocktridiag import BlockTridiagonalMatrix
+
+    for cls in (Communicator, ARDFactorization, SpikeFactorization,
+                BlockTridiagonalMatrix):
+        for attr_name, attr in vars(cls).items():
+            if attr_name.startswith("_"):
+                continue
+            if callable(attr) or isinstance(attr, property):
+                target = attr.fget if isinstance(attr, property) else attr
+                assert inspect.getdoc(target), (
+                    f"{cls.__name__}.{attr_name} lacks a docstring"
+                )
+
+
+def test_version_consistent():
+    import tomllib
+
+    with open("pyproject.toml", "rb") as fh:
+        meta = tomllib.load(fh)
+    assert meta["project"]["version"] == repro.__version__

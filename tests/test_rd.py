@@ -1,0 +1,85 @@
+"""Tests for classical recursive doubling (repro.core.rd)."""
+
+import numpy as np
+import pytest
+
+from repro.comm import run_spmd
+from repro.core.distribute import distribute_matrix, distribute_rhs, gather_solution
+from repro.core.rd import rd_solve_spmd
+from repro.exceptions import ShapeError
+from repro.linalg.reference import dense_solve
+from repro.workloads import helmholtz_block_system, random_rhs
+
+
+def _rd_solve(matrix, b, nranks):
+    chunks = distribute_matrix(matrix, nranks)
+    d_chunks = distribute_rhs(b, nranks)
+    result = run_spmd(
+        rd_solve_spmd, nranks,
+        rank_args=[(c, d) for c, d in zip(chunks, d_chunks)],
+    )
+    return gather_solution(list(result.values)), result
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 4, 5, 8])
+class TestRdCorrectness:
+    def test_matches_dense(self, p):
+        mat, _ = helmholtz_block_system(17, 3)
+        b = random_rhs(17, 3, nrhs=2, seed=0)
+        x, _ = _rd_solve(mat, b, p)
+        np.testing.assert_allclose(x, dense_solve(mat, b), rtol=1e-8, atol=1e-10)
+
+    def test_single_block_system(self, p):
+        mat, _ = helmholtz_block_system(1, 3)
+        b = random_rhs(1, 3, nrhs=2, seed=1)
+        x, _ = _rd_solve(mat, b, p)
+        assert mat.residual(x, b) < 1e-11
+
+    def test_more_ranks_than_rows(self, p):
+        mat, _ = helmholtz_block_system(3, 2)
+        b = random_rhs(3, 2, nrhs=1, seed=2)
+        x, _ = _rd_solve(mat, b, p)
+        assert mat.residual(x, b) < 1e-11
+
+
+class TestRdCostStructure:
+    def test_work_scales_with_rhs_count(self):
+        """The defining baseline property: total flops grow ~linearly in R."""
+        mat, _ = helmholtz_block_system(32, 4)
+        _, res1 = _rd_solve(mat, random_rhs(32, 4, 1, seed=3), 4)
+        _, res4 = _rd_solve(mat, random_rhs(32, 4, 4, seed=3), 4)
+        ratio = res4.total_flops / res1.total_flops
+        assert 3.5 < ratio < 4.5
+
+    def test_lu_work_repeated_per_rhs(self):
+        """RD refactors the superdiagonal blocks once per right-hand side."""
+        mat, _ = helmholtz_block_system(16, 4)
+        _, res = _rd_solve(mat, random_rhs(16, 4, 3, seed=4), 2)
+        lu_flops = res.flops_by_kernel()["lu"]
+        # 15 transfer LUs + 1 closing LU per pass, 3 passes.
+        per_block = 2 * 4**3 // 3
+        assert lu_flops == 3 * 16 * per_block
+
+    def test_solution_shape(self):
+        mat, _ = helmholtz_block_system(10, 3)
+        b = random_rhs(10, 3, nrhs=5, seed=5)
+        x, _ = _rd_solve(mat, b, 3)
+        assert x.shape == (10, 3, 5)
+
+
+class TestRdValidation:
+    def test_bad_rhs_shape(self):
+        mat, _ = helmholtz_block_system(6, 2)
+        chunks = distribute_matrix(mat, 2)
+        bad = [np.zeros((1, 2, 1)), np.zeros((3, 2, 1))]
+        with pytest.raises(ShapeError):
+            run_spmd(
+                rd_solve_spmd, 2,
+                rank_args=[(c, d) for c, d in zip(chunks, bad)],
+            )
+
+    def test_zero_rhs_rejected(self):
+        mat, _ = helmholtz_block_system(6, 2)
+        chunks = distribute_matrix(mat, 1)
+        with pytest.raises(ShapeError):
+            run_spmd(rd_solve_spmd, 1, rank_args=[(chunks[0], np.zeros((6, 2, 0)))])

@@ -1,0 +1,163 @@
+"""Tests for transfer operators and local kernels (repro.core.recurrence).
+
+These validate the algebra the solvers build on: the transfer maps
+reproduce the block-row equations, the structured aggregate equals the
+explicit product of ``2M x 2M`` companion matrices, and the vector
+aggregate/back-substitution match direct evaluation of the affine maps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.distribute import distribute_matrix
+from repro.core.recurrence import (
+    TransferOperators,
+    forward_solution,
+    local_matrix_aggregate,
+    local_vector_aggregate,
+)
+from repro.exceptions import ShapeError, SingularBlockError
+from repro.linalg.blocktridiag import BlockTridiagonalMatrix
+from repro.linalg.reference import dense_solve
+from repro.workloads import helmholtz_block_system, random_rhs
+
+
+def companion(t1, t2):
+    """Explicit 2M x 2M transfer matrix [[T1, T2], [I, 0]]."""
+    m = t1.shape[0]
+    out = np.zeros((2 * m, 2 * m))
+    out[:m, :m] = t1
+    out[:m, m:] = t2
+    out[m:, :m] = np.eye(m)
+    return out
+
+
+@pytest.fixture
+def chunk_and_matrix():
+    mat, _ = helmholtz_block_system(8, 3)
+    chunks = distribute_matrix(mat, 2)
+    return chunks[0], mat
+
+
+class TestTransferOperators:
+    def test_satisfies_row_equation(self, chunk_and_matrix):
+        """L x_{i-1} + D x_i + U x_{i+1} = d  <=>  the transfer map."""
+        chunk, mat = chunk_and_matrix
+        ops = TransferOperators(chunk)
+        rng = np.random.default_rng(0)
+        d = rng.standard_normal((chunk.nrows, 3, 1))
+        g = ops.g(d)
+        for j in range(ops.ntransfer):
+            i = chunk.lo + j
+            x_prev = rng.standard_normal((3, 1))
+            x_cur = rng.standard_normal((3, 1))
+            x_next = ops.t1[j] @ x_cur + ops.t2[j] @ x_prev + g[j]
+            lhs = mat.diag[i] @ x_cur + mat.upper[i] @ x_next
+            if i > 0:
+                lhs += mat.lower[i - 1] @ x_prev
+            np.testing.assert_allclose(lhs, d[j], atol=1e-10)
+
+    def test_first_row_has_zero_t2(self):
+        mat, _ = helmholtz_block_system(4, 2)
+        chunk = distribute_matrix(mat, 1)[0]
+        ops = TransferOperators(chunk)
+        np.testing.assert_array_equal(ops.t2[0], 0.0)
+
+    def test_empty_chunk(self):
+        mat, _ = helmholtz_block_system(2, 2)
+        chunk = distribute_matrix(mat, 4)[3]  # owns nothing
+        ops = TransferOperators(chunk)
+        assert ops.ntransfer == 0
+        assert ops.t1.shape == (0, 2, 2)
+        g = ops.g(np.zeros((0, 2, 3)))
+        assert g.shape == (0, 2, 3)
+
+    def test_singular_superdiagonal_detected(self):
+        diag = np.stack([np.eye(2)] * 3)
+        lower = np.stack([np.eye(2)] * 2)
+        upper = np.stack([np.eye(2), np.zeros((2, 2))])  # U_1 singular
+        mat = BlockTridiagonalMatrix(lower, diag, upper)
+        chunk = distribute_matrix(mat, 1)[0]
+        with pytest.raises(SingularBlockError) as exc:
+            TransferOperators(chunk)
+        assert exc.value.block_index == 1
+
+    def test_g_validation(self, chunk_and_matrix):
+        chunk, _ = chunk_and_matrix
+        ops = TransferOperators(chunk)
+        with pytest.raises(ShapeError):
+            ops.g(np.zeros((1, 3, 1)))  # too few rows
+        with pytest.raises(ShapeError):
+            ops.g(np.zeros((chunk.nrows, 5, 1)))  # wrong block size
+
+    def test_nbytes(self, chunk_and_matrix):
+        chunk, _ = chunk_and_matrix
+        assert TransferOperators(chunk).nbytes > 0
+
+
+class TestLocalMatrixAggregate:
+    def test_matches_explicit_product(self, chunk_and_matrix):
+        chunk, _ = chunk_and_matrix
+        ops = TransferOperators(chunk)
+        agg = local_matrix_aggregate(ops)
+        explicit = np.eye(6)
+        for j in range(ops.ntransfer):
+            explicit = companion(ops.t1[j], ops.t2[j]) @ explicit
+        np.testing.assert_allclose(agg, explicit, atol=1e-10)
+
+    def test_empty_chunk_gives_identity(self):
+        mat, _ = helmholtz_block_system(2, 3)
+        chunk = distribute_matrix(mat, 3)[2]
+        ops = TransferOperators(chunk)
+        np.testing.assert_array_equal(local_matrix_aggregate(ops), np.eye(6))
+
+
+class TestLocalVectorAggregate:
+    def test_matches_affine_application(self, chunk_and_matrix):
+        chunk, _ = chunk_and_matrix
+        ops = TransferOperators(chunk)
+        rng = np.random.default_rng(1)
+        d = rng.standard_normal((chunk.nrows, 3, 2))
+        g = ops.g(d)
+        agg = local_vector_aggregate(ops, g)
+        # Run the affine recurrence from zero state explicitly.
+        state = np.zeros((6, 2))
+        for j in range(ops.ntransfer):
+            gfull = np.vstack([g[j], np.zeros((3, 2))])
+            state = companion(ops.t1[j], ops.t2[j]) @ state + gfull
+        np.testing.assert_allclose(agg, state, atol=1e-10)
+
+    def test_row_count_validation(self, chunk_and_matrix):
+        chunk, _ = chunk_and_matrix
+        ops = TransferOperators(chunk)
+        with pytest.raises(ShapeError):
+            local_vector_aggregate(ops, np.zeros((ops.ntransfer + 1, 3, 1)))
+
+
+class TestForwardSolution:
+    def test_reproduces_reference_solution(self):
+        mat, _ = helmholtz_block_system(6, 2)
+        b = random_rhs(6, 2, nrhs=2, seed=3)
+        x_ref = dense_solve(mat, b)
+        chunk = distribute_matrix(mat, 1)[0]
+        ops = TransferOperators(chunk)
+        g = ops.g(b)
+        entry = np.vstack([x_ref[0], np.zeros((2, 2))])  # s_0 = [x_0; 0]
+        x = forward_solution(ops, g, entry, 6)
+        np.testing.assert_allclose(x, x_ref, atol=1e-9)
+
+    def test_zero_rows(self):
+        mat, _ = helmholtz_block_system(2, 2)
+        chunk = distribute_matrix(mat, 3)[2]
+        ops = TransferOperators(chunk)
+        out = forward_solution(ops, np.zeros((0, 2, 1)), np.zeros((4, 1)), 0)
+        assert out.shape == (0, 2, 1)
+
+    def test_first_row_is_entry_state_top(self, chunk_and_matrix):
+        chunk, _ = chunk_and_matrix
+        ops = TransferOperators(chunk)
+        rng = np.random.default_rng(2)
+        g = ops.g(rng.standard_normal((chunk.nrows, 3, 1)))
+        entry = rng.standard_normal((6, 1))
+        out = forward_solution(ops, g, entry, chunk.nrows)
+        np.testing.assert_array_equal(out[0], entry[:3])

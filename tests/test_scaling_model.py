@@ -1,0 +1,65 @@
+"""Tests for the scalability-analysis layer (repro.perfmodel.scaling)."""
+
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.perfmodel import (
+    PAPER_ERA_MODEL,
+    efficiency,
+    isoefficiency_n,
+    sequential_time,
+    speedup,
+)
+
+
+class TestSpeedupEfficiency:
+    def test_sequential_time_positive_and_monotone(self):
+        t1 = sequential_time(128, 8, 16)
+        t2 = sequential_time(256, 8, 16)
+        assert 0 < t1 < t2
+
+    def test_speedup_grows_with_p_then_saturates(self):
+        speeds = [
+            speedup("ard", n=4096, m=8, p=p, r=256, cost_model=PAPER_ERA_MODEL)
+            for p in (1, 4, 16, 64)
+        ]
+        assert speeds == sorted(speeds)
+        # Diminishing returns: the last quadrupling of P gains < 4x.
+        assert speeds[-1] / speeds[-2] < 4.0
+
+    def test_efficiency_improves_with_n(self):
+        es = [
+            efficiency("ard", n=n, m=8, p=32, r=256, cost_model=PAPER_ERA_MODEL)
+            for n in (256, 1024, 4096, 16384)
+        ]
+        assert es == sorted(es)
+
+    def test_ard_more_efficient_than_rd_multi_rhs(self):
+        kwargs = dict(n=2048, m=8, p=16, r=256, cost_model=PAPER_ERA_MODEL)
+        assert efficiency("ard", **kwargs) > 3 * efficiency("rd", **kwargs)
+
+
+class TestIsoefficiency:
+    def test_threshold_is_tight(self):
+        n_star = isoefficiency_n("ard", m=8, p=16, r=256, target=0.5)
+        assert efficiency("ard", n=n_star, m=8, p=16, r=256) >= 0.5
+        if n_star > 16:
+            assert efficiency("ard", n=n_star - 1, m=8, p=16, r=256) < 0.5
+
+    def test_grows_superlinearly_in_p(self):
+        """RD-family isoefficiency is Theta(P log P): N(P)/P grows."""
+        ns = {
+            p: isoefficiency_n("ard", m=8, p=p, r=256, target=0.5)
+            for p in (8, 32, 128)
+        }
+        assert ns[8] < ns[32] < ns[128]
+        assert ns[128] / 128 > ns[8] / 8
+
+    def test_unreachable_target_raises(self):
+        # Naive RD's per-RHS M^3 overhead caps its efficiency well below 1.
+        with pytest.raises(ConfigError, match="cannot reach"):
+            isoefficiency_n("rd", m=8, p=16, r=64, target=0.9, n_max=1 << 22)
+
+    def test_invalid_target(self):
+        with pytest.raises(ConfigError):
+            isoefficiency_n("ard", m=8, p=4, target=0.0)

@@ -1,0 +1,176 @@
+"""Tests for the traced affine scan and its replay — the mechanism that
+realizes ARD's matrix-work reuse."""
+
+import numpy as np
+import pytest
+
+from repro.comm import run_spmd
+from repro.core.scan_affine import affine_scan, replay_scan
+from repro.exceptions import ShapeError
+from repro.prefix import AffinePair, affine_compose
+from repro.prefix.scan import seq_exclusive_scan, seq_inclusive_scan
+
+
+def _random_pairs(p, dim, width, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        AffinePair(rng.standard_normal((dim, dim)) / dim,
+                   rng.standard_normal((dim, width)))
+        for _ in range(p)
+    ]
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 4, 5, 8])
+class TestAffineScan:
+    def test_inclusive_matches_sequential(self, p):
+        pairs = _random_pairs(p, 4, 2)
+
+        def program(comm):
+            result, _ = affine_scan(comm, pairs[comm.rank])
+            return result.inclusive
+
+        values = run_spmd(program, p).values
+        expected = seq_inclusive_scan(pairs, affine_compose)
+        for got, want in zip(values, expected):
+            assert got.allclose(want, rtol=1e-9, atol=1e-9)
+
+    def test_exclusive_matches_sequential(self, p):
+        pairs = _random_pairs(p, 4, 2, seed=1)
+
+        def program(comm):
+            result, _ = affine_scan(comm, pairs[comm.rank])
+            return result.exclusive
+
+        values = run_spmd(program, p).values
+        ident = AffinePair.identity(4, 2)
+        expected = seq_exclusive_scan(pairs, affine_compose, ident)
+        for got, want in zip(values, expected):
+            assert got.allclose(want, rtol=1e-9, atol=1e-9)
+
+    def test_zero_width_matrix_only(self, p):
+        pairs = _random_pairs(p, 4, 0, seed=2)
+
+        def program(comm):
+            result, _ = affine_scan(comm, pairs[comm.rank])
+            return result.inclusive
+
+        values = run_spmd(program, p).values
+        expected = seq_inclusive_scan(pairs, affine_compose)
+        for got, want in zip(values, expected):
+            np.testing.assert_allclose(got.a, want.a, atol=1e-10)
+            assert got.b.shape == (4, 0)
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 4, 5, 8])
+class TestReplay:
+    def test_replay_equals_fused_scan(self, p):
+        """The ARD invariant: a matrix-only scan + vector replay must give
+        exactly the vector parts a fused matrix+vector scan produces."""
+        dim, width = 4, 3
+        mats = _random_pairs(p, dim, 0, seed=3)
+        rng = np.random.default_rng(4)
+        panels = [rng.standard_normal((dim, width)) for _ in range(p)]
+
+        def fused(comm):
+            pair = AffinePair(mats[comm.rank].a, panels[comm.rank])
+            result, _ = affine_scan(comm, pair)
+            return result.inclusive.b, result.exclusive.b
+
+        def factored(comm):
+            result, trace = affine_scan(comm, mats[comm.rank], record=True)
+            del result
+            return replay_scan(comm, panels[comm.rank], trace)
+
+        fused_vals = run_spmd(fused, p).values
+        replay_vals = run_spmd(factored, p).values
+        for (b_inc_f, b_exc_f), (b_inc_r, b_exc_r) in zip(fused_vals, replay_vals):
+            np.testing.assert_allclose(b_inc_r, b_inc_f, atol=1e-9)
+            np.testing.assert_allclose(b_exc_r, b_exc_f, atol=1e-9)
+
+    def test_replay_reusable(self, p):
+        """One trace must serve many replays (factor once, solve many)."""
+        dim = 4
+        mats = _random_pairs(p, dim, 0, seed=5)
+        rng = np.random.default_rng(6)
+        panel_sets = [
+            [rng.standard_normal((dim, w)) for _ in range(p)] for w in (1, 2, 5)
+        ]
+
+        def program(comm):
+            _, trace = affine_scan(comm, mats[comm.rank], record=True)
+            return [
+                replay_scan(comm, panels[comm.rank], trace)[0]
+                for panels in panel_sets
+            ]
+
+        values = run_spmd(program, p).values
+        for w_idx, panels in enumerate(panel_sets):
+            pairs = [AffinePair(mats[r].a, panels[r]) for r in range(p)]
+            expected = seq_inclusive_scan(pairs, affine_compose)
+            for r in range(p):
+                np.testing.assert_allclose(
+                    values[r][w_idx], expected[r].b, atol=1e-9
+                )
+
+
+class TestReplayValidation:
+    def test_geometry_mismatch_rejected(self):
+        def make_trace(comm):
+            _, trace = affine_scan(
+                comm, AffinePair.identity(4, 0), record=True
+            )
+            return trace
+
+        trace4 = run_spmd(make_trace, 4).values[0]
+
+        def bad_replay(comm, trace=trace4):
+            return replay_scan(comm, np.zeros((4, 1)), trace)
+
+        with pytest.raises(ShapeError, match="geometries differ"):
+            run_spmd(bad_replay, 2)
+
+    def test_bad_panel_shape(self):
+        def program(comm):
+            _, trace = affine_scan(comm, AffinePair.identity(4, 0), record=True)
+            return replay_scan(comm, np.zeros((5, 1)), trace)
+
+        with pytest.raises(ShapeError):
+            run_spmd(program, 2)
+
+    def test_trace_records_rounds(self):
+        def program(comm):
+            _, trace = affine_scan(comm, AffinePair.identity(6, 0), record=True)
+            return (len(trace.recv_a), trace.a_exclusive.shape, trace.nbytes > 0)
+
+        res = run_spmd(program, 8)
+        assert res.values[0] == (3, (6, 6), True)
+
+    def test_no_trace_by_default(self):
+        def program(comm):
+            _, trace = affine_scan(comm, AffinePair.identity(4, 0))
+            return trace
+
+        assert run_spmd(program, 2).values == [None, None]
+
+
+class TestMessageEconomy:
+    def test_replay_ships_less_than_factor(self):
+        """Replay messages carry only (2M, R) panels, not (2M)^2 matrices —
+        the bandwidth half of the acceleration."""
+        dim, width, p = 16, 1, 4
+        mats = _random_pairs(p, dim, 0, seed=7)
+        rng = np.random.default_rng(8)
+        panels = [rng.standard_normal((dim, width)) for _ in range(p)]
+
+        def factor(comm):
+            affine_scan(comm, mats[comm.rank], record=True)
+
+        def both(comm):
+            _, trace = affine_scan(comm, mats[comm.rank], record=True)
+            comm.stats.bytes_sent = 0  # isolate replay traffic
+            replay_scan(comm, panels[comm.rank], trace)
+            return comm.stats.bytes_sent
+
+        factor_bytes = run_spmd(factor, p).total_bytes_sent
+        replay_bytes = sum(run_spmd(both, p).values)
+        assert replay_bytes * 8 < factor_bytes

@@ -1,0 +1,87 @@
+"""Tests for repro.util.seeding and repro.util.tables."""
+
+import numpy as np
+import pytest
+
+from repro.util.seeding import rng_from_seed, spawn_rngs
+from repro.util.tables import format_value, render_csv, render_table
+
+
+class TestSeeding:
+    def test_int_seed_deterministic(self):
+        a = rng_from_seed(42).standard_normal(5)
+        b = rng_from_seed(42).standard_normal(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert rng_from_seed(g) is g
+
+    def test_seedsequence(self):
+        seq = np.random.SeedSequence(7)
+        g = rng_from_seed(seq)
+        assert isinstance(g, np.random.Generator)
+
+    def test_none_gives_generator(self):
+        assert isinstance(rng_from_seed(None), np.random.Generator)
+
+    def test_spawn_count(self):
+        rngs = spawn_rngs(0, 4)
+        assert len(rngs) == 4
+
+    def test_spawn_zero(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_spawn_negative(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_spawned_streams_differ(self):
+        a, b = spawn_rngs(123, 2)
+        assert not np.allclose(a.standard_normal(8), b.standard_normal(8))
+
+    def test_spawn_deterministic(self):
+        x = [g.standard_normal(3) for g in spawn_rngs(9, 3)]
+        y = [g.standard_normal(3) for g in spawn_rngs(9, 3)]
+        for a, b in zip(x, y):
+            np.testing.assert_array_equal(a, b)
+
+    def test_spawn_from_generator(self):
+        parent = np.random.default_rng(5)
+        rngs = spawn_rngs(parent, 2)
+        assert len(rngs) == 2
+
+
+class TestTables:
+    def test_format_value(self):
+        assert format_value(1) == "1"
+        assert format_value(True) == "True"
+        assert format_value(1.23456789) == "1.235"
+        assert format_value("x") == "x"
+
+    def test_render_basic(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [30, 4]])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "bb"]
+        assert "---" in lines[1]
+        assert lines[2].startswith("1")
+
+    def test_render_title(self):
+        text = render_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_render_ragged_rejected(self):
+        with pytest.raises(ValueError, match="row 0"):
+            render_table(["a", "b"], [[1]])
+
+    def test_render_empty_rows(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+    def test_csv(self):
+        text = render_csv(["a", "b"], [[1, 2.0]])
+        assert text.splitlines() == ["a,b", "1,2"]
+
+    def test_csv_rejects_commas(self):
+        with pytest.raises(ValueError):
+            render_csv(["a"], [["x,y"]])

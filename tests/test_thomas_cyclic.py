@@ -1,0 +1,111 @@
+"""Tests for the sequential baselines: block Thomas and cyclic reduction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cyclic_reduction import (
+    CyclicReductionFactorization,
+    cyclic_reduction_solve,
+)
+from repro.core.thomas import ThomasFactorization, thomas_solve
+from repro.exceptions import ShapeError
+from repro.linalg.reference import dense_solve
+from repro.workloads import (
+    helmholtz_block_system,
+    multigroup_diffusion_system,
+    poisson_block_system,
+    random_block_dd_system,
+    random_rhs,
+)
+
+FACTORIES = [ThomasFactorization, CyclicReductionFactorization]
+ONESHOTS = [thomas_solve, cyclic_reduction_solve]
+
+
+@pytest.mark.parametrize("factory", FACTORIES)
+class TestAgainstReference:
+    @pytest.mark.parametrize("n,m", [(1, 3), (2, 2), (3, 1), (7, 4), (16, 3), (33, 2)])
+    def test_matches_dense(self, factory, n, m):
+        mat, _ = random_block_dd_system(n, m, seed=n * 100 + m)
+        b = random_rhs(n, m, nrhs=3, seed=1)
+        x = factory(mat).solve(b)
+        np.testing.assert_allclose(x, dense_solve(mat, b), rtol=1e-8, atol=1e-10)
+
+    def test_poisson(self, factory):
+        mat, _ = poisson_block_system(20, 5)
+        b = random_rhs(20, 5, nrhs=2, seed=2)
+        x = factory(mat).solve(b)
+        assert mat.residual(x, b) < 1e-11
+
+    def test_multigroup(self, factory):
+        mat, _ = multigroup_diffusion_system(12, 4, seed=0)
+        b = random_rhs(12, 4, nrhs=2, seed=3)
+        assert mat.residual(factory(mat).solve(b), b) < 1e-11
+
+    def test_factor_reuse_many_solves(self, factory):
+        mat, _ = random_block_dd_system(8, 3, seed=4)
+        fact = factory(mat)
+        for seed in range(3):
+            b = random_rhs(8, 3, nrhs=2, seed=seed)
+            assert mat.residual(fact.solve(b), b) < 1e-10
+
+    def test_rhs_layouts(self, factory):
+        mat, _ = random_block_dd_system(6, 2, seed=5)
+        fact = factory(mat)
+        flat = random_rhs(6, 2, nrhs=1, seed=6).reshape(12)
+        x = fact.solve(flat)
+        assert x.shape == (12,)
+        multi = random_rhs(6, 2, nrhs=4, seed=7).reshape(12, 4)
+        assert fact.solve(multi).shape == (12, 4)
+
+    def test_rejects_non_matrix(self, factory):
+        with pytest.raises(ShapeError):
+            factory(np.eye(4))
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(1, 12), st.integers(1, 4), st.integers(0, 500))
+    def test_property_residual_small(self, factory, n, m, seed):
+        mat, _ = random_block_dd_system(n, m, seed=seed)
+        b = random_rhs(n, m, nrhs=2, seed=seed + 1)
+        assert mat.residual(factory(mat).solve(b), b) < 1e-9
+
+
+@pytest.mark.parametrize("oneshot", ONESHOTS)
+def test_oneshot_helpers(oneshot):
+    mat, _ = helmholtz_block_system(9, 3)
+    b = random_rhs(9, 3, nrhs=2, seed=8)
+    assert mat.residual(oneshot(mat, b), b) < 1e-11
+
+
+class TestCyclicInternals:
+    def test_level_count(self):
+        mat, _ = random_block_dd_system(16, 2, seed=9)
+        fact = CyclicReductionFactorization(mat)
+        # 16 -> 8 -> 4 -> 2 -> 1: four reduction levels.
+        assert len(fact.levels) == 4
+
+    def test_odd_sizes(self):
+        for n in (3, 5, 9, 13, 21):
+            mat, _ = random_block_dd_system(n, 2, seed=n)
+            b = random_rhs(n, 2, nrhs=1, seed=n)
+            assert mat.residual(CyclicReductionFactorization(mat).solve(b), b) < 1e-9
+
+    def test_single_row(self):
+        mat, _ = random_block_dd_system(1, 4, seed=10)
+        fact = CyclicReductionFactorization(mat)
+        assert fact.levels == []
+        b = random_rhs(1, 4, nrhs=2, seed=11)
+        assert mat.residual(fact.solve(b), b) < 1e-12
+
+
+class TestThomasInternals:
+    def test_stores_premultiplied_v(self):
+        mat, _ = random_block_dd_system(5, 3, seed=12)
+        fact = ThomasFactorization(mat)
+        assert fact._v.shape == (4, 3, 3)
+
+    def test_single_row(self):
+        mat, _ = random_block_dd_system(1, 3, seed=13)
+        b = random_rhs(1, 3, nrhs=1, seed=14)
+        assert mat.residual(ThomasFactorization(mat).solve(b), b) < 1e-12

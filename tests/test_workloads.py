@@ -1,0 +1,175 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.diagnostics import superdiagonal_rconds, transfer_growth_factor
+from repro.exceptions import ShapeError
+from repro.workloads import (
+    convection_diffusion_system,
+    heat_implicit_system,
+    helmholtz_block_system,
+    multigroup_diffusion_system,
+    point_source_rhs,
+    poisson_block_system,
+    random_block_dd_system,
+    random_rhs,
+    smooth_rhs,
+    toeplitz_block_system,
+)
+
+GENERATORS = [
+    poisson_block_system,
+    heat_implicit_system,
+    convection_diffusion_system,
+    multigroup_diffusion_system,
+    random_block_dd_system,
+    helmholtz_block_system,
+]
+
+
+@pytest.mark.parametrize("gen", GENERATORS)
+class TestGeneratorContracts:
+    def test_shapes_and_info(self, gen):
+        mat, info = gen(6, 3, seed=0)
+        assert mat.nblocks == 6
+        assert mat.block_size == 3
+        assert info["nblocks"] == 6
+        assert info["block_size"] == 3
+        assert "name" in info
+
+    def test_superdiagonal_invertible(self, gen):
+        mat, _ = gen(8, 4, seed=1)
+        rconds = superdiagonal_rconds(mat)
+        assert rconds.min() > 1e-8
+
+    def test_matrix_nonsingular(self, gen):
+        mat, _ = gen(6, 3, seed=2)
+        assert abs(np.linalg.det(mat.to_dense())) > 0
+
+    def test_single_block(self, gen):
+        mat, _ = gen(1, 3, seed=3)
+        assert mat.nblocks == 1
+
+    def test_invalid_sizes(self, gen):
+        with pytest.raises(ShapeError):
+            gen(0, 3)
+        with pytest.raises(ShapeError):
+            gen(3, 0)
+
+
+class TestSpecificGenerators:
+    def test_poisson_structure(self):
+        mat, _ = poisson_block_system(4, 3)
+        np.testing.assert_array_equal(mat.upper[0], -np.eye(3))
+        assert mat.diag[0][0, 0] == 4.0
+
+    def test_poisson_bad_coupling(self):
+        with pytest.raises(ShapeError):
+            poisson_block_system(4, 3, coupling=-1.0)
+
+    def test_heat_parameters(self):
+        mat, info = heat_implicit_system(4, 3, dt=0.5, dx=2.0, diffusivity=2.0)
+        c = 0.5 * 2.0 / 4.0
+        assert mat.diag[0][0, 0] == pytest.approx(1.0 + 4.0 * c)
+        assert info["dt"] == 0.5
+
+    def test_heat_bad_parameters(self):
+        with pytest.raises(ShapeError):
+            heat_implicit_system(4, 3, dt=-1.0)
+
+    def test_convection_asymmetry(self):
+        mat, _ = convection_diffusion_system(4, 3, peclet=0.5)
+        assert not np.allclose(mat.to_dense(), mat.to_dense().T)
+
+    def test_convection_bad_peclet(self):
+        with pytest.raises(ShapeError):
+            convection_diffusion_system(4, 3, peclet=1.0)
+
+    def test_multigroup_dense_blocks(self):
+        mat, _ = multigroup_diffusion_system(4, 5, seed=0)
+        off_diag = mat.diag[0] - np.diag(np.diag(mat.diag[0]))
+        assert np.abs(off_diag).max() > 0  # scattering couples groups
+
+    def test_multigroup_deterministic(self):
+        a, _ = multigroup_diffusion_system(4, 3, seed=42)
+        b, _ = multigroup_diffusion_system(4, 3, seed=42)
+        assert a.allclose(b)
+
+    def test_multigroup_bad_params(self):
+        with pytest.raises(ShapeError):
+            multigroup_diffusion_system(4, 3, scattering=-0.1)
+
+    def test_random_dd_dominance_enforced(self):
+        mat, _ = random_block_dd_system(6, 4, dominance=3.0, seed=0)
+        for i in range(6):
+            diag_min = np.abs(np.diag(mat.diag[i])).min()
+            row_sum = np.abs(mat.diag[i]).sum()
+            # The shifted diagonal carries most of the block's mass.
+            assert diag_min > row_sum / (2 * mat.block_size)
+
+    def test_random_dd_bad_dominance(self):
+        with pytest.raises(ShapeError):
+            random_block_dd_system(4, 3, dominance=1.0)
+
+    def test_helmholtz_bounded_growth(self):
+        mat, _ = helmholtz_block_system(200, 4)
+        assert transfer_growth_factor(mat) < 1e3
+
+    def test_helmholtz_well_conditioned(self):
+        mat, _ = helmholtz_block_system(64, 8)
+        assert np.linalg.cond(mat.to_dense()) < 1e7
+
+    def test_helmholtz_detuning_keeps_window(self):
+        _, info = helmholtz_block_system(128, 8, theta=1.2, eps=0.2)
+        assert abs(info["theta"]) + 2 * 0.2 < 2
+
+    def test_helmholtz_bad_window(self):
+        with pytest.raises(ShapeError):
+            helmholtz_block_system(4, 3, theta=1.9, eps=0.3)
+
+    def test_toeplitz_blocks(self):
+        d = np.diag([2.0, 3.0])
+        lo = np.eye(2)
+        up = 2 * np.eye(2)
+        mat, _ = toeplitz_block_system(3, lo, d, up)
+        np.testing.assert_array_equal(mat.lower[1], lo)
+        np.testing.assert_array_equal(mat.upper[0], up)
+
+    def test_toeplitz_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            toeplitz_block_system(3, np.eye(2), np.eye(3), np.eye(3))
+
+
+class TestRhsGenerators:
+    def test_random_rhs_shape_and_determinism(self):
+        a = random_rhs(4, 3, nrhs=5, seed=1)
+        b = random_rhs(4, 3, nrhs=5, seed=1)
+        assert a.shape == (4, 3, 5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_random_rhs_validation(self):
+        with pytest.raises(ShapeError):
+            random_rhs(4, 3, nrhs=0)
+
+    def test_smooth_rhs(self):
+        out = smooth_rhs(4, 3, nrhs=2)
+        assert out.shape == (4, 3, 2)
+        flat = out.reshape(12, 2)
+        # Column k is sin((k+1) * grid): smooth, bounded by 1.
+        assert np.abs(flat).max() <= 1.0
+
+    def test_smooth_rhs_validation(self):
+        with pytest.raises(ShapeError):
+            smooth_rhs(4, 3, nrhs=0)
+
+    def test_point_sources(self):
+        out = point_source_rhs(4, 3, [(0, 1, 2.0), (3, 2, -1.0)])
+        assert out.shape == (4, 3, 2)
+        assert out[0, 1, 0] == 2.0
+        assert out[3, 2, 1] == -1.0
+        assert np.count_nonzero(out) == 2
+
+    def test_point_sources_out_of_range(self):
+        with pytest.raises(ShapeError):
+            point_source_rhs(4, 3, [(4, 0, 1.0)])
