@@ -1,0 +1,78 @@
+"""Benchmarks of the tracing subsystem's cost, on and off.
+
+Three questions, one benchmark each: what does the disabled ``span``
+guard cost per call (the price every solver phase pays forever), what
+does an *enabled* span cost per record (the price of ``trace=True``),
+and what does end-to-end tracing add to a representative ARD
+factor+solve?  The disabled-path numbers back the <5% quality gate in
+``tests/test_quality_gates.py``; run with
+``REPRO_BENCH_SCALE=full`` for the paper-scale problem.
+"""
+
+import os
+
+import numpy as np
+
+from repro.core.ard import ARDFactorization
+from repro.obs import Tracer, span, tracing
+from repro.workloads import helmholtz_block_system, random_rhs
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+N, M, P, R = (256, 8, 8, 32) if SCALE == "full" else (64, 4, 4, 8)
+
+SPAN_REPS = 1000
+
+
+def test_disabled_span_guard(benchmark):
+    """Cost of 1000 ``span()`` entries with no tracer installed."""
+
+    def run():
+        for _ in range(SPAN_REPS):
+            with span("kernel"):
+                pass
+        return SPAN_REPS
+
+    assert benchmark(run) == SPAN_REPS
+
+
+def test_enabled_span_record(benchmark):
+    """Cost of 1000 recorded spans on an installed (clockless) tracer."""
+
+    def run():
+        tracer = Tracer(rank=0)
+        with tracing(tracer):
+            for _ in range(SPAN_REPS):
+                with span("kernel"):
+                    pass
+        return tracer
+
+    tracer = benchmark(run)
+    assert len(tracer.spans) == SPAN_REPS
+
+
+def _system():
+    matrix, _ = helmholtz_block_system(N, M)
+    return matrix, random_rhs(N, M, R, seed=0)
+
+
+def test_ard_solve_trace_off(benchmark):
+    matrix, b = _system()
+
+    def run():
+        fact = ARDFactorization(matrix, nranks=P)
+        return fact.solve(b)
+
+    x = benchmark(run)
+    assert x.shape == b.shape
+
+
+def test_ard_solve_trace_on(benchmark):
+    matrix, b = _system()
+
+    def run():
+        fact = ARDFactorization(matrix, nranks=P, trace=True)
+        return fact.solve(b)
+
+    x = benchmark(run)
+    assert x.shape == b.shape
+    assert np.isfinite(x).all()

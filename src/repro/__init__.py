@@ -30,6 +30,10 @@ Layout
 ``repro.perfmodel`` / ``repro.harness``
     Analytic cost models and the experiment harness that regenerates
     every table/figure in EXPERIMENTS.md.
+``repro.obs``
+    Per-rank tracing and metrics: phase spans on the virtual and wall
+    clocks, phase breakdown reports, Chrome trace export
+    (``solve(..., trace=True)``; see docs/OBSERVABILITY.md).
 """
 
 from .config import ReproConfig, config_context, get_config, set_config

@@ -31,6 +31,7 @@ commutativity.
 
 from __future__ import annotations
 
+import functools
 from typing import Any, Callable, Sequence, TYPE_CHECKING
 
 from ..exceptions import CommError
@@ -52,6 +53,28 @@ __all__ = [
 ]
 
 
+def _instrumented(name: str):
+    """Route a collective through ``Communicator._collective_entry``.
+
+    The entry context counts the call and its bytes on the rank's
+    :class:`~repro.comm.stats.RankStats` and, when tracing is active,
+    wraps it in a ``cat="coll"`` span.  Composed collectives
+    (``allgather`` calling ``gather`` + ``bcast``) nest entries; the
+    depth guard inside ``_collective_entry`` counts only the outermost.
+    """
+
+    def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
+        @functools.wraps(fn)
+        def wrapper(comm: "Communicator", *args: Any, **kwargs: Any) -> Any:
+            with comm._collective_entry(name):
+                return fn(comm, *args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+@_instrumented("barrier")
 def barrier(comm: "Communicator") -> None:
     """Dissemination barrier: ``ceil(log2 P)`` rounds of paired messages."""
     size, rank = comm.size, comm.rank
@@ -65,6 +88,7 @@ def barrier(comm: "Communicator") -> None:
         dist <<= 1
 
 
+@_instrumented("bcast")
 def bcast(comm: "Communicator", obj: Any, root: int = 0) -> Any:
     """Binomial-tree broadcast from ``root``."""
     size, rank = comm.size, comm.rank
@@ -87,6 +111,7 @@ def bcast(comm: "Communicator", obj: Any, root: int = 0) -> Any:
     return obj
 
 
+@_instrumented("gather")
 def gather(comm: "Communicator", obj: Any, root: int = 0) -> list[Any] | None:
     """Binomial-tree gather; ``root`` returns a rank-indexed list."""
     size, rank = comm.size, comm.rank
@@ -113,12 +138,14 @@ def gather(comm: "Communicator", obj: Any, root: int = 0) -> list[Any] | None:
     return [acc[(r - root) % size] for r in range(size)]
 
 
+@_instrumented("allgather")
 def allgather(comm: "Communicator", obj: Any) -> list[Any]:
     """Gather to rank 0 followed by broadcast (two ``log P`` phases)."""
     items = gather(comm, obj, root=0)
     return bcast(comm, items, root=0)
 
 
+@_instrumented("scatter")
 def scatter(comm: "Communicator", objs: Sequence[Any] | None, root: int = 0) -> Any:
     """Scatter ``objs`` (one per rank) from ``root`` via direct sends.
 
@@ -143,6 +170,7 @@ def scatter(comm: "Communicator", objs: Sequence[Any] | None, root: int = 0) -> 
     return comm._coll_recv(root, tag)
 
 
+@_instrumented("alltoall")
 def alltoall(comm: "Communicator", objs: Sequence[Any]) -> list[Any]:
     """Cyclic pairwise personalized exchange (``P - 1`` rounds)."""
     size, rank = comm.size, comm.rank
@@ -160,6 +188,7 @@ def alltoall(comm: "Communicator", objs: Sequence[Any]) -> list[Any]:
     return out
 
 
+@_instrumented("reduce")
 def reduce(comm: "Communicator", obj: Any, op: Callable[[Any, Any], Any],
            root: int = 0) -> Any | None:
     """Binomial-tree reduction to ``root``.
@@ -189,12 +218,14 @@ def reduce(comm: "Communicator", obj: Any, op: Callable[[Any, Any], Any],
     return acc
 
 
+@_instrumented("allreduce")
 def allreduce(comm: "Communicator", obj: Any, op: Callable[[Any, Any], Any]) -> Any:
     """Reduce to rank 0 then broadcast (strict rank-order combining)."""
     acc = reduce(comm, obj, op, root=0)
     return bcast(comm, acc, root=0)
 
 
+@_instrumented("scan")
 def scan(comm: "Communicator", obj: Any, op: Callable[[Any, Any], Any]) -> Any:
     """Kogge–Stone inclusive prefix over ranks.
 
@@ -219,6 +250,7 @@ def scan(comm: "Communicator", obj: Any, op: Callable[[Any, Any], Any]) -> Any:
     return acc
 
 
+@_instrumented("exscan")
 def exscan(comm: "Communicator", obj: Any, op: Callable[[Any, Any], Any]) -> Any:
     """Exclusive prefix over ranks; rank 0 receives ``None``.
 

@@ -20,6 +20,7 @@ Differences from real MPI, by design:
 from __future__ import annotations
 
 import dataclasses
+from contextlib import contextmanager, nullcontext
 from typing import Any, Callable, Sequence
 
 from ..exceptions import RankError, TagError
@@ -224,6 +225,38 @@ class Communicator:
         tag = _COLL_TAG_BASE + (self._coll_seq % _COLL_TAG_MOD)
         self._coll_seq += 1
         return tag
+
+    @contextmanager
+    def _collective_entry(self, name: str):
+        """Account one user-facing collective call.
+
+        Collectives compose (``allgather`` = ``gather`` + ``bcast``,
+        ``allreduce`` = ``reduce`` + ``bcast``, …), so a per-context
+        depth counter ensures only the *outermost* call is counted in
+        :attr:`RankStats.coll_counts` and traced (``cat="coll"`` span
+        when tracing is on).  Bytes are attributed as the delta of the
+        rank's point-to-point ``bytes_sent`` across the call.
+        """
+        ctx = self._ctx
+        ctx.coll_depth += 1
+        if ctx.coll_depth > 1:
+            try:
+                yield
+            finally:
+                ctx.coll_depth -= 1
+            return
+        bytes0 = ctx.stats.bytes_sent
+        tracer = ctx.tracer
+        span = (
+            tracer.span(name, cat="coll", comm_size=self.size)
+            if tracer is not None else nullcontext()
+        )
+        try:
+            with span:
+                yield
+        finally:
+            ctx.stats.record_collective(name, ctx.stats.bytes_sent - bytes0)
+            ctx.coll_depth -= 1
 
     def _coll_send(self, obj: Any, dest: int, tag: int) -> None:
         self._check_rank(dest, "dest")

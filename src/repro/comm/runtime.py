@@ -34,6 +34,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from ..exceptions import CommError, DeadlockError
+from ..obs.tracer import Tracer, tracing
 from ..util.flops import FlopCounter, counting_flops
 from .clock import VirtualClock
 from .costmodel import CostModel, DEFAULT_COST_MODEL, payload_nbytes
@@ -83,7 +84,8 @@ def _copy_payload(obj: Any) -> Any:
 class RankContext:
     """Per-rank simulation state: clock, flop counter, statistics."""
 
-    __slots__ = ("rank", "clock", "counter", "stats", "runtime")
+    __slots__ = ("rank", "clock", "counter", "stats", "runtime", "tracer",
+                 "coll_depth")
 
     def __init__(self, rank: int, runtime: "Runtime"):
         self.rank = rank
@@ -91,6 +93,14 @@ class RankContext:
         self.counter = FlopCounter()
         self.clock = VirtualClock(runtime.cost_model, self.counter)
         self.stats = RankStats(rank=rank)
+        self.tracer = (
+            Tracer(rank=rank, clock=self.clock, counter=self.counter,
+                   stats=self.stats)
+            if runtime.trace else None
+        )
+        # Collective nesting depth: user-facing collectives compose
+        # (allgather = gather + bcast), so only depth-0 entries count.
+        self.coll_depth = 0
 
     def finalize_stats(self) -> RankStats:
         self.clock.sync_compute()
@@ -117,12 +127,14 @@ class Runtime:
         copy_messages: bool = True,
         deadlock_timeout: float = 5.0,
         poll_interval: float = 0.05,
+        trace: bool = False,
     ):
         if nranks <= 0:
             raise CommError(f"nranks must be positive, got {nranks}")
         self.nranks = nranks
         self.cost_model = cost_model
         self.copy_messages = copy_messages
+        self.trace = trace
         self.deadlock_timeout = deadlock_timeout
         self.poll_interval = poll_interval
         self._cond = threading.Condition()
@@ -149,6 +161,8 @@ class Runtime:
         arrival = ctx.clock.now + self.cost_model.message_time(nbytes)
         ctx.stats.bytes_sent += nbytes
         ctx.stats.msgs_sent += 1
+        if ctx.tracer is not None:
+            ctx.tracer.instant("send", dest=dest_world, tag=tag, nbytes=nbytes)
         msg = _Message(comm_key, source_commrank, tag, payload, nbytes, arrival, next(self._seq))
         with self._cond:
             if self._abort is not None:
@@ -176,7 +190,8 @@ class Runtime:
         ``source``/``tag`` of ``-1`` act as wildcards (ANY_SOURCE /
         ANY_TAG).  Matching is in arrival order among candidates.
         """
-        ctx.clock.sync_compute()
+        v_wait = ctx.clock.sync_compute()
+        w_wait = time.perf_counter() if ctx.tracer is not None else 0.0
         inbox = self._inboxes[ctx.rank]
         with self._cond:
             while True:
@@ -196,6 +211,12 @@ class Runtime:
                 self._check_deadlock_locked()
         ctx.clock.charge_overhead()
         ctx.clock.advance_to(msg.arrival_time)
+        if ctx.tracer is not None:
+            ctx.tracer.closed_span(
+                "recv", "comm", v_wait, ctx.clock.now,
+                w_wait, time.perf_counter(),
+                source=msg.source, tag=msg.tag, nbytes=msg.nbytes,
+            )
         return msg
 
     def _check_deadlock_locked(self) -> None:
@@ -241,6 +262,7 @@ def run_spmd(
     deadlock_timeout: float = 5.0,
     rank_args: Sequence[tuple] | None = None,
     count_flops: bool = True,
+    trace: bool = False,
     **kwargs: Any,
 ) -> SimulationResult:
     """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` simulated ranks.
@@ -269,11 +291,18 @@ def run_spmd(
         Enable flop accounting inside every rank (default on: the
         virtual-time model derives compute time from counted flops).
         Workers otherwise inherit the caller's configuration.
+    trace:
+        Give every rank a :class:`repro.obs.tracer.Tracer` (installed
+        thread-locally for the duration of ``fn``) and return the
+        per-rank timelines on ``SimulationResult.traces``.  Off by
+        default; when off, instrumented code pays only the no-op span
+        guard.
 
     Returns
     -------
     SimulationResult
-        Per-rank return values and statistics.
+        Per-rank return values and statistics (plus traces when
+        ``trace=True``).
 
     Raises
     ------
@@ -296,6 +325,7 @@ def run_spmd(
         cost_model or DEFAULT_COST_MODEL,
         copy_messages=copy_messages,
         deadlock_timeout=deadlock_timeout,
+        trace=trace,
     )
     values: list[Any] = [None] * nranks
     errors: list[BaseException | None] = [None] * nranks
@@ -309,7 +339,11 @@ def run_spmd(
         install_config(worker_config)
         try:
             with counting_flops(ctx.counter):
-                values[rank] = fn(comm, *args, *extra, **kwargs)
+                if ctx.tracer is not None:
+                    with tracing(ctx.tracer):
+                        values[rank] = fn(comm, *args, *extra, **kwargs)
+                else:
+                    values[rank] = fn(comm, *args, *extra, **kwargs)
         except CommAborted as exc:
             errors[rank] = exc
         except BaseException as exc:  # noqa: BLE001 - reported to caller
@@ -343,4 +377,9 @@ def run_spmd(
     if aborted is not None:
         raise aborted
     stats = [ctx.stats for ctx in runtime.contexts]
-    return SimulationResult(values=values, stats=stats, wall_time=wall)
+    traces = (
+        [ctx.tracer.finish() for ctx in runtime.contexts] if trace else None
+    )
+    return SimulationResult(
+        values=values, stats=stats, wall_time=wall, traces=traces
+    )

@@ -5,7 +5,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Sequence
 
-__all__ = ["RankStats", "SimulationResult"]
+__all__ = ["RankStats", "SimulationResult", "as_values"]
 
 
 @dataclasses.dataclass
@@ -23,6 +23,12 @@ class RankStats:
     bytes_sent / msgs_sent:
         Point-to-point traffic originated by this rank (collectives are
         built on point-to-point, so their traffic is included).
+    coll_counts / coll_bytes:
+        Per-collective call counts and the point-to-point bytes this
+        rank sent *inside* each collective (``bcast`` / ``allgather`` /
+        ``allreduce`` / ``scan`` / …), keyed by collective name.  Only
+        the outermost user-facing call is counted: ``allgather`` does
+        not additionally count its internal ``gather`` + ``bcast``.
     """
 
     rank: int
@@ -31,6 +37,27 @@ class RankStats:
     flops_by_kernel: dict[str, int] = dataclasses.field(default_factory=dict)
     bytes_sent: int = 0
     msgs_sent: int = 0
+    coll_counts: dict[str, int] = dataclasses.field(default_factory=dict)
+    coll_bytes: dict[str, int] = dataclasses.field(default_factory=dict)
+
+    def record_collective(self, name: str, nbytes: int) -> None:
+        """Count one user-facing collective call and its p2p bytes."""
+        self.coll_counts[name] = self.coll_counts.get(name, 0) + 1
+        self.coll_bytes[name] = self.coll_bytes.get(name, 0) + int(nbytes)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable dict of all counters."""
+        return {
+            "rank": self.rank,
+            "virtual_time": self.virtual_time,
+            "flops": int(self.flops),
+            "flops_by_kernel": {k: int(v)
+                                for k, v in self.flops_by_kernel.items()},
+            "bytes_sent": int(self.bytes_sent),
+            "msgs_sent": int(self.msgs_sent),
+            "coll_counts": dict(self.coll_counts),
+            "coll_bytes": dict(self.coll_bytes),
+        }
 
 
 @dataclasses.dataclass
@@ -45,11 +72,15 @@ class SimulationResult:
         Per-rank :class:`RankStats`.
     wall_time:
         Real (host) seconds the simulation took to execute.
+    traces:
+        Per-rank :class:`repro.obs.tracer.RankTrace` timelines when the
+        simulation ran with ``trace=True``; ``None`` otherwise.
     """
 
     values: list[Any]
     stats: list[RankStats]
     wall_time: float
+    traces: list[Any] | None = None
 
     @property
     def nranks(self) -> int:
@@ -82,6 +113,51 @@ class SimulationResult:
         for s in self.stats:
             for kernel, flops in s.flops_by_kernel.items():
                 out[kernel] = out.get(kernel, 0) + flops
+        return out
+
+    def collective_counts(self) -> dict[str, int]:
+        """Aggregate per-collective call counts over all ranks."""
+        out: dict[str, int] = {}
+        for s in self.stats:
+            for name, count in s.coll_counts.items():
+                out[name] = out.get(name, 0) + count
+        return out
+
+    def collective_bytes(self) -> dict[str, int]:
+        """Aggregate per-collective p2p bytes over all ranks."""
+        out: dict[str, int] = {}
+        for s in self.stats:
+            for name, nbytes in s.coll_bytes.items():
+                out[name] = out.get(name, 0) + nbytes
+        return out
+
+    def phase_report(self, label: str = "run"):
+        """Build a :class:`repro.obs.report.PhaseReport` from this
+        result's traces; ``None`` when the run was not traced."""
+        from ..obs.report import build_phase_report
+
+        return build_phase_report([(label, self)])
+
+    def to_dict(self, include_ranks: bool = True) -> dict[str, Any]:
+        """JSON-serializable summary (excludes ``values`` / ``traces``).
+
+        ``include_ranks=False`` drops the per-rank detail, leaving only
+        the aggregates — handy for compact trajectory logs.
+        """
+        out: dict[str, Any] = {
+            "nranks": self.nranks,
+            "virtual_time": self.virtual_time,
+            "wall_time": self.wall_time,
+            "total_flops": int(self.total_flops),
+            "total_bytes_sent": int(self.total_bytes_sent),
+            "total_msgs_sent": int(self.total_msgs_sent),
+            "flops_by_kernel": {k: int(v)
+                                for k, v in self.flops_by_kernel().items()},
+            "collective_counts": self.collective_counts(),
+            "collective_bytes": self.collective_bytes(),
+        }
+        if include_ranks:
+            out["ranks"] = [s.to_dict() for s in self.stats]
         return out
 
     def summary(self) -> str:

@@ -64,11 +64,19 @@ class SolveInfo:
     residual:
         Relative max-norm residual of the returned solution.
     virtual_time:
-        Modelled parallel seconds (distributed methods only; ``None``
-        for sequential/reference methods).
+        Modelled parallel seconds.  **Distributed methods only**
+        (``"ard"``, ``"rd"``, ``"spike"``): sequential/reference
+        methods (``"thomas"``, ``"cyclic"``, ``"dense"``, ``"banded"``,
+        ``"sparse"``) never run on the simulated runtime, so
+        ``virtual_time is None`` for them — check before arithmetic.
     factor_result / solve_result:
         Per-phase :class:`~repro.comm.stats.SimulationResult` objects
-        (ARD only) or the single fused result (RD).
+        (ARD/SPIKE) or the single fused result (RD).
+    phase_report:
+        :class:`~repro.obs.report.PhaseReport` with the measured
+        per-phase time/flop/byte breakdown when the solve ran with
+        ``trace=True``; ``None`` otherwise.  Its per-phase virtual
+        times sum to :attr:`virtual_time`.
     """
 
     method: str
@@ -78,6 +86,7 @@ class SolveInfo:
     virtual_time: float | None = None
     factor_result: SimulationResult | None = None
     solve_result: SimulationResult | None = None
+    phase_report: Any | None = None
 
 
 def _validate(matrix: Any, method: str, nranks: int) -> None:
@@ -102,6 +111,7 @@ def solve(
     cost_model: CostModel | None = None,
     check: bool = False,
     refine: int = 0,
+    trace: bool = False,
     return_info: bool = False,
 ):
     """Solve the block tridiagonal system ``A x = b``.
@@ -127,6 +137,15 @@ def solve(
         Rounds of iterative refinement (``x += solve(b - A x)``); one
         round squares the ``eps * growth`` error factor (see
         :mod:`repro.core.refine`).
+    trace:
+        Record per-rank span timelines (see :mod:`repro.obs`) during
+        the distributed methods.  The results carry
+        ``SimulationResult.traces`` and, with ``return_info=True``,
+        ``SolveInfo.phase_report``; export with
+        :func:`repro.obs.write_chrome_trace`.  Ignored by sequential
+        methods (which never run on the simulated runtime).  Off by
+        default — disabled tracing costs only a no-op guard and leaves
+        results bit-identical.
     return_info:
         Also return a :class:`SolveInfo`.
 
@@ -145,17 +164,21 @@ def solve(
     factor_result = None
     solve_result = None
     virtual_time = None
+    # (label, SimulationResult) pairs whose makespans sum to virtual_time;
+    # they become the SolveInfo.phase_report when tracing.
+    trace_segments: list[tuple[str, SimulationResult]] = []
 
     if refine < 0:
         raise ShapeError(f"refine must be >= 0, got {refine}")
 
     if method in ("ard", "spike"):
         cls = ARDFactorization if method == "ard" else SpikeFactorization
-        fact = cls(matrix, nranks=nranks, cost_model=cost_model)
+        fact = cls(matrix, nranks=nranks, cost_model=cost_model, trace=trace)
         x = fact.solve(bb, refine=refine)
         factor_result = fact.factor_result
         solve_result = fact.last_solve_result
         virtual_time = fact.factor_result.virtual_time + solve_result.virtual_time
+        trace_segments = [("factor", factor_result), ("solve", solve_result)]
     elif method == "rd":
         def _rd_once(rhs):
             chunks = distribute_matrix(matrix, nranks)
@@ -166,17 +189,20 @@ def solve(
                 cost_model=cost_model,
                 copy_messages=False,
                 rank_args=[(c, d) for c, d in zip(chunks, d_chunks)],
+                trace=trace,
             )
 
         result = _rd_once(bb)
         solve_result = result
         virtual_time = result.virtual_time
+        trace_segments = [("solve", result)]
         x = gather_solution(list(result.values))
-        for _ in range(refine):
+        for i in range(refine):
             # Honest refinement for the baseline: each round repeats the
             # full per-RHS passes on the residual.
             result = _rd_once(bb - matrix.matvec(x))
             virtual_time += result.virtual_time
+            trace_segments.append((f"refine{i + 1}", result))
             x = x + gather_solution(list(result.values))
     elif method == "thomas":
         x = ThomasFactorization(matrix).solve(bb, refine=refine)
@@ -193,6 +219,11 @@ def solve(
     out = restore_rhs_shape(x, original)
     if not return_info:
         return out
+    phase_report = None
+    if trace and trace_segments:
+        from ..obs import build_phase_report
+
+        phase_report = build_phase_report(trace_segments)
     info = SolveInfo(
         method=method,
         nranks=nranks if method in ("ard", "rd", "spike") else 1,
@@ -201,6 +232,7 @@ def solve(
         virtual_time=virtual_time,
         factor_result=factor_result,
         solve_result=solve_result,
+        phase_report=phase_report,
     )
     return out, info
 
@@ -211,6 +243,7 @@ def factor(
     method: str = "ard",
     nranks: int = 1,
     cost_model: CostModel | None = None,
+    trace: bool = False,
 ):
     """Factor ``matrix`` for repeated solves.
 
@@ -219,6 +252,11 @@ def factor(
     :class:`~repro.core.spike.SpikeFactorization`,
     :class:`~repro.core.thomas.ThomasFactorization`, or
     :class:`~repro.core.cyclic_reduction.CyclicReductionFactorization`.
+
+    ``trace=True`` records per-rank span timelines (see
+    :mod:`repro.obs`) on the distributed factorizations' factor and
+    solve runs (``factor_result.traces`` / ``last_solve_result.traces``);
+    sequential methods ignore it.
     """
     if method not in FACTOR_METHODS:
         raise ConfigError(
@@ -229,9 +267,11 @@ def factor(
             f"matrix must be a BlockTridiagonalMatrix, got {type(matrix).__name__}"
         )
     if method == "ard":
-        return ARDFactorization(matrix, nranks=nranks, cost_model=cost_model)
+        return ARDFactorization(matrix, nranks=nranks, cost_model=cost_model,
+                                trace=trace)
     if method == "spike":
-        return SpikeFactorization(matrix, nranks=nranks, cost_model=cost_model)
+        return SpikeFactorization(matrix, nranks=nranks, cost_model=cost_model,
+                                  trace=trace)
     if method == "thomas":
         return ThomasFactorization(matrix)
     return CyclicReductionFactorization(matrix)

@@ -36,6 +36,7 @@ import numpy as np
 
 from ..exceptions import ShapeError
 from ..linalg.blockops import BatchedLU
+from ..obs import span as _span
 from ..prefix.affine import AffinePair
 from .distribute import LocalChunk
 from .engine import (
@@ -99,17 +100,21 @@ def ard_factor_spmd(comm, chunk: LocalChunk) -> ARDRankState:
     :func:`ard_solve_spmd` against this state must use a communicator
     with the same size and rank.
     """
-    ops = TransferOperators(chunk)
-    a_agg = local_matrix_aggregate(ops)
-    pair = AffinePair(
-        a_agg, np.zeros((a_agg.shape[0], 0), dtype=a_agg.dtype), validate=False
-    )
-    result, trace = affine_scan(comm, pair, record=True)
+    with _span("build"):
+        ops = TransferOperators(chunk)
+        a_agg = local_matrix_aggregate(ops)
+        pair = AffinePair(
+            a_agg, np.zeros((a_agg.shape[0], 0), dtype=a_agg.dtype),
+            validate=False,
+        )
+    with _span("scan"):
+        result, trace = affine_scan(comm, pair, record=True)
     assert trace is not None
-    closing_rank = find_closing_rank(comm, chunk)
-    closing_lu = None
-    if comm.rank == closing_rank:
-        closing_lu = factor_closing(chunk, result.inclusive.a)
+    with _span("closing"):
+        closing_rank = find_closing_rank(comm, chunk)
+        closing_lu = None
+        if comm.rank == closing_rank:
+            closing_lu = factor_closing(chunk, result.inclusive.a)
     return ARDRankState(
         chunk=chunk,
         ops=ops,
@@ -137,20 +142,24 @@ def ard_solve_spmd(comm, state: ARDRankState, d_rows: np.ndarray) -> np.ndarray:
     """
     chunk = state.chunk
     d_rows = validate_rhs_rows(chunk, d_rows)
-    g_rows = state.ops.g(d_rows)
-    b_agg = local_vector_aggregate(state.ops, g_rows)
-    b_inc, b_exc = replay_scan(comm, b_agg, state.trace)
+    with _span("build"):
+        g_rows = state.ops.g(d_rows)
+        b_agg = local_vector_aggregate(state.ops, g_rows)
+    with _span("scan"):
+        b_inc, b_exc = replay_scan(comm, b_agg, state.trace)
 
-    x0 = None
-    if comm.rank == state.closing_rank:
-        if state.closing_lu is None:  # pragma: no cover - factor invariant
-            raise ShapeError("closing rank is missing its factored system")
-        rhs = closing_rhs(chunk, b_inc, d_rows[-1])
-        x0 = state.closing_lu.solve(rhs[None, :, :])[0]
-    x0 = broadcast_x0(comm, state.closing_rank, x0)
+    with _span("closing"):
+        x0 = None
+        if comm.rank == state.closing_rank:
+            if state.closing_lu is None:  # pragma: no cover - factor invariant
+                raise ShapeError("closing rank is missing its factored system")
+            rhs = closing_rhs(chunk, b_inc, d_rows[-1])
+            x0 = state.closing_lu.solve(rhs[None, :, :])[0]
+        x0 = broadcast_x0(comm, state.closing_rank, x0)
 
-    s_lo = entry_state(None, state.trace.a_exclusive, b_exc, x0)
-    return forward_solution(state.ops, g_rows, s_lo, chunk.nrows)
+    with _span("backsub"):
+        s_lo = entry_state(None, state.trace.a_exclusive, b_exc, x0)
+        return forward_solution(state.ops, g_rows, s_lo, chunk.nrows)
 
 
 class ARDFactorization(RefinableFactorization):
@@ -177,7 +186,8 @@ class ARDFactorization(RefinableFactorization):
     True
     """
 
-    def __init__(self, matrix, nranks: int = 1, cost_model=None):
+    def __init__(self, matrix, nranks: int = 1, cost_model=None,
+                 trace: bool = False):
         from ..comm import run_spmd
         from ..linalg.blocktridiag import BlockTridiagonalMatrix
         from .distribute import distribute_matrix
@@ -194,6 +204,7 @@ class ARDFactorization(RefinableFactorization):
         self.block_size = matrix.block_size
         self.nranks = nranks
         self.cost_model = cost_model
+        self.trace = trace
         self._run_spmd = run_spmd
         chunks = distribute_matrix(matrix, nranks)
         self.factor_result = run_spmd(
@@ -202,6 +213,7 @@ class ARDFactorization(RefinableFactorization):
             cost_model=cost_model,
             copy_messages=False,
             rank_args=[(c,) for c in chunks],
+            trace=trace,
         )
         self._states: list[ARDRankState] = list(self.factor_result.values)
         self.last_solve_result = None
@@ -226,6 +238,7 @@ class ARDFactorization(RefinableFactorization):
             cost_model=self.cost_model,
             copy_messages=False,
             rank_args=[(s, d) for s, d in zip(self._states, d_chunks)],
+            trace=self.trace,
         )
         self.last_solve_result = result
         return gather_solution(list(result.values))

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..exceptions import ShapeError
 from ..linalg.blockops import BatchedLU, gemm
+from ..obs import span as _span
 from ..prefix.affine import AffinePair
 from .distribute import LocalChunk
 
@@ -49,7 +50,8 @@ def validate_rhs_rows(chunk: LocalChunk, d_rows: np.ndarray) -> np.ndarray:
 
 def find_closing_rank(comm, chunk: LocalChunk) -> int:
     """Rank owning the closing (last) block row.  One tiny allgather."""
-    flags = comm.allgather(bool(chunk.owns_closing_row))
+    with _span("find_closing_rank", cat="detail"):
+        flags = comm.allgather(bool(chunk.owns_closing_row))
     try:
         return flags.index(True)
     except ValueError:  # pragma: no cover - impossible for valid chunks
@@ -122,9 +124,10 @@ def factor_closing(chunk: LocalChunk, a_inclusive: np.ndarray) -> BatchedLU:
     """
     from ..exceptions import SingularBlockError
 
-    k = closing_matrix(chunk, a_inclusive)
     try:
-        return BatchedLU(k[None, :, :], block_offset=chunk.nblocks - 1)
+        with _span("factor_closing", cat="detail"):
+            k = closing_matrix(chunk, a_inclusive)
+            return BatchedLU(k[None, :, :], block_offset=chunk.nblocks - 1)
     except SingularBlockError as exc:
         raise SingularBlockError(
             "closing system is singular to working precision; the "

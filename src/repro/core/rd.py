@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs import span as _span
 from ..prefix.affine import AffinePair
 from .distribute import LocalChunk
 from .engine import (
@@ -47,22 +48,26 @@ def rd_single_pass(
     operators, aggregates, matrix scan, closing factorization) is
     redone inside this call — that is the baseline's defining cost.
     """
-    ops = TransferOperators(chunk)
-    g_rows = ops.g(d_rows)
-    a_agg = local_matrix_aggregate(ops)
-    b_agg = local_vector_aggregate(ops, g_rows)
-    pair = AffinePair(a_agg, b_agg, validate=False)
-    result, _ = affine_scan(comm, pair, record=False)
+    with _span("build"):
+        ops = TransferOperators(chunk)
+        g_rows = ops.g(d_rows)
+        a_agg = local_matrix_aggregate(ops)
+        b_agg = local_vector_aggregate(ops, g_rows)
+        pair = AffinePair(a_agg, b_agg, validate=False)
+    with _span("scan"):
+        result, _ = affine_scan(comm, pair, record=False)
 
-    x0 = None
-    if comm.rank == closing_rank:
-        lu = factor_closing(chunk, result.inclusive.a)
-        rhs = closing_rhs(chunk, result.inclusive.b, d_rows[-1])
-        x0 = lu.solve(rhs[None, :, :])[0]
-    x0 = broadcast_x0(comm, closing_rank, x0)
+    with _span("closing"):
+        x0 = None
+        if comm.rank == closing_rank:
+            lu = factor_closing(chunk, result.inclusive.a)
+            rhs = closing_rhs(chunk, result.inclusive.b, d_rows[-1])
+            x0 = lu.solve(rhs[None, :, :])[0]
+        x0 = broadcast_x0(comm, closing_rank, x0)
 
-    s_lo = entry_state(result.exclusive, None, None, x0)
-    return forward_solution(ops, g_rows, s_lo, chunk.nrows)
+    with _span("backsub"):
+        s_lo = entry_state(result.exclusive, None, None, x0)
+        return forward_solution(ops, g_rows, s_lo, chunk.nrows)
 
 
 def rd_solve_spmd(comm, chunk: LocalChunk, d_rows: np.ndarray) -> np.ndarray:
@@ -90,7 +95,8 @@ def rd_solve_spmd(comm, chunk: LocalChunk, d_rows: np.ndarray) -> np.ndarray:
     :func:`~repro.core.ard.ard_solve_spmd` for the accelerated path.
     """
     d_rows = validate_rhs_rows(chunk, d_rows)
-    closing_rank = find_closing_rank(comm, chunk)
+    with _span("setup"):
+        closing_rank = find_closing_rank(comm, chunk)
     nrhs = d_rows.shape[2]
     out = np.empty(
         (chunk.nrows, chunk.block_size, nrhs),

@@ -43,6 +43,7 @@ import numpy as np
 from ..exceptions import ShapeError
 from ..linalg.blockops import BatchedLU, gemm
 from ..linalg.blocktridiag import BlockTridiagonalMatrix
+from ..obs import span as _span
 from .distribute import LocalChunk
 from .engine import validate_rhs_rows
 from .refine import RefinableFactorization
@@ -187,62 +188,64 @@ def spike_factor_spmd(comm, chunk: LocalChunk, reduced_mode: str = "root"
     _check_chunk(chunk, comm.size)
     h, m = chunk.nrows, chunk.block_size
     dtype = chunk.dtype
-    populated = comm.allgather(h > 0)
-    kranks = sum(populated)
+    with _span("local_factor"):
+        populated = comm.allgather(h > 0)
+        kranks = sum(populated)
+        local = _LocalThomas(chunk.sub, chunk.diag, chunk.sup) if h > 0 else None
 
-    local = None
-    w = np.zeros((h, m, m), dtype=dtype)
-    v = np.zeros((h, m, m), dtype=dtype)
-    if h > 0:
-        local = _LocalThomas(chunk.sub, chunk.diag, chunk.sup)
-        has_left = chunk.lo > 0
-        has_right = chunk.hi < chunk.nblocks
-        if has_left:
-            rhs = np.zeros((h, m, m), dtype=dtype)
-            rhs[0] = chunk.sub[0]           # L_lo couples to the left bottom
-            w = local.solve(rhs)
-        if has_right:
-            rhs = np.zeros((h, m, m), dtype=dtype)
-            rhs[-1] = chunk.sup[-1]         # U_{hi-1} couples to the right top
-            v = local.solve(rhs)
+    with _span("spikes"):
+        w = np.zeros((h, m, m), dtype=dtype)
+        v = np.zeros((h, m, m), dtype=dtype)
+        if h > 0:
+            has_left = chunk.lo > 0
+            has_right = chunk.hi < chunk.nblocks
+            if has_left:
+                rhs = np.zeros((h, m, m), dtype=dtype)
+                rhs[0] = chunk.sub[0]       # L_lo couples to the left bottom
+                w = local.solve(rhs)
+            if has_right:
+                rhs = np.zeros((h, m, m), dtype=dtype)
+                rhs[-1] = chunk.sup[-1]     # U_{hi-1} couples to the right top
+                v = local.solve(rhs)
 
     # Interface r sits between populated ranks r and r+1 and couples
     # u_r = [x_r^bot; x_{r+1}^top].  Rank r contributes its (bottom-row)
     # spike samples; rank r+1 its (top-row) samples.
-    reduced = None
-    if reduced_mode == "root":
-        contribution = None
-        if h > 0:
-            contribution = {
-                "w_top": w[0].copy(), "w_bot": w[-1].copy(),
-                "v_top": v[0].copy(), "v_bot": v[-1].copy(),
-            }
-        gathered = comm.gather(contribution, root=0)
-        if comm.rank == 0 and kranks > 1:
-            reduced = _assemble_reduced(gathered, kranks, m, dtype)
-    elif kranks > 1:
-        # Distributed assembly: rank r owns interface row r (r < K-1)
-        # and needs only rank r+1's top spike samples — one message.
-        rank = comm.rank
-        if 0 < rank < kranks:
-            comm.send((w[0].copy(), v[0].copy()), rank - 1, _TAG_REDUCED)
-        if rank < kranks - 1:
-            w_top_next, v_top_next = comm.recv(source=rank + 1, tag=_TAG_REDUCED)
-            n_iface = kranks - 1
-            dim = 2 * m
-            eye = np.eye(m, dtype=dtype)
-            diag = np.zeros((dim, dim), dtype=dtype)
-            diag[:m, :m] = eye
-            diag[:m, m:] = v[-1]
-            diag[m:, :m] = w_top_next
-            diag[m:, m:] = eye
-            low = np.zeros((dim, dim), dtype=dtype)
-            if rank > 0:
-                low[:m, :m] = w[-1]
-            up = np.zeros((dim, dim), dtype=dtype)
-            if rank + 1 < n_iface:
-                up[m:, m:] = v_top_next
-            reduced = (low, diag, up)
+    with _span("reduced"):
+        reduced = None
+        if reduced_mode == "root":
+            contribution = None
+            if h > 0:
+                contribution = {
+                    "w_top": w[0].copy(), "w_bot": w[-1].copy(),
+                    "v_top": v[0].copy(), "v_bot": v[-1].copy(),
+                }
+            gathered = comm.gather(contribution, root=0)
+            if comm.rank == 0 and kranks > 1:
+                reduced = _assemble_reduced(gathered, kranks, m, dtype)
+        elif kranks > 1:
+            # Distributed assembly: rank r owns interface row r (r < K-1)
+            # and needs only rank r+1's top spike samples — one message.
+            rank = comm.rank
+            if 0 < rank < kranks:
+                comm.send((w[0].copy(), v[0].copy()), rank - 1, _TAG_REDUCED)
+            if rank < kranks - 1:
+                w_top_next, v_top_next = comm.recv(source=rank + 1, tag=_TAG_REDUCED)
+                n_iface = kranks - 1
+                dim = 2 * m
+                eye = np.eye(m, dtype=dtype)
+                diag = np.zeros((dim, dim), dtype=dtype)
+                diag[:m, :m] = eye
+                diag[:m, m:] = v[-1]
+                diag[m:, :m] = w_top_next
+                diag[m:, m:] = eye
+                low = np.zeros((dim, dim), dtype=dtype)
+                if rank > 0:
+                    low[:m, :m] = w[-1]
+                up = np.zeros((dim, dim), dtype=dtype)
+                if rank + 1 < n_iface:
+                    up[m:, m:] = v_top_next
+                reduced = (low, diag, up)
     return SpikeRankState(
         chunk=chunk, local=local, w=w, v=v, kranks=kranks, reduced=reduced,
         reduced_mode=reduced_mode,
@@ -295,20 +298,23 @@ def spike_solve_spmd(comm, state: SpikeRankState, d_rows: np.ndarray) -> np.ndar
     h, m = chunk.nrows, chunk.block_size
     r = d_rows.shape[2] if d_rows.ndim == 3 else 1
 
-    y = state.local.solve(d_rows) if h > 0 else d_rows
-    if state.reduced_mode == "root":
-        left, right = _reduced_solve_root(comm, state, y, m, r)
-    else:
-        left, right = _reduced_solve_bcyclic(comm, state, y, m, r)
+    with _span("local_solve"):
+        y = state.local.solve(d_rows) if h > 0 else d_rows
+    with _span("reduced"):
+        if state.reduced_mode == "root":
+            left, right = _reduced_solve_root(comm, state, y, m, r)
+        else:
+            left, right = _reduced_solve_bcyclic(comm, state, y, m, r)
 
-    if h == 0:
-        return np.empty((0, m, r), dtype=y.dtype)
-    x = y
-    if left is not None:
-        x = x - gemm(state.w, np.broadcast_to(left, (h, m, r)))
-    if right is not None:
-        x = x - gemm(state.v, np.broadcast_to(right, (h, m, r)))
-    return x
+    with _span("combine"):
+        if h == 0:
+            return np.empty((0, m, r), dtype=y.dtype)
+        x = y
+        if left is not None:
+            x = x - gemm(state.w, np.broadcast_to(left, (h, m, r)))
+        if right is not None:
+            x = x - gemm(state.v, np.broadcast_to(right, (h, m, r)))
+        return x
 
 
 def _reduced_solve_root(comm, state: SpikeRankState, y, m: int, r: int):
@@ -404,7 +410,7 @@ class SpikeFactorization(RefinableFactorization):
     """
 
     def __init__(self, matrix, nranks: int = 1, cost_model=None,
-                 reduced_mode: str = "root"):
+                 reduced_mode: str = "root", trace: bool = False):
         from ..comm import run_spmd
         from .distribute import distribute_matrix
 
@@ -421,6 +427,7 @@ class SpikeFactorization(RefinableFactorization):
         self.nranks = max_spike_ranks(matrix.nblocks, nranks)
         self.cost_model = cost_model
         self.reduced_mode = reduced_mode
+        self.trace = trace
         self._run_spmd = run_spmd
         chunks = distribute_matrix(matrix, self.nranks)
         self.factor_result = run_spmd(
@@ -429,6 +436,7 @@ class SpikeFactorization(RefinableFactorization):
             cost_model=cost_model,
             copy_messages=False,
             rank_args=[(c, reduced_mode) for c in chunks],
+            trace=trace,
         )
         self._states = list(self.factor_result.values)
         self.last_solve_result = None
@@ -453,6 +461,7 @@ class SpikeFactorization(RefinableFactorization):
             cost_model=self.cost_model,
             copy_messages=False,
             rank_args=[(s, d) for s, d in zip(self._states, d_chunks)],
+            trace=self.trace,
         )
         self.last_solve_result = result
         return gather_solution(list(result.values))

@@ -5,6 +5,7 @@ Usage::
     python -m repro.harness list
     python -m repro.harness run recon-F1 [--scale smoke] [--out results/]
     python -m repro.harness all [--scale smoke] [--out results/]
+    python -m repro.harness trace recon-T2 [--scale smoke] [--out results/]
 """
 
 from __future__ import annotations
@@ -13,7 +14,7 @@ import argparse
 import sys
 
 from .experiments import EXPERIMENTS
-from .runner import run_all, run_experiment
+from .runner import run_all, run_experiment, trace_experiment
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -38,6 +39,17 @@ def main(argv: list[str] | None = None) -> int:
     all_p.add_argument("--plot", action="store_true",
                        help="also print the ASCII figures")
 
+    trace_p = sub.add_parser(
+        "trace",
+        help="trace an experiment's representative solves "
+        "(writes Chrome trace JSON for Perfetto / chrome://tracing)",
+    )
+    trace_p.add_argument("exp_id", choices=sorted(EXPERIMENTS))
+    trace_p.add_argument("--scale", choices=("full", "smoke"), default="full")
+    trace_p.add_argument("--out", default="results",
+                         help="directory for the .trace.json file "
+                         "(default: results/)")
+
     args = parser.parse_args(argv)
     if args.command == "list":
         for exp in EXPERIMENTS.values():
@@ -45,6 +57,9 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "run":
         run_experiment(args.exp_id, args.scale, out_dir=args.out, plot=args.plot)
+        return 0
+    if args.command == "trace":
+        trace_experiment(args.exp_id, args.scale, out_dir=args.out)
         return 0
     run_all(args.scale, out_dir=args.out, plot=args.plot)
     return 0

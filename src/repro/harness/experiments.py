@@ -20,6 +20,7 @@ Measurement conventions
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import time
 from typing import Callable
@@ -61,20 +62,29 @@ from ..workloads import (
     random_rhs,
 )
 
-__all__ = ["ExperimentResult", "Experiment", "EXPERIMENTS", "get_experiment"]
+__all__ = ["ExperimentResult", "Experiment", "EXPERIMENTS", "get_experiment",
+           "collecting_sim_stats"]
 
 _CM = PAPER_ERA_MODEL
 
 
 @dataclasses.dataclass
 class ExperimentResult:
-    """Rows regenerating one table/figure, plus rendering helpers."""
+    """Rows regenerating one table/figure, plus rendering helpers.
+
+    ``sim_stats`` holds one aggregated
+    :meth:`~repro.comm.stats.SimulationResult.to_dict` summary (with a
+    ``label``) per simulated run the experiment performed — collected
+    by :func:`collecting_sim_stats` and written by the runner as
+    ``<exp_id>.stats.json`` next to the CSV output.
+    """
 
     exp_id: str
     title: str
     headers: list[str]
     rows: list[list]
     notes: str = ""
+    sim_stats: list[dict] = dataclasses.field(default_factory=list)
 
     def render(self) -> str:
         text = render_table(
@@ -91,6 +101,17 @@ class ExperimentResult:
         idx = self.headers.index(name)
         return [row[idx] for row in self.rows]
 
+    def to_stats_dict(self) -> dict:
+        """JSON-serializable summary for ``<exp_id>.stats.json``."""
+        return {
+            "exp_id": self.exp_id,
+            "title": self.title,
+            "notes": self.notes,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "sim_stats": list(self.sim_stats),
+        }
+
 
 @dataclasses.dataclass(frozen=True)
 class Experiment:
@@ -104,11 +125,44 @@ class Experiment:
 # shared measurement helpers
 # --------------------------------------------------------------------------
 
+# Active sink for per-run simulation summaries (None = not collecting).
+_SIM_LOG: list[dict] | None = None
+
+
+@contextlib.contextmanager
+def collecting_sim_stats():
+    """Collect aggregated stats of every simulated run inside the block.
+
+    Yields the list that :func:`_log_sim` appends to; the runner wraps
+    each experiment in this context and attaches the collected entries
+    to ``ExperimentResult.sim_stats``.  Re-entrant (the outer sink is
+    restored on exit).
+    """
+    global _SIM_LOG
+    previous = _SIM_LOG
+    _SIM_LOG = log = []
+    try:
+        yield log
+    finally:
+        _SIM_LOG = previous
+
+
+def _log_sim(label: str, result, **params) -> None:
+    """Record one simulated run's aggregate counters, if collecting."""
+    if _SIM_LOG is not None:
+        _SIM_LOG.append(
+            {"label": label, **params, **result.to_dict(include_ranks=False)}
+        )
+
 
 def _ard_times(matrix, b, nranks):
     """(factor_vt, solve_vt, factorization) for one ARD run."""
     fact = ARDFactorization(matrix, nranks=nranks, cost_model=_CM)
     fact.solve(b)
+    _log_sim("ard_factor", fact.factor_result,
+             nblocks=matrix.nblocks, block_size=matrix.block_size)
+    _log_sim("ard_solve", fact.last_solve_result,
+             nblocks=matrix.nblocks, block_size=matrix.block_size)
     return (
         fact.factor_result.virtual_time,
         fact.last_solve_result.virtual_time,
@@ -127,6 +181,8 @@ def _rd_time(matrix, b, nranks):
         copy_messages=False,
         rank_args=[(c, d) for c, d in zip(chunks, d_chunks)],
     )
+    _log_sim("rd_solve", result,
+             nblocks=matrix.nblocks, block_size=matrix.block_size)
     return result.virtual_time, result
 
 

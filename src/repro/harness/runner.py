@@ -1,8 +1,11 @@
 """Experiment runner: execute, render, persist.
 
 ``run_experiment`` executes one registry entry and optionally writes its
-rows as CSV under ``results/``; ``run_all`` sweeps the registry.  The
-CLI in :mod:`repro.harness.__main__` wraps these.
+rows as CSV (plus a ``*.stats.json`` with the aggregated per-run
+simulation counters) under ``results/``; ``run_all`` sweeps the
+registry; ``trace_experiment`` re-runs an experiment's representative
+solves with tracing on and writes a Chrome trace.  The CLI in
+:mod:`repro.harness.__main__` wraps these.
 """
 
 from __future__ import annotations
@@ -10,9 +13,14 @@ from __future__ import annotations
 import pathlib
 import time
 
-from .experiments import EXPERIMENTS, ExperimentResult, get_experiment
+from .experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    collecting_sim_stats,
+    get_experiment,
+)
 
-__all__ = ["run_experiment", "run_all"]
+__all__ = ["run_experiment", "run_all", "trace_experiment"]
 
 
 def run_experiment(
@@ -32,7 +40,8 @@ def run_experiment(
     scale:
         ``"full"`` (paper-scale parameters) or ``"smoke"`` (seconds).
     out_dir:
-        When given, write ``<exp_id>.csv`` there.
+        When given, write ``<exp_id>.csv`` and ``<exp_id>.stats.json``
+        there.
     verbose:
         Print the rendered table and timing to stdout.
     plot:
@@ -40,7 +49,9 @@ def run_experiment(
     """
     exp = get_experiment(exp_id)
     t0 = time.perf_counter()
-    result = exp.func(scale)
+    with collecting_sim_stats() as sim_log:
+        result = exp.func(scale)
+    result.sim_stats = sim_log
     elapsed = time.perf_counter() - t0
     if verbose:
         print(result.render())
@@ -53,10 +64,98 @@ def run_experiment(
                 print(figure)
         print(f"  [{exp_id} completed in {elapsed:.1f}s at scale={scale}]")
     if out_dir is not None:
+        from ..io import write_stats_json
+
         out = pathlib.Path(out_dir)
         out.mkdir(parents=True, exist_ok=True)
         (out / f"{exp_id}.csv").write_text(result.to_csv() + "\n")
+        write_stats_json(
+            out / f"{exp_id}.stats.json", result,
+            extra={"scale": scale, "elapsed_s": elapsed},
+        )
     return result
+
+
+def trace_experiment(
+    exp_id: str,
+    scale: str = "full",
+    *,
+    out_dir: str | pathlib.Path = "results",
+    verbose: bool = True,
+) -> pathlib.Path:
+    """Run an experiment's representative solves traced; write the trace.
+
+    Experiments aggregate many simulated runs into tables, so instead of
+    tracing every run, this re-executes one *representative* problem of
+    the experiment's family — an ARD factor+solve and a classical-RD
+    solve on the same matrix and rank count — with per-rank tracing
+    enabled, then writes ``<exp_id>.trace.json`` (Chrome trace-event
+    JSON; open in https://ui.perfetto.dev or ``chrome://tracing``) with
+    one timeline track per simulated rank and prints the measured
+    :class:`~repro.obs.report.PhaseReport` breakdowns.
+
+    Parameters
+    ----------
+    exp_id:
+        Registry key (validated against :data:`EXPERIMENTS`).
+    scale:
+        ``"smoke"`` traces a seconds-scale problem (N=64, M=4, P=4,
+        R=8); ``"full"`` a paper-scale one (N=256, M=8, P=8, R=32).
+    out_dir:
+        Directory for ``<exp_id>.trace.json`` (default ``results/``).
+    verbose:
+        Print the phase reports and the output path.
+
+    Returns
+    -------
+    The path of the written trace file.
+    """
+    from ..core.ard import ARDFactorization
+    from ..core.rd import rd_solve_spmd
+    from ..core.distribute import distribute_matrix, distribute_rhs
+    from ..comm import run_spmd
+    from ..obs import build_phase_report, write_chrome_trace
+    from ..workloads import helmholtz_block_system, random_rhs
+    from .experiments import _CM
+
+    get_experiment(exp_id)  # validate the id before doing any work
+    if scale == "smoke":
+        n, m, p, r = 64, 4, 4, 8
+    else:
+        n, m, p, r = 256, 8, 8, 32
+    matrix, _ = helmholtz_block_system(n, m)
+    b = random_rhs(n, m, r, seed=0)
+
+    fact = ARDFactorization(matrix, nranks=p, cost_model=_CM, trace=True)
+    fact.solve(b)
+    chunks = distribute_matrix(matrix, p)
+    d_chunks = distribute_rhs(b[:, :, :1], p)
+    rd_result = run_spmd(
+        rd_solve_spmd, p, cost_model=_CM, copy_messages=False,
+        rank_args=[(c, d) for c, d in zip(chunks, d_chunks)], trace=True,
+    )
+
+    out = pathlib.Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = write_chrome_trace(
+        out / f"{exp_id}.trace.json",
+        {"ard": fact, "rd (1 rhs)": rd_result},
+    )
+    if verbose:
+        ard_report = build_phase_report(
+            [("factor", fact.factor_result),
+             ("solve", fact.last_solve_result)]
+        )
+        rd_report = build_phase_report([("solve", rd_result)])
+        print(f"[{exp_id}] representative traced runs "
+              f"(N={n}, M={m}, P={p}, R={r}, scale={scale})")
+        print()
+        print("ARD " + ard_report.render())
+        print()
+        print("RD, single RHS " + rd_report.render())
+        print()
+        print(f"wrote {path}")
+    return path
 
 
 def run_all(

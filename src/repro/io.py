@@ -22,7 +22,8 @@ from typing import Any
 from . import __version__
 from .exceptions import ReproError
 
-__all__ = ["save", "load", "FormatError", "SAVABLE_CLASSES"]
+__all__ = ["save", "load", "write_stats_json", "FormatError",
+           "SAVABLE_CLASSES"]
 
 _MAGIC = "repro-factorization-v1"
 
@@ -85,6 +86,46 @@ def save(path: str | pathlib.Path, obj: Any) -> pathlib.Path:
     with open(path, "wb") as fh:
         pickle.dump(header, fh, protocol=pickle.HIGHEST_PROTOCOL)
         pickle.dump(obj, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    return path
+
+
+def _json_default(obj: Any):
+    """Coerce numpy scalars/arrays for ``json.dumps``."""
+    import numpy as np
+
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(
+        f"object of type {type(obj).__name__} is not JSON serializable"
+    )
+
+
+def write_stats_json(path: str | pathlib.Path, obj: Any,
+                     extra: dict | None = None) -> pathlib.Path:
+    """Write a statistics document as human-diffable JSON.
+
+    ``obj`` may be a plain dict or any object exposing
+    ``to_stats_dict()`` / ``to_dict()`` (e.g.
+    :class:`~repro.harness.experiments.ExperimentResult`,
+    :class:`~repro.comm.stats.SimulationResult`); ``extra`` entries are
+    merged on top.  Numpy scalars and arrays are converted.  The
+    harness writes one ``<exp_id>.stats.json`` per experiment next to
+    its CSV output.  Returns the path.
+    """
+    import json
+
+    if hasattr(obj, "to_stats_dict"):
+        obj = obj.to_stats_dict()
+    elif hasattr(obj, "to_dict"):
+        obj = obj.to_dict()
+    if extra:
+        obj = {**obj, **extra}
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(obj, indent=2, default=_json_default) + "\n")
     return path
 
 

@@ -1,0 +1,65 @@
+"""Per-rank tracing and metrics (the library's observability layer).
+
+The paper's cost story is *per phase*: ARD amortizes the matrix-prefix
+scan so only the vector phases repeat per right-hand-side batch.  This
+package makes that story observable instead of analytic.  Three pieces:
+
+:mod:`repro.obs.tracer`
+    A per-rank :class:`Tracer` with nestable spans recording both wall
+    time and virtual-clock time.  Installed thread-locally alongside
+    the rank's :class:`~repro.util.flops.FlopCounter`; instrumented
+    code calls the module-level :func:`span` / :func:`instant` helpers,
+    which are no-ops when tracing is disabled (the same guard pattern
+    as :func:`repro.util.flops.record_flops`, so instrumentation is
+    safe to leave in hot paths permanently).
+:mod:`repro.obs.chrome`
+    Chrome trace-event JSON export — one timeline track per simulated
+    rank, dual virtual/wall clocks — loadable in Perfetto
+    (https://ui.perfetto.dev) or ``chrome://tracing``.
+:mod:`repro.obs.report`
+    :class:`PhaseReport`: aggregated time + flops + bytes per solver
+    phase per rank, surfaced on :class:`repro.core.api.SolveInfo`.
+
+Quick start
+-----------
+>>> from repro import solve
+>>> from repro.workloads import poisson_block_system, random_rhs
+>>> A, _ = poisson_block_system(16, 4)
+>>> b = random_rhs(16, 4, nrhs=4, seed=0)
+>>> x, info = solve(A, b, method="ard", nranks=4, trace=True,
+...                 return_info=True)
+>>> sorted(info.phase_report.virtual_by_phase()) is not None
+True
+
+See ``docs/OBSERVABILITY.md`` for the span taxonomy and the harness
+CLI (``python -m repro.harness trace <exp-id>``).
+"""
+
+from .chrome import chrome_trace_events, write_chrome_trace
+from .report import PhaseReport, PhaseStat, build_phase_report
+from .tracer import (
+    EventRecord,
+    RankTrace,
+    SpanRecord,
+    Tracer,
+    current_tracer,
+    instant,
+    span,
+    tracing,
+)
+
+__all__ = [
+    "Tracer",
+    "RankTrace",
+    "SpanRecord",
+    "EventRecord",
+    "current_tracer",
+    "tracing",
+    "span",
+    "instant",
+    "PhaseReport",
+    "PhaseStat",
+    "build_phase_report",
+    "chrome_trace_events",
+    "write_chrome_trace",
+]

@@ -1,0 +1,213 @@
+"""Chrome trace-event JSON export of rank traces.
+
+Writes the `Trace Event Format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+consumed by Perfetto (https://ui.perfetto.dev) and ``chrome://tracing``.
+The export carries **two clock domains** for every traced run:
+
+- a *virtual* process whose timestamps are the simulator's modelled
+  seconds (the paper's cost model — deterministic), and
+- a *wall* process with real host timestamps (thread scheduling noise
+  included),
+
+each with one timeline track (``tid``) per simulated rank.  Spans
+become ``"X"`` (complete) events, sends become ``"i"`` (instant)
+events; ``args`` carry flop/byte deltas and causal partner ranks.
+
+Multi-segment runs (ARD's ``factor`` then ``solve``) are laid end to
+end on the virtual axis — segment k starts where segment k-1's makespan
+ended, mirroring ``SolveInfo.virtual_time`` — while wall timestamps are
+kept as measured (normalized to the earliest event).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Sequence
+
+__all__ = ["chrome_trace_events", "write_chrome_trace"]
+
+_US = 1.0e6  # seconds -> microseconds (trace-event timestamp unit)
+
+
+def _span_args(span) -> dict[str, Any]:
+    args = {k: v for k, v in span.attrs.items()}
+    if span.flops:
+        args["flops"] = span.flops
+    if span.bytes_sent:
+        args["bytes_sent"] = span.bytes_sent
+    if span.msgs_sent:
+        args["msgs_sent"] = span.msgs_sent
+    return args
+
+
+def chrome_trace_events(
+    segments: Sequence[tuple[str, Any]],
+    *,
+    label: str = "run",
+    base_pid: int = 0,
+    include_wall: bool = True,
+) -> list[dict[str, Any]]:
+    """Convert traced segments into a list of trace-event dicts.
+
+    Parameters
+    ----------
+    segments:
+        ``(segment_label, SimulationResult)`` pairs in execution order;
+        every result must carry traces (``run_spmd(..., trace=True)``).
+    label:
+        Run label used in the process names (e.g. the method name).
+    base_pid:
+        First process id to use; the virtual process gets ``base_pid``
+        and the wall process ``base_pid + 1``.  Pass distinct bases to
+        combine several runs in one file.
+    include_wall:
+        Also emit the wall-clock process (on by default).
+
+    Returns
+    -------
+    list of event dicts ready for ``json.dump`` under ``traceEvents``.
+    """
+    from ..exceptions import ReproError
+
+    v_pid = base_pid
+    w_pid = base_pid + 1
+    events: list[dict[str, Any]] = []
+    ranks: set[int] = set()
+
+    wall_zero = None
+    for _, result in segments:
+        if result is None or getattr(result, "traces", None) is None:
+            raise ReproError(
+                "segment has no traces; run with trace=True "
+                "(e.g. solve(..., trace=True) or run_spmd(..., trace=True))"
+            )
+        for trace in result.traces:
+            for s in trace.spans:
+                wall_zero = s.w_start if wall_zero is None else min(
+                    wall_zero, s.w_start)
+            for e in trace.events:
+                wall_zero = e.w_ts if wall_zero is None else min(
+                    wall_zero, e.w_ts)
+    wall_zero = wall_zero or 0.0
+
+    v_offset = 0.0
+    for seg_label, result in segments:
+        for trace in result.traces:
+            ranks.add(trace.rank)
+            for s in trace.spans:
+                common = {
+                    "name": s.name,
+                    "cat": s.cat,
+                    "ph": "X",
+                    "tid": trace.rank,
+                    "args": {"segment": seg_label, **_span_args(s)},
+                }
+                events.append({
+                    **common,
+                    "pid": v_pid,
+                    "ts": (v_offset + s.v_start) * _US,
+                    "dur": s.v_dur * _US,
+                })
+                if include_wall:
+                    events.append({
+                        **common,
+                        "pid": w_pid,
+                        "ts": (s.w_start - wall_zero) * _US,
+                        "dur": s.w_dur * _US,
+                    })
+            for e in trace.events:
+                common = {
+                    "name": e.name,
+                    "cat": e.cat,
+                    "ph": "i",
+                    "s": "t",
+                    "tid": trace.rank,
+                    "args": {"segment": seg_label, **e.attrs},
+                }
+                events.append({
+                    **common,
+                    "pid": v_pid,
+                    "ts": (v_offset + e.v_ts) * _US,
+                })
+                if include_wall:
+                    events.append({
+                        **common,
+                        "pid": w_pid,
+                        "ts": (e.w_ts - wall_zero) * _US,
+                    })
+        v_offset += result.virtual_time
+
+    pids = [(v_pid, f"{label} [virtual time]")]
+    if include_wall:
+        pids.append((w_pid, f"{label} [wall time]"))
+    for pid, name in pids:
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": name},
+        })
+        for rank in sorted(ranks):
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": rank,
+                "args": {"name": f"rank {rank}"},
+            })
+    return events
+
+
+def _segments_of(source: Any) -> list[tuple[str, Any]]:
+    """Normalize a SolveInfo / SimulationResult / segment list."""
+    factor_result = getattr(source, "factor_result", None)
+    solve_result = getattr(source, "solve_result", None)
+    if solve_result is None:
+        solve_result = getattr(source, "last_solve_result", None)
+    if factor_result is not None or solve_result is not None:
+        segments = []
+        if factor_result is not None:
+            segments.append(("factor", factor_result))
+        if solve_result is not None:
+            segments.append(("solve", solve_result))
+        return segments
+    if hasattr(source, "traces"):
+        return [("run", source)]
+    return list(source)
+
+
+def write_chrome_trace(
+    path: str | pathlib.Path,
+    source: Any,
+    *,
+    include_wall: bool = True,
+) -> pathlib.Path:
+    """Write a Chrome trace-event JSON file; returns the path.
+
+    Parameters
+    ----------
+    path:
+        Output file (conventionally ``*.trace.json``); open it in
+        Perfetto or ``chrome://tracing``.
+    source:
+        Any of: a ``SolveInfo`` (factor + solve segments), a traced
+        factorization (``factor_result`` / ``last_solve_result``), a
+        single traced ``SimulationResult``, a list of ``(label,
+        SimulationResult)`` segments, or a dict mapping run labels to
+        any of the above (each run gets its own process pair).
+    include_wall:
+        Also emit the wall-clock processes (on by default).
+    """
+    if isinstance(source, dict):
+        groups = [(str(k), _segments_of(v)) for k, v in source.items()]
+    else:
+        groups = [("run", _segments_of(source))]
+    events: list[dict[str, Any]] = []
+    base_pid = 0
+    for label, segments in groups:
+        events.extend(chrome_trace_events(
+            segments, label=label, base_pid=base_pid,
+            include_wall=include_wall,
+        ))
+        base_pid += 2
+    path = pathlib.Path(path)
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    path.write_text(json.dumps(payload))
+    return path

@@ -1,0 +1,181 @@
+"""Aggregated per-phase cost reports built from rank traces.
+
+A :class:`PhaseReport` condenses the raw span timelines of one or more
+:class:`~repro.comm.stats.SimulationResult` *segments* (e.g. ARD's
+``factor`` and ``solve`` phases) into per-phase, per-rank totals of
+virtual time, wall time, flops, and point-to-point traffic — the
+measured counterpart of the analytic breakdown in experiment recon-T2.
+
+Because the solver phase spans tile each rank's execution and virtual
+time only advances through counted flops and modelled message events,
+the per-phase virtual times of a segment's critical rank sum to that
+segment's makespan exactly; :meth:`PhaseReport.virtual_by_phase`
+exposes exactly those numbers, so their total matches
+``SolveInfo.virtual_time``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Sequence
+
+__all__ = ["PhaseStat", "PhaseReport", "build_phase_report"]
+
+
+@dataclasses.dataclass
+class PhaseStat:
+    """Aggregated cost of one phase on one rank within one segment."""
+
+    segment: str
+    phase: str
+    rank: int
+    virtual_time: float = 0.0
+    wall_time: float = 0.0
+    flops: int = 0
+    bytes_sent: int = 0
+    msgs_sent: int = 0
+    count: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict (JSON-serializable) form."""
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class PhaseReport:
+    """Per-phase, per-rank cost breakdown of a traced run.
+
+    Attributes
+    ----------
+    stats:
+        One :class:`PhaseStat` per (segment, phase, rank), in execution
+        order.
+    segment_virtual:
+        Modelled makespan of each segment (max final clock over ranks).
+    segment_critical_rank:
+        The rank realizing each segment's makespan.
+    nranks:
+        Number of simulated ranks.
+    """
+
+    stats: list[PhaseStat]
+    segment_virtual: dict[str, float]
+    segment_critical_rank: dict[str, int]
+    nranks: int
+
+    @property
+    def virtual_total(self) -> float:
+        """Sum of segment makespans — the run's modelled time."""
+        return sum(self.segment_virtual.values())
+
+    def phases(self) -> list[str]:
+        """Ordered unique ``"segment/phase"`` keys."""
+        seen: dict[str, None] = {}
+        for s in self.stats:
+            seen.setdefault(f"{s.segment}/{s.phase}", None)
+        return list(seen)
+
+    def per_rank(self, segment: str, phase: str) -> list[PhaseStat]:
+        """All ranks' stats for one phase, ordered by rank."""
+        return sorted(
+            (s for s in self.stats
+             if s.segment == segment and s.phase == phase),
+            key=lambda s: s.rank,
+        )
+
+    def virtual_by_phase(self) -> dict[str, float]:
+        """Per-phase virtual seconds on each segment's critical rank.
+
+        Phase spans tile each rank's timeline, so these values sum to
+        :attr:`virtual_total` (and hence to ``SolveInfo.virtual_time``
+        for distributed methods).
+        """
+        out: dict[str, float] = {}
+        for s in self.stats:
+            if s.rank == self.segment_critical_rank[s.segment]:
+                key = f"{s.segment}/{s.phase}"
+                out[key] = out.get(key, 0.0) + s.virtual_time
+        return out
+
+    def render(self) -> str:
+        """Human-readable table of the critical-rank breakdown."""
+        from ..util.tables import render_table
+
+        total = max(self.virtual_total, 1e-300)
+        rows = []
+        for key, vt in self.virtual_by_phase().items():
+            segment, phase = key.split("/", 1)
+            crit = self.segment_critical_rank[segment]
+            stats = [s for s in self.per_rank(segment, phase)
+                     if s.rank == crit]
+            flops = sum(s.flops for s in stats)
+            nbytes = sum(s.bytes_sent for s in stats)
+            msgs = sum(s.msgs_sent for s in stats)
+            rows.append([key, f"{vt:.3e}", f"{vt / total:.1%}",
+                         flops, nbytes, msgs])
+        return render_table(
+            ["phase", "virtual_s", "share", "flops", "bytes", "msgs"],
+            rows,
+            title=f"Phase breakdown (P={self.nranks}, "
+            f"T_virtual={self.virtual_total:.3e}s, critical ranks)",
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict (JSON-serializable) form."""
+        return {
+            "nranks": self.nranks,
+            "virtual_total": self.virtual_total,
+            "segment_virtual": dict(self.segment_virtual),
+            "segment_critical_rank": dict(self.segment_critical_rank),
+            "virtual_by_phase": self.virtual_by_phase(),
+            "stats": [s.to_dict() for s in self.stats],
+        }
+
+
+def build_phase_report(
+    segments: Sequence[tuple[str, Any]],
+) -> PhaseReport | None:
+    """Aggregate traced segments into a :class:`PhaseReport`.
+
+    Parameters
+    ----------
+    segments:
+        ``(label, SimulationResult)`` pairs in execution order, e.g.
+        ``[("factor", fact.factor_result), ("solve",
+        fact.last_solve_result)]``.  Returns ``None`` if any segment is
+        missing or carries no traces (tracing was disabled).
+    """
+    stats: list[PhaseStat] = []
+    segment_virtual: dict[str, float] = {}
+    segment_critical: dict[str, int] = {}
+    nranks = 0
+    for label, result in segments:
+        if result is None or getattr(result, "traces", None) is None:
+            return None
+        nranks = max(nranks, result.nranks)
+        segment_virtual[label] = result.virtual_time
+        segment_critical[label] = max(
+            range(result.nranks),
+            key=lambda r: result.stats[r].virtual_time,
+        )
+        for trace in result.traces:
+            agg: dict[str, PhaseStat] = {}
+            for s in trace.phase_spans():
+                stat = agg.get(s.name)
+                if stat is None:
+                    stat = agg[s.name] = PhaseStat(
+                        segment=label, phase=s.name, rank=trace.rank
+                    )
+                    stats.append(stat)
+                stat.virtual_time += s.v_dur
+                stat.wall_time += s.w_dur
+                stat.flops += s.flops
+                stat.bytes_sent += s.bytes_sent
+                stat.msgs_sent += s.msgs_sent
+                stat.count += 1
+    return PhaseReport(
+        stats=stats,
+        segment_virtual=segment_virtual,
+        segment_critical_rank=segment_critical,
+        nranks=nranks,
+    )

@@ -23,6 +23,7 @@ SUBPACKAGES = [
     "repro.workloads",
     "repro.perfmodel",
     "repro.harness",
+    "repro.obs",
     "repro.util",
     "repro.io",
     "repro.config",
@@ -90,6 +91,52 @@ def test_public_classes_document_their_methods():
                 assert inspect.getdoc(target), (
                     f"{cls.__name__}.{attr_name} lacks a docstring"
                 )
+
+
+def test_tracing_disabled_overhead_under_5_percent():
+    """The no-op span guard must cost < 5% on realistic kernel work.
+
+    ``repro.obs.span`` is placed around every solver phase and stays in
+    the hot path even when tracing is off, so its disabled cost must be
+    negligible next to the work a phase does.  A phase span wraps at
+    minimum on the order of a 128x128 matmul of block work; time a loop
+    of those bare vs. wrapped in disabled spans.  BLAS/scheduler noise
+    dwarfs the guard, so measure *paired* interleaved rounds and take
+    the best (minimum) instrumented/plain ratio: one quiet pair reveals
+    the true ratio, while a real guard regression inflates every pair.
+    """
+    import time
+
+    import numpy as np
+
+    from repro.obs import current_tracer, span
+
+    assert current_tracer() is None  # guard: the cheap no-op path
+
+    a = np.ones((128, 128))
+    reps, rounds = 50, 15
+
+    def plain():
+        for _ in range(reps):
+            a @ a
+
+    def instrumented():
+        for _ in range(reps):
+            with span("kernel"):
+                a @ a
+
+    def timed(fn):
+        t0 = time.perf_counter_ns()
+        fn()
+        return time.perf_counter_ns() - t0
+
+    plain(), instrumented()  # warm up
+    ratios = [timed(instrumented) / timed(plain) for _ in range(rounds)]
+    best = min(ratios)
+    assert best < 1.05, (
+        f"disabled tracing overhead {best - 1:.1%} exceeds 5% in every "
+        f"round ({reps} 128x128 matmuls per round, {rounds} paired rounds)"
+    )
 
 
 def test_version_consistent():
