@@ -34,6 +34,11 @@ Layout
     Per-rank tracing and metrics: phase spans on the virtual and wall
     clocks, phase breakdown reports, Chrome trace export
     (``solve(..., trace=True)``; see docs/OBSERVABILITY.md).
+``repro.service``
+    In-process solver service for request streams: content-addressed
+    factorization cache (LRU + byte budget + single-flight), request
+    batching into multi-RHS solves, bounded admission with
+    backpressure (see docs/SERVICE.md).
 """
 
 from .config import ReproConfig, config_context, get_config, set_config
@@ -74,7 +79,9 @@ __all__ = [
     "BlockTridiagonalMatrix",
     "solve",
     "factor",
+    "fingerprint",
     "ARDFactorization",
+    "SolverService",
     "run_spmd",
 ]
 
@@ -86,7 +93,7 @@ def __getattr__(name: str):
         from .linalg.blocktridiag import BlockTridiagonalMatrix
 
         return BlockTridiagonalMatrix
-    if name in ("solve", "factor"):
+    if name in ("solve", "factor", "fingerprint"):
         from .core import api
 
         return getattr(api, name)
@@ -94,6 +101,10 @@ def __getattr__(name: str):
         from .core.ard import ARDFactorization
 
         return ARDFactorization
+    if name == "SolverService":
+        from .service import SolverService
+
+        return SolverService
     if name == "run_spmd":
         from .comm import run_spmd
 

@@ -47,7 +47,8 @@ from .rd import rd_solve_spmd
 from .spike import SpikeFactorization
 from .thomas import ThomasFactorization
 
-__all__ = ["solve", "factor", "SolveInfo", "SOLVE_METHODS", "FACTOR_METHODS"]
+__all__ = ["solve", "factor", "fingerprint", "SolveInfo", "SOLVE_METHODS",
+           "FACTOR_METHODS"]
 
 SOLVE_METHODS = ("ard", "rd", "spike", "thomas", "cyclic", "dense", "banded", "sparse")
 FACTOR_METHODS = ("ard", "spike", "thomas", "cyclic")
@@ -89,6 +90,21 @@ class SolveInfo:
     phase_report: Any | None = None
 
 
+def _reject_unknown_kwargs(fn_name: str, kwargs: dict) -> None:
+    """Raise :class:`~repro.exceptions.ConfigError` for stray keywords.
+
+    A mistyped option (``nrank=4``, ``refined=1``) silently falling
+    through would change results without warning; rejecting it as a
+    :class:`ConfigError` keeps it catchable under
+    :class:`~repro.exceptions.ReproError` alongside the other
+    configuration mistakes (unknown method names, bad rank counts).
+    """
+    if kwargs:
+        names = ", ".join(sorted(kwargs))
+        raise ConfigError(f"{fn_name}() got unknown keyword argument(s): "
+                          f"{names}")
+
+
 def _validate(matrix: Any, method: str, nranks: int) -> None:
     if not isinstance(matrix, BlockTridiagonalMatrix):
         raise ShapeError(
@@ -113,6 +129,7 @@ def solve(
     refine: int = 0,
     trace: bool = False,
     return_info: bool = False,
+    **unknown_kwargs,
 ):
     """Solve the block tridiagonal system ``A x = b``.
 
@@ -153,7 +170,14 @@ def solve(
     -------
     ``x`` or ``(x, info)``:
         The solution in the caller's RHS layout.
+
+    Raises
+    ------
+    ConfigError
+        For an unknown ``method`` or any unrecognized keyword argument
+        (mistyped options never pass silently).
     """
+    _reject_unknown_kwargs("solve", unknown_kwargs)
     _validate(matrix, method, nranks)
     if check and method in ("ard", "rd"):
         diagnose(matrix)
@@ -244,6 +268,7 @@ def factor(
     nranks: int = 1,
     cost_model: CostModel | None = None,
     trace: bool = False,
+    **unknown_kwargs,
 ):
     """Factor ``matrix`` for repeated solves.
 
@@ -257,7 +282,11 @@ def factor(
     :mod:`repro.obs`) on the distributed factorizations' factor and
     solve runs (``factor_result.traces`` / ``last_solve_result.traces``);
     sequential methods ignore it.
+
+    Unknown keyword arguments raise
+    :class:`~repro.exceptions.ConfigError`.
     """
+    _reject_unknown_kwargs("factor", unknown_kwargs)
     if method not in FACTOR_METHODS:
         raise ConfigError(
             f"unknown factor method {method!r}; choose from {FACTOR_METHODS}"
@@ -275,3 +304,38 @@ def factor(
     if method == "thomas":
         return ThomasFactorization(matrix)
     return CyclicReductionFactorization(matrix)
+
+
+def fingerprint(
+    matrix: BlockTridiagonalMatrix,
+    *,
+    method: str | None = None,
+    nranks: int = 1,
+) -> str:
+    """Stable content fingerprint of ``matrix`` — the factor-cache key.
+
+    With only a matrix, returns its content hash
+    (:meth:`~repro.linalg.blocktridiag.BlockTridiagonalMatrix.fingerprint`):
+    equal-content matrices map to equal digests.  With ``method``
+    (one of :data:`FACTOR_METHODS`), returns the full cache key used by
+    :mod:`repro.service` — the content hash qualified by method and
+    rank geometry, i.e. exactly the granularity at which a stored
+    factorization is reusable.
+
+    >>> import numpy as np
+    >>> from repro.workloads import poisson_block_system
+    >>> A, _ = poisson_block_system(8, 2)
+    >>> fingerprint(A) == fingerprint(A.copy())
+    True
+    >>> fingerprint(A, method="ard", nranks=4).startswith("ard:p4:")
+    True
+    """
+    if not isinstance(matrix, BlockTridiagonalMatrix):
+        raise ShapeError(
+            f"matrix must be a BlockTridiagonalMatrix, got {type(matrix).__name__}"
+        )
+    if method is None:
+        return matrix.fingerprint()
+    from ..service.fingerprint import factor_key  # deferred: avoids cycle
+
+    return factor_key(matrix, method, nranks)

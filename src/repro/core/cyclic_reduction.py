@@ -126,6 +126,18 @@ class CyclicReductionFactorization(RefinableFactorization):
         # Root: a single M x M system.
         self._root_lu = BatchedLU(diag[0][None, :, :])
 
+    @property
+    def nbytes(self) -> int:
+        """Stored factorization footprint across all reduction levels;
+        used by the service-layer cache for byte-budget accounting."""
+        total = self._root_lu.nbytes
+        for level in self.levels:
+            total += (level.p.nbytes + level.q.nbytes
+                      + level.odd_sub.nbytes + level.odd_sup.nbytes)
+            if level.odd_lu is not None:
+                total += level.odd_lu.nbytes
+        return total
+
     def _solve_normalized(self, bb: np.ndarray) -> np.ndarray:
         n, m = self.nblocks, self.block_size
         r = bb.shape[2]

@@ -73,6 +73,13 @@ class ThomasFactorization(RefinableFactorization):
         # Consolidate the per-block factors into one batch for fast solves.
         self._slu = _stack_lus(lus)
 
+    @property
+    def nbytes(self) -> int:
+        """Stored factorization footprint (Schur LU factors, ``V_i``,
+        and the retained subdiagonal); used by the service-layer cache
+        for byte-budget accounting."""
+        return self._slu.nbytes + self._v.nbytes + self._lower.nbytes
+
     def _solve_normalized(self, bb: np.ndarray) -> np.ndarray:
         n, m = self.nblocks, self.block_size
         r = bb.shape[2]

@@ -19,6 +19,10 @@ __all__ = [
     "TagError",
     "ConfigError",
     "ExperimentError",
+    "ServiceError",
+    "ServiceOverloadError",
+    "ServiceClosedError",
+    "DeadlineExceededError",
 ]
 
 
@@ -77,3 +81,22 @@ class ConfigError(ReproError, ValueError):
 class ExperimentError(ReproError, RuntimeError):
     """An experiment definition in :mod:`repro.harness` is malformed or
     references unknown components."""
+
+
+class ServiceError(ReproError, RuntimeError):
+    """Base class for errors raised by the solver service layer
+    (:mod:`repro.service`)."""
+
+
+class ServiceOverloadError(ServiceError):
+    """The service's admission queue is full and its overload policy is
+    ``"reject"`` — the caller should back off and retry."""
+
+
+class ServiceClosedError(ServiceError):
+    """A request was submitted to (or was still pending in) a service
+    that has been closed."""
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's deadline expired before its solve completed."""

@@ -6,6 +6,7 @@ Usage::
     python -m repro.harness run recon-F1 [--scale smoke] [--out results/]
     python -m repro.harness all [--scale smoke] [--out results/]
     python -m repro.harness trace recon-T2 [--scale smoke] [--out results/]
+    python -m repro.harness serve-bench [--scale smoke] [--rhs 10,100,256]
 """
 
 from __future__ import annotations
@@ -50,6 +51,20 @@ def main(argv: list[str] | None = None) -> int:
                          help="directory for the .trace.json file "
                          "(default: results/)")
 
+    serve_p = sub.add_parser(
+        "serve-bench",
+        help="benchmark the solver service (batched cached ARD) against "
+        "per-request classical RD",
+    )
+    serve_p.add_argument("--scale", choices=("full", "smoke"), default="smoke")
+    serve_p.add_argument("--rhs", default=None,
+                         help="comma-separated request counts "
+                         "(default: 10,100,256,1000)")
+    serve_p.add_argument("--workers", type=int, default=2,
+                         help="service worker threads (default: 2)")
+    serve_p.add_argument("--out", default=None,
+                         help="directory for serve_bench.stats.json")
+
     args = parser.parse_args(argv)
     if args.command == "list":
         for exp in EXPERIMENTS.values():
@@ -60,6 +75,13 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "trace":
         trace_experiment(args.exp_id, args.scale, out_dir=args.out)
+        return 0
+    if args.command == "serve-bench":
+        from .serve import serve_bench
+
+        rhs = (tuple(int(v) for v in args.rhs.split(","))
+               if args.rhs else None)
+        serve_bench(args.scale, rhs, workers=args.workers, out_dir=args.out)
         return 0
     run_all(args.scale, out_dir=args.out, plot=args.plot)
     return 0

@@ -1,0 +1,152 @@
+"""Service throughput benchmark: batched cached ARD vs per-request RD.
+
+Drives the solver service (:mod:`repro.service`) with a stream of
+single-RHS requests against one registered matrix and compares its
+wall-clock throughput with the unserved baseline — classical recursive
+doubling re-run from scratch for every request (no factorization held,
+no batching), the workflow the paper's amortization argument replaces.
+
+For each request count ``R`` the benchmark reports requests/second for
+both paths plus the service's cache hit-rate and batch-size statistics
+from :meth:`~repro.service.service.SolverService.metrics_snapshot` —
+the measured counterpart of the paper's ``O(R)`` reuse claim.  The
+baseline's per-request cost is constant, so it is timed over at most
+``BASELINE_CAP`` requests and reported as a rate; the service path
+executes all ``R`` requests for real (batching only shows at scale).
+
+Exposed as ``python -m repro.harness serve-bench`` and reused by
+``benchmarks/bench_service.py``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+from typing import Any, Sequence
+
+from ..core.api import solve
+from ..service import SolverService
+from ..util.tables import render_table
+from ..workloads import helmholtz_block_system, random_rhs
+
+__all__ = ["serve_bench", "BASELINE_CAP"]
+
+#: Baseline RD requests actually executed per R (rate extrapolated).
+BASELINE_CAP = 32
+
+_SCALES = {
+    "smoke": dict(nblocks=64, block_size=4, nranks=4),
+    "full": dict(nblocks=256, block_size=8, nranks=8),
+}
+_DEFAULT_RHS = (10, 100, 256, 1000)
+
+
+def _rd_baseline_rate(matrix, nranks: int, nrequests: int, seed0: int) -> float:
+    """Requests/second of per-request classical RD (no reuse at all)."""
+    n, m = matrix.nblocks, matrix.block_size
+    rhs = [random_rhs(n, m, nrhs=1, seed=seed0 + i) for i in range(nrequests)]
+    t0 = time.perf_counter()
+    for b in rhs:
+        solve(matrix, b, method="rd", nranks=nranks)
+    return nrequests / (time.perf_counter() - t0)
+
+
+def serve_bench(
+    scale: str = "smoke",
+    rhs_counts: Sequence[int] | None = None,
+    *,
+    workers: int = 2,
+    batch_window: float = 0.002,
+    max_batch_rhs: int = 128,
+    out_dir: str | pathlib.Path | None = None,
+    verbose: bool = True,
+) -> dict[str, Any]:
+    """Run the service-vs-baseline throughput comparison.
+
+    Parameters
+    ----------
+    scale:
+        ``"smoke"`` (N=64, M=4, P=4) or ``"full"`` (N=256, M=8, P=8).
+    rhs_counts:
+        Request counts ``R`` to sweep (default ``(10, 100, 256, 1000)``).
+    workers / batch_window / max_batch_rhs:
+        Service configuration (see
+        :class:`~repro.service.service.SolverService`).
+    out_dir:
+        If given, write ``serve_bench.stats.json`` there.
+    verbose:
+        Print the ASCII table.
+
+    Returns
+    -------
+    dict
+        ``{"scale", "config", "rows": [...]}``; each row carries the
+        two rates, the speedup, and the service metrics snapshot.
+    """
+    if scale not in _SCALES:
+        raise ValueError(f"scale must be one of {sorted(_SCALES)}, got {scale!r}")
+    cfg = _SCALES[scale]
+    n, m, p = cfg["nblocks"], cfg["block_size"], cfg["nranks"]
+    matrix, _ = helmholtz_block_system(n, m)
+    rhs_counts = tuple(rhs_counts) if rhs_counts else _DEFAULT_RHS
+
+    rows: list[dict[str, Any]] = []
+    for r in rhs_counts:
+        base_rate = _rd_baseline_rate(matrix, p, min(r, BASELINE_CAP), seed0=0)
+
+        service = SolverService(
+            method="ard", nranks=p, workers=workers,
+            batch_window=batch_window, max_batch_rhs=max_batch_rhs,
+            max_pending=max(r, 1),
+        )
+        try:
+            handle = service.register(matrix, eager=True)
+            rhs = [random_rhs(n, m, nrhs=1, seed=i) for i in range(r)]
+            t0 = time.perf_counter()
+            tickets = [service.submit(handle, b) for b in rhs]
+            for t in tickets:
+                t.result(timeout=300.0)
+            svc_rate = r / (time.perf_counter() - t0)
+            snap = service.metrics_snapshot()
+        finally:
+            service.close()
+
+        batch = snap["summaries"].get("batch.size", {})
+        rows.append({
+            "R": r,
+            "rd_req_per_s": base_rate,
+            "service_req_per_s": svc_rate,
+            "speedup": svc_rate / base_rate,
+            "cache_hit_rate": snap["cache"]["hit_rate"],
+            "mean_batch": batch.get("mean"),
+            "max_batch": batch.get("max"),
+            "metrics": snap,
+        })
+
+    result = {
+        "scale": scale,
+        "config": {"nblocks": n, "block_size": m, "nranks": p,
+                   "workers": workers, "batch_window": batch_window,
+                   "max_batch_rhs": max_batch_rhs,
+                   "baseline_cap": BASELINE_CAP},
+        "rows": rows,
+    }
+    if verbose:
+        print(render_table(
+            ["R", "rd req/s", "service req/s", "speedup",
+             "hit rate", "mean batch", "max batch"],
+            [[row["R"], row["rd_req_per_s"], row["service_req_per_s"],
+              row["speedup"], row["cache_hit_rate"], row["mean_batch"],
+              row["max_batch"]] for row in rows],
+            title=f"serve-bench ({scale}: N={n}, M={m}, P={p}; "
+            f"baseline timed over <= {BASELINE_CAP} requests)",
+        ))
+    if out_dir is not None:
+        from ..io import write_stats_json
+
+        out_dir = pathlib.Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = write_stats_json(out_dir / "serve_bench.stats.json", result)
+        if verbose:
+            print(f"wrote {path}")
+    return result

@@ -20,6 +20,7 @@ round-tripped by :meth:`BlockTridiagonalMatrix.matvec`.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterator
 
 import numpy as np
@@ -73,7 +74,7 @@ class BlockTridiagonalMatrix:
         corrupt the matrix.
     """
 
-    __slots__ = ("diag", "lower", "upper")
+    __slots__ = ("diag", "lower", "upper", "_fingerprint")
 
     def __init__(self, lower: np.ndarray | None, diag: np.ndarray,
                  upper: np.ndarray | None, *, copy: bool = True):
@@ -106,6 +107,7 @@ class BlockTridiagonalMatrix:
         self.diag = np.array(diag, dtype=dtype, copy=copy)
         self.lower = np.array(lower, dtype=dtype, copy=copy)
         self.upper = np.array(upper, dtype=dtype, copy=copy)
+        self._fingerprint: str | None = None
 
     # -- shape / metadata --------------------------------------------------
 
@@ -134,6 +136,29 @@ class BlockTridiagonalMatrix:
     def nbytes(self) -> int:
         """Total bytes of the three block batches."""
         return self.diag.nbytes + self.lower.nbytes + self.upper.nbytes
+
+    def fingerprint(self) -> str:
+        """Stable content fingerprint of the matrix (hex digest).
+
+        Hashes the structure (``N``, ``M``, dtype) and the raw bytes of
+        all three block batches, so two matrices with equal contents
+        fingerprint identically regardless of how they were built.  The
+        digest is cached on first use — valid because the matrix is
+        immutable by convention; callers who mutate the block arrays
+        in place (outside the documented contract) get stale keys.
+        Used by :mod:`repro.service` to key its factorization cache.
+        """
+        fp = self._fingerprint
+        if fp is None:
+            h = hashlib.blake2b(digest_size=16)
+            h.update(
+                f"btm:{self.nblocks}:{self.block_size}:{self.dtype.str}"
+                .encode()
+            )
+            for batch in (self.diag, self.lower, self.upper):
+                h.update(np.ascontiguousarray(batch).data)
+            fp = self._fingerprint = h.hexdigest()
+        return fp
 
     # -- construction ------------------------------------------------------
 

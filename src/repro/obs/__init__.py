@@ -19,6 +19,11 @@ package makes that story observable instead of analytic.  Three pieces:
 :mod:`repro.obs.report`
     :class:`PhaseReport`: aggregated time + flops + bytes per solver
     phase per rank, surfaced on :class:`repro.core.api.SolveInfo`.
+:mod:`repro.obs.metrics`
+    Thread-safe counters / gauges / summaries with a combined
+    ``snapshot()`` — the aggregate view long-lived components expose
+    (the solver service, :mod:`repro.service`, reports cache hit rates
+    and batch sizes through one :class:`MetricsRegistry`).
 
 Quick start
 -----------
@@ -36,6 +41,7 @@ CLI (``python -m repro.harness trace <exp-id>``).
 """
 
 from .chrome import chrome_trace_events, write_chrome_trace
+from .metrics import Counter, Gauge, MetricsRegistry, Summary
 from .report import PhaseReport, PhaseStat, build_phase_report
 from .tracer import (
     EventRecord,
@@ -62,4 +68,8 @@ __all__ = [
     "build_phase_report",
     "chrome_trace_events",
     "write_chrome_trace",
+    "Counter",
+    "Gauge",
+    "Summary",
+    "MetricsRegistry",
 ]

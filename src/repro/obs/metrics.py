@@ -1,0 +1,177 @@
+"""Lightweight thread-safe metrics: counters, gauges, summaries.
+
+The tracing side of :mod:`repro.obs` answers "where did one run spend
+its time"; this module answers "what has the process done so far" — the
+aggregate view a long-lived component (notably the solver service,
+:mod:`repro.service`) exposes while serving a request stream.  Three
+instrument kinds, all registered on a :class:`MetricsRegistry`:
+
+:class:`Counter`
+    Monotonic count (requests served, cache hits, bytes evicted).
+:class:`Gauge`
+    Point-in-time value that moves both ways (queue depth, cached
+    bytes).
+:class:`Summary`
+    Streaming aggregate of an observed quantity — count / total / min /
+    max / last (batch sizes, queue-wait seconds).  No buckets: the
+    consumers here need means and extremes, not quantiles, and a
+    five-number struct keeps ``observe()`` O(1) and lock-cheap.
+
+``registry.snapshot()`` returns a plain nested dict (JSON-serializable,
+stable key order) so services can surface one self-describing blob; the
+same shape is written by :func:`repro.io.write_stats_json` consumers.
+
+>>> reg = MetricsRegistry()
+>>> reg.counter("requests").inc()
+>>> reg.summary("batch_size").observe(4)
+>>> snap = reg.snapshot()
+>>> snap["counters"]["requests"], snap["summaries"]["batch_size"]["max"]
+(1, 4)
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+__all__ = ["Counter", "Gauge", "Summary", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonic counter; ``inc`` by any non-negative amount."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        return self._value
+
+
+class Gauge:
+    """Point-in-time value; settable and adjustable in both directions."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge value."""
+        with self._lock:
+            self._value = value
+
+    def add(self, delta: float) -> None:
+        """Adjust the gauge by ``delta`` (may be negative)."""
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        """Current value."""
+        return self._value
+
+
+class Summary:
+    """Streaming count/total/min/max/last aggregate of observations."""
+
+    __slots__ = ("_lock", "count", "total", "min", "max", "last")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self.last: float | None = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.last = value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float | None:
+        """Mean of all observations (``None`` before the first)."""
+        return self.total / self.count if self.count else None
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict (JSON-serializable) form."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "last": self.last,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments with lazy creation and a combined snapshot.
+
+    Instrument creation is idempotent per name; asking for an existing
+    name with a different kind raises ``ValueError`` (a metrics naming
+    bug, not a runtime condition).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._summaries: dict[str, Summary] = {}
+
+    def _get(self, table: dict[str, Any], name: str, factory) -> Any:
+        with self._lock:
+            inst = table.get(name)
+            if inst is None:
+                for other in (self._counters, self._gauges, self._summaries):
+                    if other is not table and name in other:
+                        raise ValueError(
+                            f"metric {name!r} already registered with a "
+                            "different kind"
+                        )
+                inst = table[name] = factory()
+            return inst
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the named :class:`Counter`."""
+        return self._get(self._counters, name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the named :class:`Gauge`."""
+        return self._get(self._gauges, name, Gauge)
+
+    def summary(self, name: str) -> Summary:
+        """Get or create the named :class:`Summary`."""
+        return self._get(self._summaries, name, Summary)
+
+    def snapshot(self) -> dict[str, Any]:
+        """All instruments as one nested, JSON-serializable dict."""
+        with self._lock:
+            return {
+                "counters": {k: c.value
+                             for k, c in sorted(self._counters.items())},
+                "gauges": {k: g.value
+                           for k, g in sorted(self._gauges.items())},
+                "summaries": {k: s.to_dict()
+                              for k, s in sorted(self._summaries.items())},
+            }

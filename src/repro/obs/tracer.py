@@ -40,6 +40,11 @@ Span categories (``cat``):
 ``"detail"``
     Fine-grained sub-steps (e.g. the closing factorization) that nest
     inside phases and are excluded from phase aggregation.
+``"request"``
+    Request lifecycle stages emitted by the solver service
+    (:mod:`repro.service`): ``queued`` / ``batched`` / ``solved``
+    spans per request, recorded with :meth:`Tracer.closed_span`
+    because the stage boundaries are measured across threads.
 """
 
 from __future__ import annotations

@@ -1,0 +1,61 @@
+"""Solver service layer: factorization cache + request batching.
+
+The paper's contribution is amortization — ARD factors the
+matrix-valued prefix once and serves ``R`` right-hand sides at
+``O(M^2 R)`` each instead of ``O(M^3 R)``.  The one-shot
+``solve()``/``factor()`` API leaves realizing that payoff to the
+caller; this package *holds* factorizations across requests and turns
+the ``O(R)`` reuse into measured throughput for a request stream
+(the repeated-RHS workload shape — domain decomposition sweeps,
+implicit time stepping, eigenvalue iteration — that motivates
+block-tridiagonal solvers in Terekhov, arXiv:1108.4181, and Belov et
+al., arXiv:1505.06864).
+
+Three layers, composable and individually testable:
+
+:mod:`repro.service.fingerprint`
+    Content-addressed cache keys: matrix fingerprint × method ×
+    rank geometry.
+:mod:`repro.service.cache`
+    :class:`FactorizationCache` — thread-safe LRU with a byte-size
+    budget, single-flight factorization, and hit/miss/eviction
+    counters.
+:mod:`repro.service.batcher` / :mod:`repro.service.service`
+    :class:`SolverService` — bounded admission queue, worker threads,
+    a :class:`RequestBatcher` that coalesces queued requests against
+    the same factorization into one multi-RHS solve, per-request
+    deadlines, reject/block backpressure, and graceful drain.
+
+Quick start
+-----------
+>>> from repro.service import SolverService
+>>> from repro.workloads import poisson_block_system, random_rhs
+>>> A, _ = poisson_block_system(16, 4)
+>>> with SolverService(method="ard", nranks=4) as svc:
+...     h = svc.register(A, eager=True)
+...     tickets = [svc.submit(h, random_rhs(16, 4, nrhs=1, seed=s))
+...                for s in range(8)]
+...     xs = [t.result() for t in tickets]
+>>> svc.metrics_snapshot()["cache"]["misses"]
+1
+
+Benchmark: ``python -m repro.harness serve-bench`` and
+``benchmarks/bench_service.py``; architecture notes in
+``docs/SERVICE.md``.
+"""
+
+from .batcher import RequestBatcher, SolveRequest
+from .cache import CacheStats, FactorizationCache
+from .fingerprint import factor_key
+from .service import FactorHandle, SolverService, SolveTicket
+
+__all__ = [
+    "SolverService",
+    "FactorHandle",
+    "SolveTicket",
+    "FactorizationCache",
+    "CacheStats",
+    "RequestBatcher",
+    "SolveRequest",
+    "factor_key",
+]

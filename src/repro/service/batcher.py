@@ -1,0 +1,205 @@
+"""Request batching: coalesce single-RHS solves into multi-RHS calls.
+
+The paper's amortization is only realized when right-hand sides reach
+the factorization *together*: one ``ARDFactorization.solve(B)`` with
+``R`` columns costs one vector-scan round trip, while ``R`` separate
+single-column solves cost ``R`` of them.  The batcher therefore holds
+each arriving request briefly and flushes all requests targeting the
+same cached factorization as one batched solve.
+
+A per-key queue is *ready* to flush when any of:
+
+- its queued RHS column count has reached ``max_batch_rhs``
+  (size trigger),
+- its oldest request has waited ``window`` seconds (latency trigger —
+  the knob trading per-request latency for batching efficiency), or
+- the caller forces a flush (service drain).
+
+Keys currently being served are *busy*: their new arrivals accumulate
+into the next batch instead of racing a second concurrent solve against
+the same factorization — back-to-back batches per key, maximal
+coalescing under load.
+
+This class is deliberately lock-free *bookkeeping only*: every method
+must be called while holding the owning service's lock (it is the
+condition-variable state of :class:`repro.service.service.SolverService`,
+not a standalone queue).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from concurrent.futures import Future
+from typing import Any
+
+import numpy as np
+
+__all__ = ["SolveRequest", "RequestBatcher"]
+
+
+@dataclasses.dataclass
+class SolveRequest:
+    """One admitted solve request, normalized and awaiting batching.
+
+    Attributes
+    ----------
+    key:
+        Factorization cache key (the batching axis).
+    handle:
+        The :class:`~repro.service.service.FactorHandle` naming the
+        matrix/method/nranks — carried so a cache miss (first use or
+        post-eviction) can rebuild the factorization.
+    bb / original:
+        Right-hand side normalized to ``(N, M, r)`` plus the caller's
+        layout for :func:`~repro.linalg.blocktridiag.restore_rhs_shape`.
+    future:
+        Resolved with the solution (caller layout) or an exception.
+    enqueued:
+        ``time.monotonic()`` at admission (window trigger + queue-wait
+        metrics).
+    deadline:
+        Absolute ``time.monotonic()`` bound on *queue* time, or
+        ``None``; requests still queued past it fail with
+        :class:`~repro.exceptions.DeadlineExceededError`.
+    """
+
+    key: str
+    handle: Any
+    bb: np.ndarray
+    original: tuple
+    future: Future
+    enqueued: float
+    deadline: float | None = None
+
+    @property
+    def nrhs(self) -> int:
+        """Number of RHS columns this request contributes."""
+        return self.bb.shape[2]
+
+
+class _KeyQueue:
+    """Pending requests for one cache key, in arrival order."""
+
+    __slots__ = ("requests", "rhs_total")
+
+    def __init__(self) -> None:
+        self.requests: list[SolveRequest] = []
+        self.rhs_total = 0
+
+
+class RequestBatcher:
+    """Per-key pending queues with window/size flush triggers."""
+
+    def __init__(self, window: float = 0.002, max_batch_rhs: int = 128):
+        if window < 0:
+            raise ValueError(f"window must be >= 0, got {window}")
+        if max_batch_rhs < 1:
+            raise ValueError(f"max_batch_rhs must be >= 1, got {max_batch_rhs}")
+        self.window = window
+        self.max_batch_rhs = max_batch_rhs
+        # Key order tracks each queue's oldest pending request (FIFO
+        # across keys): re-inserted on partial flush, so iteration
+        # order is oldest-first.
+        self._queues: OrderedDict[str, _KeyQueue] = OrderedDict()
+        self._busy: set[str] = set()
+        self.pending_requests = 0
+        self.pending_rhs = 0
+
+    # -- producer side -----------------------------------------------------
+
+    def put(self, request: SolveRequest) -> None:
+        """Queue one request under its key."""
+        q = self._queues.get(request.key)
+        if q is None:
+            q = self._queues[request.key] = _KeyQueue()
+        q.requests.append(request)
+        q.rhs_total += request.nrhs
+        self.pending_requests += 1
+        self.pending_rhs += request.nrhs
+
+    # -- consumer side -----------------------------------------------------
+
+    def _ready(self, q: _KeyQueue, now: float, flush_all: bool) -> bool:
+        if flush_all or q.rhs_total >= self.max_batch_rhs:
+            return True
+        return now - q.requests[0].enqueued >= self.window
+
+    def take(self, now: float, flush_all: bool = False
+             ) -> list[SolveRequest] | None:
+        """Claim the oldest ready batch, marking its key busy.
+
+        Returns up to ``max_batch_rhs`` RHS columns of requests for one
+        key (always at least one request), or ``None`` if nothing is
+        ready.  The caller must :meth:`release` the key when the batch
+        has been served.
+        """
+        for key, q in self._queues.items():
+            if key in self._busy or not self._ready(q, now, flush_all):
+                continue
+            batch: list[SolveRequest] = []
+            taken_rhs = 0
+            while q.requests and (not batch
+                                  or taken_rhs + q.requests[0].nrhs
+                                  <= self.max_batch_rhs):
+                req = q.requests.pop(0)
+                taken_rhs += req.nrhs
+                batch.append(req)
+            q.rhs_total -= taken_rhs
+            self.pending_requests -= len(batch)
+            self.pending_rhs -= taken_rhs
+            if q.requests:
+                # Leftovers start a fresh window at the back of the
+                # key order (their own arrival times still bound it).
+                self._queues.move_to_end(key)
+            else:
+                del self._queues[key]
+            self._busy.add(key)
+            return batch
+        return None
+
+    def release(self, key: str) -> None:
+        """Un-busy ``key`` after its batch was served."""
+        self._busy.discard(key)
+
+    def expedite(self) -> None:
+        """Expire every pending window immediately (explicit flush).
+
+        Backdates each queued request's arrival by one window, so the
+        next :meth:`take` sees every non-busy key as ready without
+        special-casing the readiness logic.
+        """
+        for q in self._queues.values():
+            for req in q.requests:
+                req.enqueued -= self.window
+
+    def next_ready_in(self, now: float) -> float | None:
+        """Seconds until the earliest non-busy window expires.
+
+        ``None`` when nothing pending can become ready by time alone
+        (empty, or all pending keys busy) — the caller then waits for a
+        put/release notification instead of polling.
+        """
+        earliest: float | None = None
+        for key, q in self._queues.items():
+            if key in self._busy:
+                continue
+            expires = q.requests[0].enqueued + self.window
+            if earliest is None or expires < earliest:
+                earliest = expires
+        return None if earliest is None else max(0.0, earliest - now)
+
+    @property
+    def idle(self) -> bool:
+        """True when nothing is pending and nothing is being served."""
+        return not self._queues and not self._busy
+
+    def drain_pending(self) -> list[SolveRequest]:
+        """Remove and return every pending request (abandon drain)."""
+        out: list[SolveRequest] = []
+        for q in self._queues.values():
+            out.extend(q.requests)
+        self._queues.clear()
+        self.pending_requests = 0
+        self.pending_rhs = 0
+        return out

@@ -1,0 +1,55 @@
+"""Cache keys for factorizations.
+
+A factorization is reusable only for an *identical solve configuration*:
+the same matrix contents, the same method, and — for the distributed
+methods — the same simulated rank geometry (an
+:class:`~repro.core.ard.ARDFactorization` built with ``nranks=4``
+stores four rank states and cannot serve a two-rank replay).  The cache
+key therefore combines the matrix's content fingerprint
+(:meth:`~repro.linalg.blocktridiag.BlockTridiagonalMatrix.fingerprint`)
+with the method name and normalized rank count.
+
+Sequential methods (``"thomas"``, ``"cyclic"``) ignore ``nranks``; the
+key normalizes theirs to 1 so ``factor_key(A, "thomas", 4)`` and
+``factor_key(A, "thomas", 1)`` share one cache entry.
+"""
+
+from __future__ import annotations
+
+from ..core.api import FACTOR_METHODS
+from ..exceptions import ConfigError, ShapeError
+from ..linalg.blocktridiag import BlockTridiagonalMatrix
+
+__all__ = ["factor_key", "DISTRIBUTED_METHODS"]
+
+DISTRIBUTED_METHODS = ("ard", "spike")
+
+
+def factor_key(matrix: BlockTridiagonalMatrix, method: str,
+               nranks: int) -> str:
+    """Deterministic cache key for ``factor(matrix, method, nranks)``.
+
+    >>> import numpy as np
+    >>> from repro.workloads import poisson_block_system
+    >>> A, _ = poisson_block_system(8, 2)
+    >>> B = A.copy()
+    >>> factor_key(A, "ard", 4) == factor_key(B, "ard", 4)
+    True
+    >>> factor_key(A, "ard", 4) == factor_key(A, "ard", 2)
+    False
+    >>> factor_key(A, "thomas", 4) == factor_key(A, "thomas", 1)
+    True
+    """
+    if not isinstance(matrix, BlockTridiagonalMatrix):
+        raise ShapeError(
+            f"matrix must be a BlockTridiagonalMatrix, got {type(matrix).__name__}"
+        )
+    if method not in FACTOR_METHODS:
+        raise ConfigError(
+            f"unknown factor method {method!r}; choose from {FACTOR_METHODS}"
+        )
+    if nranks < 1:
+        raise ShapeError(f"nranks must be >= 1, got {nranks}")
+    if method not in DISTRIBUTED_METHODS:
+        nranks = 1
+    return f"{method}:p{nranks}:{matrix.fingerprint()}"

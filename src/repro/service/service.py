@@ -1,0 +1,465 @@
+"""The in-process solver service: cache + batcher + worker pool.
+
+:class:`SolverService` turns the library's one-shot ``factor``/``solve``
+calls into a long-lived request-serving component:
+
+- :meth:`~SolverService.register` fingerprints a matrix and returns a
+  :class:`FactorHandle` (optionally factoring eagerly through the
+  cache);
+- :meth:`~SolverService.submit` admits a request ``(handle-or-matrix,
+  b)`` and returns a future-backed :class:`SolveTicket`;
+- worker threads drain the :class:`~repro.service.batcher.RequestBatcher`,
+  resolve the factorization through the single-flight
+  :class:`~repro.service.cache.FactorizationCache`, and serve each
+  batch as **one** multi-RHS ``factorization.solve(B)`` — the paper's
+  ``O(M^2 R)`` amortized solve instead of ``R`` independent passes.
+
+Admission control is explicit: at most ``max_pending`` requests may be
+queued; past that the service either raises
+:class:`~repro.exceptions.ServiceOverloadError` (``overload="reject"``,
+the default — callers see backpressure immediately) or blocks the
+submitting thread until space frees (``overload="block"``).  A
+per-request ``deadline`` bounds *queue* time: requests still waiting
+when it expires fail with
+:class:`~repro.exceptions.DeadlineExceededError` without consuming
+solve work (a request already picked up is always served — the result
+is imminent and discarding it would waste the batch).
+
+Observability: every lifecycle stage is measured.  With ``trace=True``
+each worker records ``cat="request"`` spans (``queued`` /
+``factor`` / ``solved``) on its own :class:`~repro.obs.tracer.Tracer`
+(:meth:`~SolverService.traces` returns the per-worker timelines), and
+:meth:`~SolverService.metrics_snapshot` merges the
+:class:`~repro.obs.MetricsRegistry` instruments with the cache's
+hit/miss/eviction counters into one JSON-serializable dict.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any
+
+import numpy as np
+
+from ..comm import CostModel
+from ..core.api import FACTOR_METHODS, factor
+from ..exceptions import (
+    ConfigError,
+    DeadlineExceededError,
+    ServiceClosedError,
+    ServiceOverloadError,
+    ShapeError,
+)
+from ..linalg.blocktridiag import (
+    BlockTridiagonalMatrix,
+    reshape_rhs,
+    restore_rhs_shape,
+)
+from ..obs import MetricsRegistry, RankTrace, Tracer
+from .batcher import RequestBatcher, SolveRequest
+from .cache import FactorizationCache
+from .fingerprint import factor_key
+
+__all__ = ["SolverService", "FactorHandle", "SolveTicket"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FactorHandle:
+    """A registered (matrix, method, nranks) triple with its cache key.
+
+    The handle keeps the matrix by reference so the service can
+    re-factor after an eviction; it carries no factorization itself —
+    ownership stays with the cache.
+    """
+
+    matrix: BlockTridiagonalMatrix
+    method: str
+    nranks: int
+    key: str
+
+    @property
+    def fingerprint(self) -> str:
+        """The matrix content fingerprint portion of the key."""
+        return self.key.rsplit(":", 1)[1]
+
+
+class SolveTicket:
+    """Future-backed receipt for one submitted request."""
+
+    __slots__ = ("key", "nrhs", "_future")
+
+    def __init__(self, key: str, nrhs: int, future: Future):
+        self.key = key
+        self.nrhs = nrhs
+        self._future = future
+
+    def result(self, timeout: float | None = None) -> np.ndarray:
+        """Block for the solution (caller's RHS layout)."""
+        return self._future.result(timeout)
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        """Block for completion; the exception if the request failed."""
+        return self._future.exception(timeout)
+
+    def done(self) -> bool:
+        """Whether the request has completed (either way)."""
+        return self._future.done()
+
+
+class SolverService:
+    """Thread-safe in-process solve service (factor cache + batching).
+
+    Parameters
+    ----------
+    method / nranks / cost_model:
+        Defaults applied when :meth:`submit` receives a bare matrix
+        instead of a :class:`FactorHandle`.
+    workers:
+        Worker threads serving batches (>= 1).  Batches for distinct
+        keys run concurrently; per key, batches are serialized so a
+        factorization never serves two overlapping replays.
+    max_pending:
+        Admission bound on queued requests.
+    overload:
+        ``"reject"`` (raise :class:`~repro.exceptions.ServiceOverloadError`)
+        or ``"block"`` (wait for queue space).
+    batch_window:
+        Seconds a request may wait for coalescing partners (the
+        latency/batching trade-off; 0 still coalesces whatever
+        accumulated while workers were busy).
+    max_batch_rhs:
+        RHS-column cap per flushed batch.
+    cache:
+        A shared :class:`~repro.service.cache.FactorizationCache`;
+        by default a private 256 MiB one.
+    trace:
+        Record per-request lifecycle spans on per-worker tracers.
+
+    Example
+    -------
+    >>> from repro.service import SolverService
+    >>> from repro.workloads import poisson_block_system, random_rhs
+    >>> A, _ = poisson_block_system(16, 4)
+    >>> b = random_rhs(16, 4, nrhs=1, seed=0)
+    >>> with SolverService(method="ard", nranks=4) as svc:
+    ...     h = svc.register(A)
+    ...     x = svc.solve(h, b)
+    >>> bool(A.residual(x, b) < 1e-5)
+    True
+    """
+
+    def __init__(
+        self,
+        *,
+        method: str = "ard",
+        nranks: int = 1,
+        cost_model: CostModel | None = None,
+        workers: int = 2,
+        max_pending: int = 256,
+        overload: str = "reject",
+        batch_window: float = 0.002,
+        max_batch_rhs: int = 128,
+        cache: FactorizationCache | None = None,
+        trace: bool = False,
+    ):
+        if method not in FACTOR_METHODS:
+            raise ConfigError(
+                f"unknown factor method {method!r}; choose from {FACTOR_METHODS}"
+            )
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        if max_pending < 1:
+            raise ConfigError(f"max_pending must be >= 1, got {max_pending}")
+        if overload not in ("reject", "block"):
+            raise ConfigError(
+                f"overload must be 'reject' or 'block', got {overload!r}"
+            )
+        self.method = method
+        self.nranks = nranks
+        self.cost_model = cost_model
+        self.max_pending = max_pending
+        self.overload = overload
+        self.trace = trace
+        self.cache = cache if cache is not None else FactorizationCache()
+        self.metrics = MetricsRegistry()
+        self._batcher = RequestBatcher(window=batch_window,
+                                       max_batch_rhs=max_batch_rhs)
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._space = threading.Condition(self._lock)
+        self._closing = False
+        self._abandon = False
+        self._tracers = [Tracer(rank=i) for i in range(workers)]
+        self._threads = [
+            threading.Thread(target=self._worker, args=(i,),
+                             name=f"repro-service-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, matrix: BlockTridiagonalMatrix, *,
+                 method: str | None = None, nranks: int | None = None,
+                 eager: bool = False) -> FactorHandle:
+        """Fingerprint ``matrix`` and return its :class:`FactorHandle`.
+
+        ``eager=True`` factors immediately through the cache (warming
+        it on the caller's thread); otherwise the first request pays
+        the factor cost.
+        """
+        method = self.method if method is None else method
+        nranks = self.nranks if nranks is None else nranks
+        handle = FactorHandle(
+            matrix=matrix, method=method, nranks=nranks,
+            key=factor_key(matrix, method, nranks),
+        )
+        if eager:
+            self._factorization(handle)
+        return handle
+
+    def evict(self, target: FactorHandle | str) -> bool:
+        """Drop the cached factorization for a handle (or raw key)."""
+        key = target.key if isinstance(target, FactorHandle) else target
+        return self.cache.evict(key)
+
+    def _factorization(self, handle: FactorHandle) -> tuple[Any, bool]:
+        return self.cache.get_or_create(
+            handle.key,
+            lambda: factor(handle.matrix, method=handle.method,
+                           nranks=handle.nranks, cost_model=self.cost_model),
+        )
+
+    # -- submission --------------------------------------------------------
+
+    def _as_handle(self, target: FactorHandle | BlockTridiagonalMatrix
+                   ) -> FactorHandle:
+        if isinstance(target, FactorHandle):
+            return target
+        if isinstance(target, BlockTridiagonalMatrix):
+            return self.register(target)
+        raise ShapeError(
+            "submit target must be a FactorHandle or BlockTridiagonalMatrix, "
+            f"got {type(target).__name__}"
+        )
+
+    def submit(self, target: FactorHandle | BlockTridiagonalMatrix,
+               b: np.ndarray, *, deadline: float | None = None) -> SolveTicket:
+        """Admit one solve request; returns immediately with a ticket.
+
+        Parameters
+        ----------
+        target:
+            A :class:`FactorHandle` from :meth:`register`, or a bare
+            matrix (registered on the fly with the service defaults).
+        b:
+            Right-hand side(s) in any layout accepted by
+            :func:`repro.linalg.blocktridiag.reshape_rhs` — a flat
+            1-D vector, ``(N, M)``, ``(N*M, R)``, or ``(N, M, R)``.
+            The solution comes back in the same layout.
+        deadline:
+            Optional bound, in seconds from now, on the request's
+            *queue* time.
+        """
+        handle = self._as_handle(target)
+        m = handle.matrix
+        bb, original = reshape_rhs(b, m.nblocks, m.block_size)
+        if deadline is not None and deadline <= 0:
+            raise ConfigError(f"deadline must be > 0 seconds, got {deadline}")
+        now = time.monotonic()
+        request = SolveRequest(
+            key=handle.key, handle=handle, bb=bb, original=original,
+            future=Future(), enqueued=now,
+            deadline=None if deadline is None else now + deadline,
+        )
+        with self._lock:
+            if self._closing:
+                raise ServiceClosedError("service is closed to new requests")
+            if self._batcher.pending_requests >= self.max_pending:
+                if self.overload == "reject":
+                    self.metrics.counter("requests.rejected").inc()
+                    raise ServiceOverloadError(
+                        f"admission queue full ({self.max_pending} pending)"
+                    )
+                self.metrics.counter("requests.blocked").inc()
+                while (self._batcher.pending_requests >= self.max_pending
+                       and not self._closing):
+                    self._space.wait()
+                if self._closing:
+                    raise ServiceClosedError("service closed while blocked "
+                                             "on admission")
+            self._batcher.put(request)
+            self.metrics.counter("requests.submitted").inc()
+            self.metrics.gauge("queue.depth").set(
+                self._batcher.pending_requests)
+            self._cond.notify()
+        return SolveTicket(handle.key, request.nrhs, request.future)
+
+    def solve(self, target: FactorHandle | BlockTridiagonalMatrix,
+              b: np.ndarray, *, deadline: float | None = None,
+              timeout: float | None = None) -> np.ndarray:
+        """Synchronous convenience: ``submit(...).result(timeout)``."""
+        return self.submit(target, b, deadline=deadline).result(timeout)
+
+    # -- worker loop -------------------------------------------------------
+
+    def _worker(self, index: int) -> None:
+        tracer = self._tracers[index]
+        while True:
+            with self._cond:
+                batch = None
+                while batch is None:
+                    if self._abandon:
+                        return
+                    batch = self._batcher.take(time.monotonic(),
+                                               flush_all=self._closing)
+                    if batch is not None:
+                        break
+                    if self._closing and self._batcher.idle:
+                        self._cond.notify_all()
+                        return
+                    self._cond.wait(
+                        timeout=self._batcher.next_ready_in(time.monotonic()))
+                self.metrics.gauge("queue.depth").set(
+                    self._batcher.pending_requests)
+                self._space.notify_all()
+            try:
+                self._serve(batch, tracer)
+            finally:
+                with self._cond:
+                    self._batcher.release(batch[0].key)
+                    self._cond.notify_all()
+
+    def _serve(self, batch: list[SolveRequest], tracer: Tracer) -> None:
+        taken = time.monotonic()
+        taken_w = time.perf_counter()
+        live: list[SolveRequest] = []
+        for req in batch:
+            queued_s = taken - req.enqueued
+            self.metrics.summary("queued.wall_s").observe(queued_s)
+            if self.trace:
+                tracer.closed_span(
+                    "queued", "request",
+                    0.0, 0.0, taken_w - queued_s, taken_w,
+                    key=req.key, nrhs=req.nrhs,
+                )
+            if req.deadline is not None and taken > req.deadline:
+                self.metrics.counter("requests.expired").inc()
+                req.future.set_exception(DeadlineExceededError(
+                    f"request spent {queued_s * 1e3:.1f} ms queued, past "
+                    "its deadline"
+                ))
+            else:
+                live.append(req)
+        if not live:
+            return
+        try:
+            t0 = time.perf_counter()
+            fact, hit = self._factorization(live[0].handle)
+            t1 = time.perf_counter()
+            if not hit:
+                self.metrics.summary("factor.wall_s").observe(t1 - t0)
+                if self.trace:
+                    tracer.closed_span("factor", "request", 0.0, 0.0, t0, t1,
+                                       key=live[0].key)
+            if len(live) == 1:
+                big = live[0].bb
+            else:
+                big = np.concatenate([r.bb for r in live], axis=2)
+            x = fact.solve(big)
+            t2 = time.perf_counter()
+        except BaseException as exc:
+            self.metrics.counter("requests.failed").inc(len(live))
+            for req in live:
+                req.future.set_exception(exc)
+            return
+        nrhs = big.shape[2]
+        if hit:
+            # Request-level amortization: everything in this batch rode
+            # a factorization someone else already paid for.
+            self.metrics.counter("requests.served_from_cache").inc(len(live))
+        self.metrics.counter("batches").inc()
+        self.metrics.counter("rhs.solved").inc(nrhs)
+        self.metrics.summary("batch.size").observe(nrhs)
+        self.metrics.summary("solve.wall_s").observe(t2 - t1)
+        if self.trace:
+            tracer.closed_span("solved", "request", 0.0, 0.0, t1, t2,
+                               key=live[0].key, batch=len(live), nrhs=nrhs,
+                               cache_hit=hit)
+        col = 0
+        for req in live:
+            piece = x[:, :, col:col + req.nrhs]
+            col += req.nrhs
+            req.future.set_result(restore_rhs_shape(piece, req.original))
+            self.metrics.counter("requests.completed").inc()
+
+    def flush(self) -> None:
+        """Make every queued request immediately flushable.
+
+        Collapses the remaining batch windows (queued requests stop
+        waiting for coalescing partners); batches still respect
+        ``max_batch_rhs`` and per-key serialization.
+        """
+        with self._lock:
+            self._batcher.expedite()
+            self._cond.notify_all()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop accepting requests and shut the workers down.
+
+        ``drain=True`` (default) serves everything already queued
+        (flushing partial batches immediately); ``drain=False`` fails
+        pending requests with
+        :class:`~repro.exceptions.ServiceClosedError`.  Idempotent.
+        """
+        with self._lock:
+            self._closing = True
+            if not drain:
+                self._abandon = True
+                abandoned = self._batcher.drain_pending()
+            else:
+                abandoned = []
+            self._cond.notify_all()
+            self._space.notify_all()
+        for req in abandoned:
+            self.metrics.counter("requests.failed").inc()
+            req.future.set_exception(
+                ServiceClosedError("service closed before this request ran"))
+        for t in self._threads:
+            t.join(timeout)
+
+    def __enter__(self) -> "SolverService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close(drain=exc == (None, None, None))
+
+    # -- observability -----------------------------------------------------
+
+    def traces(self) -> list[RankTrace]:
+        """Per-worker request-lifecycle timelines (``trace=True`` runs)."""
+        return [t.finish() for t in self._tracers]
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """Service metrics merged with the cache counters.
+
+        One JSON-serializable dict::
+
+            {"counters": ..., "gauges": ..., "summaries": ...,
+             "cache": {"hits": ..., "misses": ..., "hit_rate": ...}}
+        """
+        snap = self.metrics.snapshot()
+        snap["cache"] = self.cache.stats().to_dict()
+        return snap
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SolverService(method={self.method!r}, nranks={self.nranks}, "
+                f"workers={len(self._threads)}, "
+                f"pending={self._batcher.pending_requests}, "
+                f"closed={self._closing})")

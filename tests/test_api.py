@@ -112,6 +112,87 @@ class TestFactor:
             factor(np.eye(4), method="thomas")
 
 
+class TestUnknownKwargs:
+    """Mistyped options must fail loudly as ConfigError, not silently."""
+
+    def test_solve_rejects_unknown_kwargs(self, system):
+        mat, b = system
+        with pytest.raises(ConfigError, match="unknown keyword"):
+            solve(mat, b, method="thomas", nrank=4)
+
+    def test_factor_rejects_unknown_kwargs(self, system):
+        mat, _ = system
+        with pytest.raises(ConfigError, match="refined"):
+            factor(mat, method="thomas", refined=1)
+
+    def test_error_names_all_strays(self, system):
+        mat, b = system
+        with pytest.raises(ConfigError, match="bogus.*nrank"):
+            solve(mat, b, bogus=1, nrank=2)
+
+    def test_config_error_is_repro_error(self, system):
+        from repro.exceptions import ReproError
+
+        mat, b = system
+        with pytest.raises(ReproError):
+            solve(mat, b, tracing=True)
+
+
+class TestOneDimensionalRhs:
+    """Flat 1-D right-hand sides are accepted uniformly and the
+    solution comes back in the caller's layout (shared helper:
+    ``reshape_rhs`` / ``restore_rhs_shape``)."""
+
+    @pytest.mark.parametrize("method", FACTOR_METHODS)
+    def test_factorizations_accept_flat_1d(self, system, method):
+        mat, _ = system
+        flat = random_rhs(12, 3, 1, seed=5).reshape(36).astype(mat.dtype)
+        fact = factor(mat, method=method, nranks=2)
+        x = fact.solve(flat)
+        assert x.shape == (36,)
+        assert mat.residual(x.reshape(12, 3, 1), flat.reshape(12, 3, 1)) < 1e-8
+
+    @pytest.mark.parametrize("method", SOLVE_METHODS)
+    def test_solve_accepts_flat_1d(self, system, method):
+        mat, _ = system
+        flat = random_rhs(12, 3, 1, seed=6).reshape(36).astype(mat.dtype)
+        x = solve(mat, flat, method=method, nranks=2)
+        assert x.shape == (36,)
+        assert mat.residual(x.reshape(12, 3, 1), flat.reshape(12, 3, 1)) < 1e-8
+
+    @pytest.mark.parametrize("method", FACTOR_METHODS)
+    def test_factorizations_accept_nm_2d(self, system, method):
+        mat, _ = system
+        b = random_rhs(12, 3, 1, seed=7).reshape(12, 3).astype(mat.dtype)
+        x = factor(mat, method=method, nranks=2).solve(b)
+        assert x.shape == (12, 3)
+
+    def test_refine_preserves_1d_layout(self, system):
+        mat, _ = system
+        flat = random_rhs(12, 3, 1, seed=8).reshape(36).astype(mat.dtype)
+        x = factor(mat, method="ard", nranks=2).solve(flat, refine=1)
+        assert x.shape == (36,)
+
+
+class TestFingerprint:
+    def test_fingerprint_exposed(self, system):
+        from repro.core.api import fingerprint
+
+        mat, _ = system
+        assert fingerprint(mat) == mat.fingerprint()
+        key = fingerprint(mat, method="ard", nranks=2)
+        assert key.startswith("ard:p2:") and key.endswith(mat.fingerprint())
+
+    def test_fingerprint_validates(self, system):
+        from repro.core.api import fingerprint
+
+        mat, _ = system
+        with pytest.raises(ConfigError):
+            fingerprint(mat, method="gaussian")
+        with pytest.raises(ShapeError):
+            fingerprint("not a matrix")
+
+
 class TestPackageExports:
     def test_lazy_top_level_exports(self):
         import repro
@@ -119,7 +200,9 @@ class TestPackageExports:
         assert repro.BlockTridiagonalMatrix is not None
         assert callable(repro.solve)
         assert callable(repro.factor)
+        assert callable(repro.fingerprint)
         assert repro.ARDFactorization is not None
+        assert repro.SolverService is not None
         assert callable(repro.run_spmd)
         assert repro.__version__
 

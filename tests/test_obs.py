@@ -378,3 +378,67 @@ def test_trace_experiment_rejects_unknown_id(tmp_path):
 
     with pytest.raises(Exception):
         trace_experiment("no-such-exp", "smoke", out_dir=tmp_path)
+
+
+# ---------------------------------------------------------------------------
+# metrics registry (repro.obs.metrics)
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_summary(self):
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("req").inc()
+        reg.counter("req").inc(3)
+        reg.gauge("depth").set(7)
+        reg.gauge("depth").add(-2)
+        for v in (1.0, 4.0, 2.5):
+            reg.summary("batch").observe(v)
+        snap = reg.snapshot()
+        assert snap["counters"]["req"] == 4
+        assert snap["gauges"]["depth"] == 5
+        s = snap["summaries"]["batch"]
+        assert (s["count"], s["min"], s["max"], s["last"]) == (3, 1.0, 4.0, 2.5)
+        assert s["mean"] == pytest.approx(7.5 / 3)
+        json.dumps(snap)
+
+    def test_counter_rejects_negative(self):
+        from repro.obs import Counter
+
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_kind_conflict_rejected(self):
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="different kind"):
+            reg.gauge("x")
+
+    def test_instruments_idempotent(self):
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.summary("s") is reg.summary("s")
+
+    def test_concurrent_counting_is_exact(self):
+        import threading
+
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        counter = reg.counter("n")
+
+        def work():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
