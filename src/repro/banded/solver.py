@@ -44,6 +44,8 @@ from .matrix import BlockBandedMatrix
 __all__ = [
     "BandedChunk",
     "BandedTransferOperators",
+    "BandedARDRankState",
+    "distribute_banded",
     "banded_ard_factor_spmd",
     "banded_ard_solve_spmd",
     "BandedARDFactorization",

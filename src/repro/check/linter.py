@@ -1,0 +1,471 @@
+"""AST-based SPMD lint pass (stdlib :mod:`ast` only, no dependencies).
+
+Entry points: :func:`lint_source` for one buffer, :func:`lint_paths`
+for files/directory trees (``python -m repro.check lint src`` wraps the
+latter).  The rule catalog lives in :mod:`repro.check.rules`.
+
+Findings are suppressed per line with ``# repro: noqa[RC101]`` (or a
+blanket ``# repro: noqa``); the suppression comment must sit on the
+line the finding points at.
+
+The checks are deliberately conservative: a rule fires only on
+patterns this codebase treats as contract violations, so the shipped
+tree lints clean and CI can fail on any new finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import pathlib
+import re
+from typing import Iterable, Sequence
+
+from .rules import RULES
+
+__all__ = ["Finding", "lint_source", "lint_file", "lint_paths"]
+
+#: Collective operations whose call sequence must match across ranks.
+COLLECTIVE_OPS = frozenset(
+    {
+        "barrier",
+        "bcast",
+        "gather",
+        "allgather",
+        "scatter",
+        "alltoall",
+        "reduce",
+        "allreduce",
+        "scan",
+        "exscan",
+        "split",
+        "dup",
+    }
+)
+
+#: Names whose value is (derived from) the executing rank.
+_RANK_NAMES = frozenset({"rank", "vrank", "myrank", "my_rank", "rank_id"})
+
+#: threading attributes that count as raw concurrency primitives.
+#: (``threading.local`` and introspection helpers are deliberately
+#: absent — thread-local state is not a locking hazard.)
+_THREAD_PRIMITIVES = frozenset(
+    {
+        "Thread",
+        "Timer",
+        "Lock",
+        "RLock",
+        "Condition",
+        "Semaphore",
+        "BoundedSemaphore",
+        "Event",
+        "Barrier",
+    }
+)
+
+#: Directory names whose files may use raw threading primitives.
+THREADING_ALLOWLIST = frozenset({"comm", "service", "obs", "check"})
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9,\s]+)\])?", re.IGNORECASE
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One lint finding: rule id, location, message."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self, *, hint: bool = False) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+        if hint:
+            text += f"\n    fix: {RULES[self.rule_id].hint}"
+        return text
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def _suppressions(source: str) -> dict[int, frozenset[str] | None]:
+    """Map line number -> suppressed rule ids (``None`` = all rules)."""
+    out: dict[int, frozenset[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _NOQA_RE.search(line)
+        if not m:
+            continue
+        rules = m.group("rules")
+        if rules is None:
+            out[lineno] = None
+        else:
+            out[lineno] = frozenset(
+                r.strip().upper() for r in rules.split(",") if r.strip()
+            )
+    return out
+
+
+def _is_rank_dependent(node: ast.AST) -> bool:
+    """Does the expression read the executing rank (``comm.rank``, a
+    ``rank``/``vrank`` local, ...)?"""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr in _RANK_NAMES:
+            return True
+        if isinstance(sub, ast.Name) and sub.id in _RANK_NAMES:
+            return True
+    return False
+
+
+def _collective_call_name(node: ast.Call) -> str | None:
+    """Return the collective op name when ``node`` looks like a
+    collective call on a communicator, else ``None``.
+
+    Matches ``<expr>.bcast(...)`` where the receiver expression mentions
+    a name containing ``comm`` (``comm``, ``subcomm``, ``self.comm`` …)
+    — this keeps ``functools.reduce`` and ``np.add.reduce`` out.
+    """
+    func = node.func
+    if not isinstance(func, ast.Attribute) or func.attr not in COLLECTIVE_OPS:
+        return None
+    for sub in ast.walk(func.value):
+        if isinstance(sub, ast.Name) and "comm" in sub.id.lower():
+            return func.attr
+        if isinstance(sub, ast.Attribute) and "comm" in sub.attr.lower():
+            return func.attr
+    return None
+
+
+def _is_request_call(node: ast.AST) -> str | None:
+    """Return ``"isend"``/``"irecv"`` when ``node`` is such a call."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("isend", "irecv")
+    ):
+        return node.func.attr
+    return None
+
+
+def _walk_scope(body: Sequence[ast.stmt]) -> Iterable[ast.AST]:
+    """Walk statements without descending into nested function/class
+    scopes (their bodies are visited as scopes of their own)."""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue  # nested scope: visited as a scope of its own
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class _Visitor(ast.NodeVisitor):
+    """Single-pass visitor implementing RC101/RC102/RC103/RC105/RC106."""
+
+    def __init__(self, path: str, findings: list[Finding]):
+        self.path = path
+        self.findings = findings
+        self._rank_guard: list[int] = []  # linenos of enclosing rank-ifs
+        self._thread_aliases: set[str] = set()  # `import threading as t`
+        self._thread_names: set[str] = set()  # `from threading import Lock`
+        self._thread_allowed = any(
+            part in THREADING_ALLOWLIST
+            for part in pathlib.PurePath(path).parts
+        )
+
+    def _emit(self, rule_id: str, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                rule_id,
+                self.path,
+                getattr(node, "lineno", 1),
+                getattr(node, "col_offset", 0),
+                message,
+            )
+        )
+
+    # -- RC101: collectives under rank-conditional control flow ----------
+
+    def visit_If(self, node: ast.If) -> None:
+        dep = _is_rank_dependent(node.test)
+        if dep:
+            self._rank_guard.append(node.lineno)
+        self.visit(node.test)
+        for stmt in node.body:
+            self.visit(stmt)
+        for stmt in node.orelse:
+            self.visit(stmt)
+        if dep:
+            self._rank_guard.pop()
+
+    def visit_IfExp(self, node: ast.IfExp) -> None:
+        dep = _is_rank_dependent(node.test)
+        if dep:
+            self._rank_guard.append(node.lineno)
+        self.generic_visit(node)
+        if dep:
+            self._rank_guard.pop()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._rank_guard:
+            op = _collective_call_name(node)
+            if op is not None:
+                self._emit(
+                    "RC101",
+                    node,
+                    f"collective '{op}' called inside a rank-conditional "
+                    f"branch (guard at line {self._rank_guard[-1]}); every "
+                    f"rank of the communicator must call it in the same "
+                    f"sequence",
+                )
+        self._check_thread_primitive(node)
+        self.generic_visit(node)
+
+    # -- RC103: raw threading primitives ---------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "threading":
+                self._thread_aliases.add(alias.asname or "threading")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "threading":
+            for alias in node.names:
+                if alias.name in _THREAD_PRIMITIVES:
+                    self._thread_names.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def _check_thread_primitive(self, node: ast.Call) -> None:
+        if self._thread_allowed:
+            return
+        func = node.func
+        name = None
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self._thread_aliases
+            and func.attr in _THREAD_PRIMITIVES
+        ):
+            name = f"threading.{func.attr}"
+        elif isinstance(func, ast.Name) and func.id in self._thread_names:
+            name = func.id
+        if name is not None:
+            allowed = ", ".join(sorted(THREADING_ALLOWLIST))
+            self._emit(
+                "RC103",
+                node,
+                f"raw thread primitive {name}() outside the audited "
+                f"concurrency layers ({allowed})",
+            )
+
+    # -- RC105: bare except ----------------------------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._emit(
+                "RC105",
+                node,
+                "bare 'except:' also catches SystemExit/KeyboardInterrupt "
+                "and the runtime's abort signal",
+            )
+        self.generic_visit(node)
+
+    # -- RC106 + RC102: per-scope checks ---------------------------------
+
+    def _check_defaults(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            bad = None
+            if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+                bad = {"List": "[]", "Dict": "{}", "Set": "{...}"}[
+                    type(default).__name__
+                ]
+            elif (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in ("list", "dict", "set", "bytearray")
+            ):
+                bad = f"{default.func.id}()"
+            if bad is not None:
+                self._emit(
+                    "RC106",
+                    default,
+                    f"mutable default argument {bad} in '{node.name}' is "
+                    f"shared across calls (and across rank threads)",
+                )
+
+    def _check_requests(self, body: Sequence[ast.stmt]) -> None:
+        """RC102 within one scope: discarded or never-used requests."""
+        assigned: dict[str, tuple[int, int, str]] = {}
+        loaded: set[str] = set()
+        for node in _walk_scope(body):
+            if isinstance(node, ast.Expr):
+                op = _is_request_call(node.value)
+                if op is not None:
+                    self._emit(
+                        "RC102",
+                        node,
+                        f"Request returned by {op}() is discarded; the "
+                        f"operation is never completed",
+                    )
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                op = _is_request_call(node.value)
+                if op is not None and isinstance(target, ast.Name):
+                    assigned[target.id] = (node.lineno, node.col_offset, op)
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                loaded.add(node.id)
+        # Loads inside nested functions/lambdas (closures) count as use.
+        for node in body:
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                    loaded.add(sub.id)
+        for name, (lineno, col, op) in assigned.items():
+            if name not in loaded:
+                self.findings.append(
+                    Finding(
+                        "RC102",
+                        self.path,
+                        lineno,
+                        col,
+                        f"Request from {op}() assigned to '{name}' but "
+                        f"never used — call .wait() on it",
+                    )
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self._check_requests(node.body)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self._check_requests(node.body)
+        self.generic_visit(node)
+
+    def visit_Module(self, node: ast.Module) -> None:
+        self._check_requests(node.body)
+        self.generic_visit(node)
+
+
+def _check_all_drift(tree: ast.Module, path: str, findings: list[Finding]) -> None:
+    """RC104: compare ``__all__`` against actual top-level definitions."""
+    all_node: ast.Assign | None = None
+    all_names: list[str] | None = None
+    defined: set[str] = set()
+    public_defs: set[str] = set()
+    has_getattr = False
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            defined.add(node.name)
+            if node.name == "__getattr__":
+                has_getattr = True
+            elif not node.name.startswith("_"):
+                public_defs.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    defined.add(target.id)
+                    if target.id == "__all__" and isinstance(
+                        node.value, (ast.List, ast.Tuple)
+                    ):
+                        all_node = node
+                        all_names = [
+                            elt.value
+                            for elt in node.value.elts
+                            if isinstance(elt, ast.Constant)
+                            and isinstance(elt.value, str)
+                        ]
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            defined.add(node.target.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                defined.add((alias.asname or alias.name).split(".")[0])
+    if all_names is None or all_node is None:
+        return
+    undefined = [n for n in all_names if n not in defined]
+    if undefined and has_getattr:
+        undefined = []  # PEP 562 lazy exports resolve at attribute access
+    missing = sorted(public_defs - set(all_names))
+    if undefined:
+        findings.append(
+            Finding(
+                "RC104",
+                path,
+                all_node.lineno,
+                all_node.col_offset,
+                "__all__ names undefined symbol(s): " + ", ".join(undefined),
+            )
+        )
+    if missing:
+        findings.append(
+            Finding(
+                "RC104",
+                path,
+                all_node.lineno,
+                all_node.col_offset,
+                "public definition(s) missing from __all__: "
+                + ", ".join(missing),
+            )
+        )
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Finding]:
+    """Lint one source buffer; return findings after noqa filtering."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                "RC100",
+                path,
+                exc.lineno or 1,
+                (exc.offset or 1) - 1,
+                f"syntax error: {exc.msg}",
+            )
+        ]
+    findings: list[Finding] = []
+    _Visitor(path, findings).visit(tree)
+    _check_all_drift(tree, path, findings)
+    suppress = _suppressions(source)
+    kept = []
+    for finding in findings:
+        rules = suppress.get(finding.line, ...)
+        if rules is None or (rules is not ... and finding.rule_id in rules):
+            continue
+        kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return kept
+
+
+def lint_file(path: str | pathlib.Path) -> list[Finding]:
+    """Lint one file on disk."""
+    p = pathlib.Path(path)
+    return lint_source(p.read_text(encoding="utf-8"), str(p))
+
+
+def lint_paths(paths: Iterable[str | pathlib.Path]) -> list[Finding]:
+    """Lint files and/or directory trees (``*.py``, sorted, deduped)."""
+    files: list[pathlib.Path] = []
+    for entry in paths:
+        p = pathlib.Path(entry)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    seen: set[pathlib.Path] = set()
+    findings: list[Finding] = []
+    for f in files:
+        resolved = f.resolve()
+        if resolved in seen:
+            continue
+        seen.add(resolved)
+        findings.extend(lint_file(f))
+    return findings

@@ -53,7 +53,7 @@ __all__ = [
 ]
 
 
-def _instrumented(name: str):
+def _instrumented(name: str, root_arg: int | None = None):
     """Route a collective through ``Communicator._collective_entry``.
 
     The entry context counts the call and its bytes on the rank's
@@ -61,12 +61,26 @@ def _instrumented(name: str):
     wraps it in a ``cat="coll"`` span.  Composed collectives
     (``allgather`` calling ``gather`` + ``bcast``) nest entries; the
     depth guard inside ``_collective_entry`` counts only the outermost.
+
+    ``root_arg`` names the position of the collective's ``root``
+    parameter (after ``comm``) for rooted collectives; the value is
+    forwarded so the runtime verifier can include the root in the
+    cross-rank signature — ``bcast(root=0)`` vs ``bcast(root=1)`` is a
+    divergence even though the op matches.
     """
 
     def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
         @functools.wraps(fn)
         def wrapper(comm: "Communicator", *args: Any, **kwargs: Any) -> Any:
-            with comm._collective_entry(name):
+            root = None
+            if root_arg is not None:
+                if "root" in kwargs:
+                    root = kwargs["root"]
+                elif len(args) > root_arg:
+                    root = args[root_arg]
+                else:
+                    root = 0
+            with comm._collective_entry(name, root=root):
                 return fn(comm, *args, **kwargs)
 
         return wrapper
@@ -88,7 +102,7 @@ def barrier(comm: "Communicator") -> None:
         dist <<= 1
 
 
-@_instrumented("bcast")
+@_instrumented("bcast", root_arg=1)
 def bcast(comm: "Communicator", obj: Any, root: int = 0) -> Any:
     """Binomial-tree broadcast from ``root``."""
     size, rank = comm.size, comm.rank
@@ -111,7 +125,7 @@ def bcast(comm: "Communicator", obj: Any, root: int = 0) -> Any:
     return obj
 
 
-@_instrumented("gather")
+@_instrumented("gather", root_arg=1)
 def gather(comm: "Communicator", obj: Any, root: int = 0) -> list[Any] | None:
     """Binomial-tree gather; ``root`` returns a rank-indexed list."""
     size, rank = comm.size, comm.rank
@@ -145,7 +159,7 @@ def allgather(comm: "Communicator", obj: Any) -> list[Any]:
     return bcast(comm, items, root=0)
 
 
-@_instrumented("scatter")
+@_instrumented("scatter", root_arg=1)
 def scatter(comm: "Communicator", objs: Sequence[Any] | None, root: int = 0) -> Any:
     """Scatter ``objs`` (one per rank) from ``root`` via direct sends.
 
@@ -188,7 +202,7 @@ def alltoall(comm: "Communicator", objs: Sequence[Any]) -> list[Any]:
     return out
 
 
-@_instrumented("reduce")
+@_instrumented("reduce", root_arg=2)
 def reduce(comm: "Communicator", obj: Any, op: Callable[[Any, Any], Any],
            root: int = 0) -> Any | None:
     """Binomial-tree reduction to ``root``.

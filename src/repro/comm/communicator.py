@@ -192,7 +192,9 @@ class Communicator:
         return self._match(source, tag, status)
 
     def _match(self, source: int, tag: int, status: Status | None = None) -> Any:
-        msg = self._runtime.match(self._ctx, self._key, source, tag)
+        source_world = self._group[source] if source >= 0 else None
+        msg = self._runtime.match(self._ctx, self._key, source, tag,
+                                  source_world=source_world)
         if status is not None:
             status._fill(msg)
         return msg.payload
@@ -227,7 +229,7 @@ class Communicator:
         return tag
 
     @contextmanager
-    def _collective_entry(self, name: str):
+    def _collective_entry(self, name: str, root: int | None = None):
         """Account one user-facing collective call.
 
         Collectives compose (``allgather`` = ``gather`` + ``bcast``,
@@ -236,6 +238,13 @@ class Communicator:
         :attr:`RankStats.coll_counts` and traced (``cat="coll"`` span
         when tracing is on).  Bytes are attributed as the delta of the
         rank's point-to-point ``bytes_sent`` across the call.
+
+        When the runtime carries an
+        :class:`~repro.check.verifier.SpmdVerifier`, the outermost call
+        is also cross-checked against the other ranks' collective
+        sequences — the check that turns a rank-divergent collective
+        into an immediate :class:`~repro.exceptions.SpmdDivergenceError`
+        instead of a downstream deadlock.
         """
         ctx = self._ctx
         ctx.coll_depth += 1
@@ -245,6 +254,20 @@ class Communicator:
             finally:
                 ctx.coll_depth -= 1
             return
+        try:
+            ctx.current_coll = name
+            verifier = self._runtime.verifier
+            if verifier is not None:
+                index = verifier.record_collective(
+                    ctx.rank, self._key, name, root, self.size
+                )
+                if ctx.tracer is not None:
+                    ctx.tracer.instant("coll.verified", cat="verify",
+                                       op=name, seq=index)
+        except BaseException:
+            ctx.coll_depth -= 1
+            ctx.current_coll = None
+            raise
         bytes0 = ctx.stats.bytes_sent
         tracer = ctx.tracer
         span = (
@@ -257,6 +280,7 @@ class Communicator:
         finally:
             ctx.stats.record_collective(name, ctx.stats.bytes_sent - bytes0)
             ctx.coll_depth -= 1
+            ctx.current_coll = None
 
     def _coll_send(self, obj: Any, dest: int, tag: int) -> None:
         self._check_rank(dest, "dest")

@@ -13,11 +13,21 @@ Key properties
   modelled message latencies only; host thread scheduling cannot change
   the virtual makespan because receives advance to the *modelled*
   arrival time of the matched message.
-- **Deadlock detection.**  When every live rank is blocked on a receive
-  and no message has been delivered for ``deadlock_timeout`` real
-  seconds, the runtime aborts all ranks with
-  :class:`~repro.exceptions.DeadlockError` instead of hanging the test
-  suite.
+- **Exact deadlock detection.**  The runtime maintains a wait-for graph
+  (rank → the ``(source, tag)`` it is blocked on).  The moment every
+  unfinished rank is blocked in a receive that no in-flight message can
+  satisfy, the simulation provably cannot progress — sends are eager,
+  so only a running rank could ever deliver a new message — and all
+  ranks abort with a :class:`~repro.exceptions.DeadlockError` that
+  names the wait-for cycle (or the blocked set) and any unmatched
+  messages.  A rank in a long local compute phase is *not* blocked, so
+  wall-clock stalls never produce false positives.
+- **Optional SPMD verification.**  With ``verify=True`` (or
+  ``REPRO_VERIFY=1``) a :class:`repro.check.verifier.SpmdVerifier`
+  cross-checks every rank's collective call sequence, reporting the
+  first divergent collective, and messages left unreceived at finalize
+  raise :class:`~repro.exceptions.UnconsumedMessageError` (they warn in
+  default mode).  See docs/CHECKING.md.
 - **Value semantics.**  Message payloads are copied at send time by
   default, so in-process sharing cannot mask bugs that real distributed
   memory would expose.
@@ -27,13 +37,20 @@ from __future__ import annotations
 
 import copy as _copy
 import itertools
+import os
 import threading
 import time
+import warnings
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from ..exceptions import CommError, DeadlockError
+from ..exceptions import (
+    CommError,
+    DeadlockError,
+    UnconsumedMessageError,
+    UnconsumedMessageWarning,
+)
 from ..obs.tracer import Tracer, tracing
 from ..util.flops import FlopCounter, counting_flops
 from .clock import VirtualClock
@@ -49,11 +66,17 @@ class CommAborted(CommError):
 
 
 class _Message:
-    """Internal envelope for one point-to-point message."""
+    """Internal envelope for one point-to-point message.
 
-    __slots__ = ("comm_key", "source", "tag", "payload", "nbytes", "arrival_time", "seq")
+    ``source`` is the sender's rank *within* ``comm_key``;
+    ``source_world`` its world rank (kept for diagnostics).
+    """
 
-    def __init__(self, comm_key, source, tag, payload, nbytes, arrival_time, seq):
+    __slots__ = ("comm_key", "source", "tag", "payload", "nbytes",
+                 "arrival_time", "seq", "source_world")
+
+    def __init__(self, comm_key, source, tag, payload, nbytes, arrival_time,
+                 seq, source_world):
         self.comm_key = comm_key
         self.source = source
         self.tag = tag
@@ -61,6 +84,33 @@ class _Message:
         self.nbytes = nbytes
         self.arrival_time = arrival_time
         self.seq = seq
+        self.source_world = source_world
+
+
+class _Wait:
+    """One node of the wait-for graph: what a blocked rank is matching.
+
+    ``source`` is communicator-local (``-1`` = wildcard);
+    ``source_world`` is the awaited sender's world rank when known, and
+    ``op`` the user-facing collective the rank is inside, if any.
+    """
+
+    __slots__ = ("comm_key", "source", "tag", "source_world", "op")
+
+    def __init__(self, comm_key, source, tag, source_world, op):
+        self.comm_key = comm_key
+        self.source = source
+        self.tag = tag
+        self.source_world = source_world
+        self.op = op
+
+    def describe(self, rank: int) -> str:
+        src = ("any rank" if self.source < 0
+               else f"rank {self.source_world if self.source_world is not None else self.source}")
+        tag = "any tag" if self.tag < 0 else f"tag {self.tag}"
+        inside = f" inside collective '{self.op}'" if self.op else ""
+        return (f"rank {rank}{inside}: blocked receiving from {src} "
+                f"({tag}) on communicator {self.comm_key!r}")
 
 
 def _copy_payload(obj: Any) -> Any:
@@ -85,7 +135,7 @@ class RankContext:
     """Per-rank simulation state: clock, flop counter, statistics."""
 
     __slots__ = ("rank", "clock", "counter", "stats", "runtime", "tracer",
-                 "coll_depth")
+                 "coll_depth", "current_coll")
 
     def __init__(self, rank: int, runtime: "Runtime"):
         self.rank = rank
@@ -101,6 +151,9 @@ class RankContext:
         # Collective nesting depth: user-facing collectives compose
         # (allgather = gather + bcast), so only depth-0 entries count.
         self.coll_depth = 0
+        # Name of the outermost collective this rank is inside, if any;
+        # read by deadlock reports to say what op a blocked rank was in.
+        self.current_coll: str | None = None
 
     def finalize_stats(self) -> RankStats:
         self.clock.sync_compute()
@@ -128,6 +181,7 @@ class Runtime:
         deadlock_timeout: float = 5.0,
         poll_interval: float = 0.05,
         trace: bool = False,
+        verify: bool = False,
     ):
         if nranks <= 0:
             raise CommError(f"nranks must be positive, got {nranks}")
@@ -135,14 +189,22 @@ class Runtime:
         self.cost_model = cost_model
         self.copy_messages = copy_messages
         self.trace = trace
+        # Retained for API compatibility: deadlocks are now detected
+        # exactly (and immediately) from the wait-for graph, so no
+        # wall-clock stall window is involved anymore.
         self.deadlock_timeout = deadlock_timeout
         self.poll_interval = poll_interval
+        if verify:
+            from ..check.verifier import SpmdVerifier  # deferred: cycle
+
+            self.verifier: Any | None = SpmdVerifier(nranks)
+        else:
+            self.verifier = None
         self._cond = threading.Condition()
         self._inboxes: list[list[_Message]] = [[] for _ in range(nranks)]
         self._n_live = nranks
-        self._n_blocked = 0
+        self._waiting: dict[int, _Wait] = {}
         self._abort: BaseException | None = None
-        self._last_progress = time.monotonic()
         self._seq = itertools.count()
         self.contexts = [RankContext(r, self) for r in range(nranks)]
 
@@ -163,12 +225,12 @@ class Runtime:
         ctx.stats.msgs_sent += 1
         if ctx.tracer is not None:
             ctx.tracer.instant("send", dest=dest_world, tag=tag, nbytes=nbytes)
-        msg = _Message(comm_key, source_commrank, tag, payload, nbytes, arrival, next(self._seq))
+        msg = _Message(comm_key, source_commrank, tag, payload, nbytes, arrival,
+                       next(self._seq), ctx.rank)
         with self._cond:
             if self._abort is not None:
                 raise CommAborted("simulation aborted") from self._abort
             self._inboxes[dest_world].append(msg)
-            self._last_progress = time.monotonic()
             self._cond.notify_all()
 
     # -- receiving -------------------------------------------------------
@@ -184,31 +246,50 @@ class Runtime:
             return inbox.pop(i)
         return None
 
-    def match(self, ctx: RankContext, comm_key, source: int, tag: int) -> _Message:
+    def _peek(self, inbox: list[_Message], comm_key, source: int, tag: int) -> bool:
+        """Non-destructive :meth:`_find`: is a matching message pending?"""
+        for msg in inbox:
+            if msg.comm_key != comm_key:
+                continue
+            if source >= 0 and msg.source != source:
+                continue
+            if tag >= 0 and msg.tag != tag:
+                continue
+            return True
+        return False
+
+    def match(self, ctx: RankContext, comm_key, source: int, tag: int, *,
+              source_world: int | None = None) -> _Message:
         """Block until a matching message arrives; return it.
 
         ``source``/``tag`` of ``-1`` act as wildcards (ANY_SOURCE /
         ANY_TAG).  Matching is in arrival order among candidates.
+        ``source_world`` is the awaited sender's world rank when the
+        caller knows it; it feeds the wait-for graph used for exact
+        deadlock detection and its diagnostics.
         """
         v_wait = ctx.clock.sync_compute()
         w_wait = time.perf_counter() if ctx.tracer is not None else 0.0
         inbox = self._inboxes[ctx.rank]
         with self._cond:
-            while True:
-                if self._abort is not None:
-                    raise CommAborted("simulation aborted") from self._abort
-                msg = self._find(inbox, comm_key, source, tag)
-                if msg is not None:
-                    self._last_progress = time.monotonic()
-                    break
-                self._n_blocked += 1
+            if self._abort is not None:
+                raise CommAborted("simulation aborted") from self._abort
+            msg = self._find(inbox, comm_key, source, tag)
+            if msg is None:
+                self._waiting[ctx.rank] = _Wait(
+                    comm_key, source, tag, source_world, ctx.current_coll
+                )
                 try:
-                    self._cond.wait(timeout=self.poll_interval)
+                    while True:
+                        self._check_deadlock_locked()
+                        self._cond.wait(timeout=self.poll_interval)
+                        if self._abort is not None:
+                            raise CommAborted("simulation aborted") from self._abort
+                        msg = self._find(inbox, comm_key, source, tag)
+                        if msg is not None:
+                            break
                 finally:
-                    self._n_blocked -= 1
-                if self._abort is not None:
-                    raise CommAborted("simulation aborted") from self._abort
-                self._check_deadlock_locked()
+                    del self._waiting[ctx.rank]
         ctx.clock.charge_overhead()
         ctx.clock.advance_to(msg.arrival_time)
         if ctx.tracer is not None:
@@ -220,29 +301,79 @@ class Runtime:
         return msg
 
     def _check_deadlock_locked(self) -> None:
-        """Abort if every live rank is blocked and nothing has moved."""
-        # Caller holds the lock and is itself about to block again, so it
-        # counts as blocked for the all-ranks-stuck test.
-        if self._n_blocked + 1 < self._n_live:
+        """Abort with a precise report when no progress is possible.
+
+        Deadlock is declared *exactly*: every unfinished rank is blocked
+        in :meth:`match` and none of their pending receives can be
+        satisfied by a message already in flight.  Sends are eager, so
+        under that condition no new message can ever appear — ranks in
+        long local compute phases keep the check from firing because
+        they are live but not waiting.
+        """
+        if self._n_live <= 0 or len(self._waiting) < self._n_live:
             return
-        if time.monotonic() - self._last_progress < self.deadlock_timeout:
-            return
-        pending = sum(len(box) for box in self._inboxes)
-        err = DeadlockError(
-            f"all {self._n_live} live rank(s) blocked on receives with no "
-            f"progress for {self.deadlock_timeout:.1f}s "
-            f"({pending} unmatched message(s) in flight)"
-        )
+        for rank, wait in self._waiting.items():
+            if self._peek(self._inboxes[rank], wait.comm_key, wait.source,
+                          wait.tag):
+                return  # that rank will wake and match within poll_interval
+        err = DeadlockError(self._deadlock_report_locked())
         self._abort = err
         self._cond.notify_all()
         raise err
+
+    def _find_cycle_locked(self) -> list[int] | None:
+        """Find one cycle in the wait-for graph (rank → awaited rank)."""
+        graph = {
+            rank: wait.source_world
+            for rank, wait in self._waiting.items()
+            if wait.source_world is not None
+        }
+        visited: set[int] = set()
+        for start in graph:
+            if start in visited:
+                continue
+            position: dict[int, int] = {}
+            chain: list[int] = []
+            node = start
+            while node in graph and node not in visited and node not in position:
+                position[node] = len(chain)
+                chain.append(node)
+                node = graph[node]
+            visited.update(chain)
+            if node in position:
+                return chain[position[node]:]
+        return None
+
+    def _deadlock_report_locked(self) -> str:
+        lines = [
+            f"SPMD deadlock: all {self._n_live} unfinished rank(s) are "
+            f"blocked on receives no in-flight message can satisfy."
+        ]
+        cycle = self._find_cycle_locked()
+        if cycle:
+            hops = " -> ".join(f"rank {r}" for r in cycle + cycle[:1])
+            lines.append(f"  wait-for cycle: {hops}")
+        for rank in sorted(self._waiting):
+            lines.append("  " + self._waiting[rank].describe(rank))
+        for line in self._unconsumed_lines():
+            lines.append("  unmatched " + line)
+        return "\n".join(lines)
+
+    def _unconsumed_lines(self) -> list[str]:
+        """Describe every message still sitting in an inbox."""
+        return [
+            f"message: rank {msg.source_world} -> rank {dest} "
+            f"(tag {msg.tag}, {msg.nbytes} bytes) on communicator "
+            f"{msg.comm_key!r}"
+            for dest, box in enumerate(self._inboxes)
+            for msg in box
+        ]
 
     # -- lifecycle -------------------------------------------------------
 
     def rank_finished(self) -> None:
         with self._cond:
             self._n_live -= 1
-            self._last_progress = time.monotonic()
             self._cond.notify_all()
 
     def abort(self, exc: BaseException) -> None:
@@ -263,6 +394,7 @@ def run_spmd(
     rank_args: Sequence[tuple] | None = None,
     count_flops: bool = True,
     trace: bool = False,
+    verify: bool | None = None,
     **kwargs: Any,
 ) -> SimulationResult:
     """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` simulated ranks.
@@ -282,8 +414,9 @@ def run_spmd(
         Copy payloads at send time (distributed-memory semantics).
         Disable only for trusted benchmark inner loops.
     deadlock_timeout:
-        Real seconds of global stall before raising
-        :class:`~repro.exceptions.DeadlockError`.
+        Accepted for backward compatibility.  Deadlocks are detected
+        exactly — and immediately — from the runtime's wait-for graph,
+        so no stall window applies anymore.
     rank_args:
         Optional per-rank extra positional arguments: ``rank_args[r]``
         is appended after ``args`` for rank ``r``.
@@ -297,6 +430,16 @@ def run_spmd(
         per-rank timelines on ``SimulationResult.traces``.  Off by
         default; when off, instrumented code pays only the no-op span
         guard.
+    verify:
+        Enable the SPMD runtime verifier
+        (:class:`repro.check.verifier.SpmdVerifier`): every rank's
+        collective call sequence is cross-checked so a divergent rank
+        raises :class:`~repro.exceptions.SpmdDivergenceError` at the
+        first mismatched collective, and messages left unreceived at
+        finalize raise
+        :class:`~repro.exceptions.UnconsumedMessageError` (without
+        verification they only warn).  ``None`` (the default) defers
+        to the ``REPRO_VERIFY`` environment variable.
 
     Returns
     -------
@@ -320,12 +463,17 @@ def run_spmd(
         raise CommError(
             f"rank_args has {len(rank_args)} entries for {nranks} ranks"
         )
+    if verify is None:
+        verify = os.environ.get("REPRO_VERIFY", "").strip().lower() not in (
+            "", "0", "false", "no",
+        )
     runtime = Runtime(
         nranks,
         cost_model or DEFAULT_COST_MODEL,
         copy_messages=copy_messages,
         deadlock_timeout=deadlock_timeout,
         trace=trace,
+        verify=verify,
     )
     values: list[Any] = [None] * nranks
     errors: list[BaseException | None] = [None] * nranks
@@ -376,6 +524,15 @@ def run_spmd(
     aborted = next((e for e in errors if e is not None), None)
     if aborted is not None:
         raise aborted
+    leftover = runtime._unconsumed_lines()
+    if leftover:
+        report = (
+            f"simulation finalized with {len(leftover)} unreceived "
+            f"message(s):\n  " + "\n  ".join(leftover)
+        )
+        if runtime.verifier is not None:
+            raise UnconsumedMessageError(report)
+        warnings.warn(report, UnconsumedMessageWarning, stacklevel=2)
     stats = [ctx.stats for ctx in runtime.contexts]
     traces = (
         [ctx.tracer.finish() for ctx in runtime.contexts] if trace else None

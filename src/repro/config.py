@@ -24,7 +24,8 @@ import numpy as np
 
 from .exceptions import ConfigError
 
-__all__ = ["ReproConfig", "get_config", "set_config", "config_context"]
+__all__ = ["ReproConfig", "get_config", "set_config", "install_config",
+           "config_context"]
 
 
 @dataclasses.dataclass(frozen=True)

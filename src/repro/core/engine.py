@@ -29,6 +29,7 @@ __all__ = [
     "find_closing_rank",
     "closing_matrix",
     "closing_rhs",
+    "factor_closing",
     "broadcast_x0",
     "entry_state",
     "validate_rhs_rows",

@@ -49,7 +49,7 @@ from .engine import validate_rhs_rows
 from .refine import RefinableFactorization
 
 __all__ = ["SpikeRankState", "spike_factor_spmd", "spike_solve_spmd",
-           "SpikeFactorization", "max_spike_ranks"]
+           "spike_solve", "SpikeFactorization", "max_spike_ranks"]
 
 _TAG_REDUCED = 301
 

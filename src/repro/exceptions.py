@@ -15,6 +15,9 @@ __all__ = [
     "StabilityWarning",
     "CommError",
     "DeadlockError",
+    "SpmdDivergenceError",
+    "UnconsumedMessageError",
+    "UnconsumedMessageWarning",
     "RankError",
     "TagError",
     "ConfigError",
@@ -64,6 +67,25 @@ class CommError(ReproError, RuntimeError):
 class DeadlockError(CommError):
     """The SPMD program can make no further progress: every live rank is
     blocked on a receive/collective that can never be satisfied."""
+
+
+class SpmdDivergenceError(CommError):
+    """The runtime verifier observed two ranks disagreeing on the
+    collective call sequence: at the same position in a communicator's
+    schedule one rank entered a different collective (or a different
+    root) than another.  Raised at the *first* divergent call, in the
+    rank that arrived second, with both ranks' recent traces."""
+
+
+class UnconsumedMessageError(CommError):
+    """The runtime verifier found messages still sitting in inboxes
+    when the simulation finalized: some rank sent a message that no
+    rank ever received (sender, destination and tag are reported)."""
+
+
+class UnconsumedMessageWarning(UserWarning):
+    """Non-verify-mode counterpart of :class:`UnconsumedMessageError`:
+    the simulation finished with unreceived messages left in inboxes."""
 
 
 class RankError(CommError, ValueError):

@@ -7,11 +7,19 @@ Usage::
     python -m repro.harness all [--scale smoke] [--out results/]
     python -m repro.harness trace recon-T2 [--scale smoke] [--out results/]
     python -m repro.harness serve-bench [--scale smoke] [--rhs 10,100,256]
+
+``run``/``all``/``trace``/``serve-bench`` accept ``--verify``: every
+simulated solve runs with the SPMD runtime verifier enabled
+(equivalent to setting ``REPRO_VERIFY=1``; see docs/CHECKING.md), so a
+divergent collective or an unreceived message fails the experiment
+with a precise diagnostic.  The static analyzer has its own entry
+point: ``python -m repro.check lint src``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .experiments import EXPERIMENTS
@@ -23,7 +31,19 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.harness",
         description="Regenerate the paper's tables and figures.",
     )
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="run all simulated solves with the SPMD runtime verifier "
+        "(collective lockstep + finalize checks; same as REPRO_VERIFY=1)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def _add_verify(p: argparse.ArgumentParser) -> None:
+        # SUPPRESS keeps a pre-subcommand `--verify` from being reset by
+        # the subparser's default when the flag is absent there.
+        p.add_argument("--verify", action="store_true",
+                       default=argparse.SUPPRESS,
+                       help=argparse.SUPPRESS)
 
     sub.add_parser("list", help="list available experiments")
 
@@ -33,12 +53,14 @@ def main(argv: list[str] | None = None) -> int:
     run_p.add_argument("--out", default=None, help="directory for CSV output")
     run_p.add_argument("--plot", action="store_true",
                        help="also print the ASCII figure")
+    _add_verify(run_p)
 
     all_p = sub.add_parser("all", help="run every experiment")
     all_p.add_argument("--scale", choices=("full", "smoke"), default="full")
     all_p.add_argument("--out", default=None, help="directory for CSV output")
     all_p.add_argument("--plot", action="store_true",
                        help="also print the ASCII figures")
+    _add_verify(all_p)
 
     trace_p = sub.add_parser(
         "trace",
@@ -50,6 +72,7 @@ def main(argv: list[str] | None = None) -> int:
     trace_p.add_argument("--out", default="results",
                          help="directory for the .trace.json file "
                          "(default: results/)")
+    _add_verify(trace_p)
 
     serve_p = sub.add_parser(
         "serve-bench",
@@ -64,8 +87,11 @@ def main(argv: list[str] | None = None) -> int:
                          help="service worker threads (default: 2)")
     serve_p.add_argument("--out", default=None,
                          help="directory for serve_bench.stats.json")
+    _add_verify(serve_p)
 
     args = parser.parse_args(argv)
+    if args.verify:
+        os.environ["REPRO_VERIFY"] = "1"
     if args.command == "list":
         for exp in EXPERIMENTS.values():
             print(f"{exp.exp_id:10s} {exp.title:24s} {exp.description}")

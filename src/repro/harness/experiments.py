@@ -63,7 +63,13 @@ from ..workloads import (
 )
 
 __all__ = ["ExperimentResult", "Experiment", "EXPERIMENTS", "get_experiment",
-           "collecting_sim_stats"]
+           "collecting_sim_stats",
+           # experiment functions (also reachable through EXPERIMENTS)
+           "t1_complexity", "t2_phases", "f1_runtime_vs_r", "f2_speedup_vs_r",
+           "f3_strong_scaling", "f4_runtime_vs_n", "f5_runtime_vs_m",
+           "f6_model_validation", "f7_wallclock", "s1_stability",
+           "s2_refinement", "a1_scan_ablation", "a2_batching", "a3_baselines",
+           "a4_solver_domains", "a5_banded"]
 
 _CM = PAPER_ERA_MODEL
 

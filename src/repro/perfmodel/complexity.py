@@ -30,6 +30,8 @@ __all__ = [
     "cyclic_factor_cost",
     "cyclic_solve_cost",
     "bcr_parallel_cost",
+    "spike_factor_cost",
+    "spike_solve_cost",
     "speedup_model",
 ]
 

@@ -17,7 +17,8 @@ from collections import Counter
 from contextlib import contextmanager
 from typing import Iterator
 
-__all__ = ["FlopCounter", "current_counter", "counting_flops", "record_flops"]
+__all__ = ["FlopCounter", "current_counter", "counting_flops", "record_flops",
+           "gemm_flops", "lu_flops", "lu_solve_flops"]
 
 
 class FlopCounter:

@@ -42,6 +42,9 @@ __all__ = [
     "multigroup_diffusion_system",
     "random_block_dd_system",
     "toeplitz_block_system",
+    "helmholtz_block_system",
+    "absorbing_helmholtz_system",
+    "banded_oscillatory_system",
     "random_rhs",
     "smooth_rhs",
     "point_source_rhs",

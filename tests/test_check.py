@@ -1,0 +1,605 @@
+"""Tests for repro.check: the AST lint pass and the runtime verifier.
+
+Static layer: every rule fires on a seeded-bug fixture, stays quiet on
+the equivalent clean code, honours ``# repro: noqa[...]``, and the
+shipped ``src/`` tree lints clean (the same gate CI enforces).
+
+Dynamic layer: adversarial SPMD programs — divergent collectives, a
+send with no matching receive, a true receive cycle — must produce the
+precise diagnostic (ranks, ops, tags) under both ``verify=True`` and
+default mode, never a generic timeout; and real solves stay clean
+under verification.
+"""
+
+import pathlib
+import textwrap
+import time
+import warnings
+
+import pytest
+
+from repro.check import RULES, lint_paths, lint_source
+from repro.check.__main__ import main as check_main
+from repro.check.verifier import SpmdVerifier
+from repro.comm import run_spmd
+from repro.exceptions import (
+    DeadlockError,
+    SpmdDivergenceError,
+    UnconsumedMessageError,
+    UnconsumedMessageWarning,
+)
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+
+def rule_ids(findings):
+    return [f.rule_id for f in findings]
+
+
+def lint_snippet(snippet, path="pkg/module.py"):
+    return lint_source(textwrap.dedent(snippet), path)
+
+
+class TestRankConditionalCollective:
+    def test_collective_in_rank_branch_flagged(self):
+        findings = lint_snippet(
+            """
+            def program(comm):
+                if comm.rank == 0:
+                    comm.bcast(1, root=0)
+            """
+        )
+        assert rule_ids(findings) == ["RC101"]
+        assert "bcast" in findings[0].message
+
+    def test_else_branch_flagged(self):
+        findings = lint_snippet(
+            """
+            def program(comm):
+                if comm.rank == 0:
+                    pass
+                else:
+                    comm.barrier()
+            """
+        )
+        assert rule_ids(findings) == ["RC101"]
+
+    def test_local_rank_variable_flagged(self):
+        findings = lint_snippet(
+            """
+            def program(comm):
+                rank = comm.rank
+                if rank < 2:
+                    subcomm = comm.split(0)
+                    subcomm.allreduce(rank)
+            """
+        )
+        assert rule_ids(findings) == ["RC101", "RC101"]
+
+    def test_unconditional_collective_clean(self):
+        findings = lint_snippet(
+            """
+            def program(comm):
+                token = comm.allreduce(comm.rank)
+                if comm.rank == 0:
+                    print(token)
+                return comm.scan(token)
+            """
+        )
+        assert findings == []
+
+    def test_functools_reduce_not_flagged(self):
+        findings = lint_snippet(
+            """
+            import functools
+
+            def total(comm, items):
+                if comm.rank == 0:
+                    return functools.reduce(lambda a, b: a + b, items)
+            """
+        )
+        assert findings == []
+
+    def test_non_rank_condition_clean(self):
+        findings = lint_snippet(
+            """
+            def program(comm, big):
+                if big:
+                    comm.barrier()
+            """
+        )
+        assert findings == []
+
+
+class TestUnwaitedRequest:
+    def test_discarded_isend_flagged(self):
+        findings = lint_snippet(
+            """
+            def program(comm):
+                comm.isend(1, 0)
+            """
+        )
+        assert rule_ids(findings) == ["RC102"]
+
+    def test_unused_irecv_handle_flagged(self):
+        findings = lint_snippet(
+            """
+            def program(comm):
+                req = comm.irecv(source=1)
+                return 42
+            """
+        )
+        assert rule_ids(findings) == ["RC102"]
+        assert "req" in findings[0].message
+
+    def test_waited_request_clean(self):
+        findings = lint_snippet(
+            """
+            def program(comm):
+                req = comm.irecv(source=1)
+                return req.wait()
+            """
+        )
+        assert findings == []
+
+    def test_waitall_list_clean(self):
+        findings = lint_snippet(
+            """
+            def program(comm, Request):
+                reqs = [comm.irecv(source=s) for s in (1, 2)]
+                return Request.waitall(reqs)
+            """
+        )
+        assert findings == []
+
+
+class TestRawThreadPrimitive:
+    SNIPPET = """
+        import threading
+
+        guard = threading.Lock()
+        """
+
+    def test_outside_allowlist_flagged(self):
+        findings = lint_snippet(self.SNIPPET, path="src/repro/core/rd.py")
+        assert rule_ids(findings) == ["RC103"]
+        assert "threading.Lock" in findings[0].message
+
+    @pytest.mark.parametrize("part", ["comm", "service", "obs", "check"])
+    def test_audited_layers_allowed(self, part):
+        findings = lint_snippet(
+            self.SNIPPET, path=f"src/repro/{part}/runtime.py"
+        )
+        assert findings == []
+
+    def test_from_import_flagged(self):
+        findings = lint_snippet(
+            """
+            from threading import Thread
+
+            def spawn(fn):
+                return Thread(target=fn)
+            """,
+            path="src/repro/core/rd.py",
+        )
+        assert rule_ids(findings) == ["RC103"]
+
+    def test_thread_local_allowed(self):
+        findings = lint_snippet(
+            """
+            import threading
+
+            _state = threading.local()
+            """,
+            path="src/repro/core/rd.py",
+        )
+        assert findings == []
+
+
+class TestAllDrift:
+    def test_missing_public_def_flagged(self):
+        findings = lint_snippet(
+            """
+            __all__ = ["shipped"]
+
+            def shipped():
+                pass
+
+            def forgotten():
+                pass
+            """
+        )
+        assert rule_ids(findings) == ["RC104"]
+        assert "forgotten" in findings[0].message
+
+    def test_undefined_export_flagged(self):
+        findings = lint_snippet(
+            """
+            __all__ = ["ghost"]
+            """
+        )
+        assert rule_ids(findings) == ["RC104"]
+        assert "ghost" in findings[0].message
+
+    def test_lazy_getattr_exports_allowed(self):
+        findings = lint_snippet(
+            """
+            __all__ = ["lazy"]
+
+            def __getattr__(name):
+                raise AttributeError(name)
+            """
+        )
+        assert findings == []
+
+    def test_private_and_imported_names_ignored(self):
+        findings = lint_snippet(
+            """
+            import os
+            from sys import path
+
+            __all__ = ["public"]
+
+            def public():
+                pass
+
+            def _internal():
+                pass
+            """
+        )
+        assert findings == []
+
+
+class TestSimpleRules:
+    def test_bare_except_flagged(self):
+        findings = lint_snippet(
+            """
+            def f():
+                try:
+                    return 1
+                except:
+                    return 2
+            """
+        )
+        assert rule_ids(findings) == ["RC105"]
+
+    def test_typed_except_clean(self):
+        findings = lint_snippet(
+            """
+            def f():
+                try:
+                    return 1
+                except ValueError:
+                    return 2
+            """
+        )
+        assert findings == []
+
+    def test_mutable_default_flagged(self):
+        findings = lint_snippet(
+            """
+            def f(items=[], table={}, seen=set()):
+                return items, table, seen
+            """
+        )
+        assert rule_ids(findings) == ["RC106", "RC106", "RC106"]
+
+    def test_none_default_clean(self):
+        findings = lint_snippet(
+            """
+            def f(items=None, n=3, name="x"):
+                return items
+            """
+        )
+        assert findings == []
+
+    def test_syntax_error_reported(self):
+        findings = lint_source("def f(:\n", "broken.py")
+        assert rule_ids(findings) == ["RC100"]
+
+
+class TestSuppression:
+    def test_targeted_noqa(self):
+        findings = lint_snippet(
+            """
+            def program(comm):
+                if comm.rank == 0:
+                    comm.bcast(1, root=0)  # repro: noqa[RC101]
+            """
+        )
+        assert findings == []
+
+    def test_blanket_noqa(self):
+        findings = lint_snippet(
+            """
+            def f(items=[]):  # repro: noqa
+                return items
+            """
+        )
+        assert findings == []
+
+    def test_noqa_for_other_rule_does_not_suppress(self):
+        findings = lint_snippet(
+            """
+            def f(items=[]):  # repro: noqa[RC101]
+                return items
+            """
+        )
+        assert rule_ids(findings) == ["RC106"]
+
+
+class TestTreeAndCli:
+    def test_shipped_tree_lints_clean(self):
+        findings = lint_paths([SRC])
+        assert findings == [], "\n".join(f.format() for f in findings)
+
+    def test_cli_clean_file_exits_zero(self, tmp_path, capsys):
+        f = tmp_path / "clean.py"
+        f.write_text("def f():\n    return 1\n")
+        assert check_main(["lint", str(f)]) == 0
+
+    @pytest.mark.parametrize(
+        "rule_id,snippet",
+        [
+            ("RC100", "def f(:\n"),
+            ("RC101", "def p(comm):\n    if comm.rank:\n        comm.barrier()\n"),
+            ("RC102", "def p(comm):\n    comm.isend(1, 0)\n"),
+            ("RC103", "import threading\nx = threading.Lock()\n"),
+            ("RC104", "__all__ = ['ghost']\n"),
+            ("RC105", "def f():\n    try:\n        pass\n    except:\n        pass\n"),
+            ("RC106", "def f(x=[]):\n    return x\n"),
+        ],
+    )
+    def test_cli_seeded_bug_exits_nonzero(self, rule_id, snippet, tmp_path, capsys):
+        f = tmp_path / "seeded.py"
+        f.write_text(snippet)
+        assert check_main(["lint", str(f)]) == 1
+        assert rule_id in capsys.readouterr().out
+
+    def test_cli_json_format(self, tmp_path, capsys):
+        import json
+
+        f = tmp_path / "seeded.py"
+        f.write_text("def f(x=[]):\n    return x\n")
+        assert check_main(["lint", "--format", "json", str(f)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["rule_id"] == "RC106"
+        assert payload[0]["line"] == 1
+
+    def test_cli_rules_catalog(self, capsys):
+        assert check_main(["rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in RULES:
+            assert rule_id in out
+
+
+def diverging_program(comm):
+    """Rank 0 enters bcast while everyone else enters allreduce."""
+    if comm.rank == 0:
+        return comm.bcast(0, root=0)  # repro: noqa[RC101] - seeded bug
+    return comm.allreduce(1)
+
+
+class TestCollectiveDivergence:
+    def test_verify_reports_first_divergent_collective(self):
+        with pytest.raises(SpmdDivergenceError) as exc_info:
+            run_spmd(diverging_program, 2, verify=True)
+        message = str(exc_info.value)
+        assert "collective #0" in message
+        assert "bcast" in message and "allreduce" in message
+        assert "rank 0" in message and "rank 1" in message
+        assert "digest" in message
+
+    def test_default_mode_reports_precise_deadlock(self):
+        # Without the verifier the mismatch surfaces as a deadlock — but
+        # an exact, named one (rank, op, tag, unmatched messages), not a
+        # generic timeout.
+        with pytest.raises(DeadlockError) as exc_info:
+            run_spmd(diverging_program, 2)
+        message = str(exc_info.value)
+        assert "rank 1" in message
+        assert "allreduce" in message
+        assert "tag" in message
+        assert "unmatched message" in message
+
+    def test_root_mismatch_is_divergence(self):
+        def program(comm):
+            root = comm.rank  # every rank names a different root
+            return comm.bcast(0, root=root)
+
+        with pytest.raises(SpmdDivergenceError) as exc_info:
+            run_spmd(program, 2, verify=True)
+        assert "root" in str(exc_info.value)
+
+    def test_extra_collective_on_one_rank(self):
+        def program(comm):
+            comm.barrier()
+            if comm.rank == 1:
+                comm.barrier()  # repro: noqa[RC101] - seeded bug
+            return comm.allreduce(comm.rank)
+
+        with pytest.raises(SpmdDivergenceError) as exc_info:
+            run_spmd(program, 2, verify=True)
+        message = str(exc_info.value)
+        assert "collective #1" in message
+        assert "barrier" in message and "allreduce" in message
+
+    def test_env_var_enables_verification(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY", "1")
+        with pytest.raises(SpmdDivergenceError):
+            run_spmd(diverging_program, 2)
+
+    def test_env_var_zero_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY", "0")
+        with pytest.raises(DeadlockError):
+            run_spmd(diverging_program, 2)
+
+    def test_clean_program_passes_all_collectives(self):
+        def program(comm):
+            comm.barrier()
+            items = comm.allgather(comm.rank)
+            comm.scatter(items, root=1)
+            comm.alltoall(items)
+            comm.reduce(comm.rank, root=1)
+            comm.exscan(comm.rank)
+            return comm.scan(comm.rank)
+
+        res = run_spmd(program, 4, verify=True)
+        assert res.values == [0, 1, 3, 6]
+
+    def test_split_communicators_verify_independently(self):
+        # Different sub-communicators legitimately run different
+        # collective sequences; comm_key isolation must not call that
+        # divergence.
+        def program(comm):
+            sub = comm.split(comm.rank % 2)
+            if comm.rank % 2 == 0:
+                sub.barrier()
+                return sub.allreduce(comm.rank)
+            return sub.allgather(comm.rank)
+
+        res = run_spmd(program, 4, verify=True)
+        assert res.values[0] == res.values[2] == 2
+        assert res.values[1] == res.values[3] == [1, 3]
+
+    def test_dup_verifies_clean(self):
+        def program(comm):
+            other = comm.dup()
+            return other.allreduce(1)
+
+        res = run_spmd(program, 3, verify=True)
+        assert res.values == [3, 3, 3]
+
+
+class TestExactDeadlockDetection:
+    def test_cycle_is_named(self):
+        def program(comm):
+            nxt = (comm.rank + 1) % comm.size
+            val = comm.recv(source=nxt, tag=3)
+            comm.send(val, nxt, tag=3)
+
+        for verify in (False, True):
+            with pytest.raises(DeadlockError) as exc_info:
+                run_spmd(program, 3, verify=verify)
+            message = str(exc_info.value)
+            assert "wait-for cycle" in message
+            assert "rank 0 -> " in message or "rank 0" in message
+            assert "tag 3" in message
+
+    def test_detection_is_immediate_not_timeout_based(self):
+        def program(comm):
+            return comm.recv(source=(comm.rank + 1) % comm.size, tag=5)
+
+        start = time.monotonic()
+        with pytest.raises(DeadlockError):
+            run_spmd(program, 2, deadlock_timeout=60.0)
+        assert time.monotonic() - start < 5.0
+
+    def test_mismatched_tag_names_pending_message(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send("x", 1, tag=1)
+            else:
+                return comm.recv(source=0, tag=2)
+
+        for verify in (False, True):
+            with pytest.raises(DeadlockError) as exc_info:
+                run_spmd(program, 2, verify=verify)
+            message = str(exc_info.value)
+            assert "tag 2" in message  # what rank 1 waits for
+            assert "tag 1" in message  # the unmatched message in its inbox
+            assert "rank 0 -> rank 1" in message
+
+    def test_long_compute_phase_is_not_deadlock(self):
+        # The false-positive fix: a rank grinding through local work is
+        # live, so the blocked ranks must keep waiting no matter how
+        # long the compute takes relative to any timeout setting.
+        def program(comm):
+            if comm.rank == 0:
+                time.sleep(0.6)
+                comm.send("late", 1)
+                comm.send("late", 2)
+                return None
+            return comm.recv(source=0)
+
+        res = run_spmd(program, 3, deadlock_timeout=0.1)
+        assert res.values[1] == res.values[2] == "late"
+
+    def test_wildcard_receive_deadlock_reported(self):
+        def program(comm):
+            return comm.recv()  # ANY_SOURCE, nobody ever sends
+
+        with pytest.raises(DeadlockError) as exc_info:
+            run_spmd(program, 2)
+        assert "any rank" in str(exc_info.value)
+
+
+class TestFinalizeSweep:
+    def test_unreceived_message_is_error_under_verify(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send("x", 1, tag=7)
+
+        with pytest.raises(UnconsumedMessageError) as exc_info:
+            run_spmd(program, 2, verify=True)
+        message = str(exc_info.value)
+        assert "rank 0 -> rank 1" in message
+        assert "tag 7" in message
+
+    def test_unreceived_message_warns_in_default_mode(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send("x", 1, tag=7)
+
+        with pytest.warns(UnconsumedMessageWarning, match="tag 7"):
+            run_spmd(program, 2)
+
+    def test_clean_program_no_warning(self):
+        def program(comm):
+            comm.send(comm.rank, (comm.rank + 1) % comm.size, tag=1)
+            return comm.recv(tag=1)
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", UnconsumedMessageWarning)
+            res = run_spmd(program, 2)
+        assert sorted(res.values) == [0, 1]
+
+
+class TestSpmdVerifierUnit:
+    def test_schedule_slots_are_garbage_collected(self):
+        verifier = SpmdVerifier(2)
+        for index in range(100):
+            assert verifier.record_collective(0, ("world",), "barrier", None, 2) == index
+            assert verifier.record_collective(1, ("world",), "barrier", None, 2) == index
+        assert verifier._pending == {}
+        assert verifier.collectives_checked == 200
+
+    def test_digest_tracks_sequence(self):
+        verifier = SpmdVerifier(2)
+        verifier.record_collective(0, ("world",), "barrier", None, 2)
+        verifier.record_collective(1, ("world",), "barrier", None, 2)
+        assert verifier.digest(0) == verifier.digest(1)
+        verifier.record_collective(0, ("world",), "scan", None, 2)
+        assert verifier.digest(0) != verifier.digest(1)
+
+
+class TestVerifiedSolves:
+    def test_ard_solve_clean_under_verification(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY", "1")
+        from repro import solve
+        from repro.workloads import absorbing_helmholtz_system, random_rhs
+
+        matrix, _ = absorbing_helmholtz_system(16, 3)
+        b = random_rhs(16, 3, nrhs=4, seed=1).astype(matrix.dtype)
+        x = solve(matrix, b, method="ard", nranks=4)
+        assert matrix.residual(x, b) < 1e-8
+
+    def test_rd_solve_clean_under_verification(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY", "1")
+        from repro import solve
+        from repro.workloads import absorbing_helmholtz_system, random_rhs
+
+        matrix, _ = absorbing_helmholtz_system(16, 3)
+        b = random_rhs(16, 3, nrhs=1, seed=3).astype(matrix.dtype)
+        x = solve(matrix, b, method="rd", nranks=4)
+        assert matrix.residual(x, b) < 1e-8
