@@ -1,23 +1,246 @@
-"""Microbenchmarks of the block kernels and substrate primitives.
+"""Kernel microbenchmark suite: vectorized vs reference block kernels.
 
 Not a paper figure: these time the building blocks every experiment
-rests on (batched LU, batched GEMM, the affine-scan round, an SPMD
-round trip) so kernel-level regressions are visible independently of
-the algorithm-level results.
+rests on, at the kernel level where the vectorization PR claims its
+wins, and persist one machine-readable baseline
+(``results/BENCH_kernels.json``) per run:
+
+- batched (pure-NumPy, vectorized-over-blocks) LU factor/solve vs the
+  retained ``scipy_loop`` reference backend, across an ``(n, m, r)``
+  grid spanning both sides of the crossover;
+- sequential vs level-wise (batched Blelloch) evaluation of the
+  transfer recurrence's vector kernels, across an ``(h, m, r)`` grid;
+- :func:`repro.comm.fastcopy.fastcopy` vs ``copy.deepcopy`` on the
+  message payloads the runtime actually ships;
+- the end-to-end ARD ``solve()`` under the new kernel defaults vs the
+  seed configuration, on the service-shaped workload (a stream of
+  coalesced thin RHS batches — see ``bench_service.py``).
+
+The asserted floors sit below the numbers measured on the reference
+x86 host (quoted inline) so that noisy CI runs pass while real
+regressions still fail.  ``pytest benchmarks/bench_kernels.py`` runs
+the whole suite; the comparison tests time manually (best-of-k), so
+they are unaffected by ``--benchmark-disable``.
 """
 
+import copy
+import json
+import time
+
 import numpy as np
+import pytest
 
 from repro.comm import run_spmd
+from repro.comm.fastcopy import fastcopy
+from repro.config import config_context
+from repro.core.ard import ARDFactorization
+from repro.core.distribute import distribute_matrix
+from repro.core.recurrence import (
+    TransferOperators,
+    forward_solution,
+    local_vector_aggregate,
+)
 from repro.core.scan_affine import affine_scan
 from repro.linalg.blockops import BatchedLU, gemm
 from repro.prefix import AffinePair
+from repro.workloads import helmholtz_block_system, random_rhs
 
 RNG = np.random.default_rng(0)
+
+#: Floors asserted below (measured on the reference host: LU 3.6x at
+#: the acceptance point, level-wise 1.6-7.7x on thin panels, fastcopy
+#: ~9x on an AffinePair, end-to-end stream 2.1-2.5x).
+LU_SPEEDUP_FLOOR = 3.0
+LEVELWISE_SPEEDUP_FLOOR = 1.3
+FASTCOPY_SPEEDUP_FLOOR = 5.0
+E2E_SPEEDUP_FLOOR = 1.5
+
+#: (n, m, r) grid for the LU backend comparison; (256, 8, 16) is the
+#: acceptance point, the m >= 16 rows sit past the batched crossover
+#: and are recorded (not asserted) as the honest loss side.
+LU_GRID = [(256, 8, 16), (1024, 4, 8), (64, 8, 16), (256, 16, 32), (128, 32, 32)]
+LU_ACCEPTANCE = (256, 8, 16)
+
+#: (h, m, r) grid for the recurrence comparison; thin panels
+#: (r <= 16) are asserted, r = 32 sits at the crossover and is
+#: recorded only.
+REC_GRID = [(64, 8, 1), (128, 8, 8), (256, 8, 16), (128, 8, 32)]
+
+#: Service-shaped end-to-end workload: N blocks of order M on P ranks,
+#: RHS_TOTAL single-column requests coalesced into BATCH-wide solves.
+E2E_N, E2E_M, E2E_P = 512, 8, 4
+E2E_RHS_TOTAL, E2E_BATCH = 256, 16
+
+_NEW_DEFAULTS = dict(blockops_backend="batched", recurrence_mode="auto")
+_SEED_CONFIG = dict(blockops_backend="scipy_loop", recurrence_mode="sequential")
+
+
+def _best(fn, reps=7, inner=1):
+    """Best-of-``reps`` wall seconds of ``inner`` calls to ``fn``."""
+    out = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        out = min(out, (time.perf_counter() - t0) / inner)
+    return out
 
 
 def _blocks(n, m):
     return RNG.standard_normal((n, m, m)) + m * np.eye(m)
+
+
+@pytest.fixture(scope="module")
+def kernel_results(results_dir):
+    """Accumulates each test's measurements; written once at teardown."""
+    data = {}
+    yield data
+    path = results_dir / "BENCH_kernels.json"
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+class TestLUBackends:
+    def test_batched_vs_loop_grid(self, kernel_results):
+        rows = []
+        for n, m, r in LU_GRID:
+            blocks = _blocks(n, m)
+            rhs = RNG.standard_normal((n, m, r))
+            times = {}
+            for backend in ("batched", "scipy_loop"):
+                t_factor = _best(lambda: BatchedLU(blocks, backend=backend))
+                lu = BatchedLU(blocks, backend=backend)
+                t_solve = _best(lambda: lu.solve(rhs))
+                times[backend] = (t_factor, t_solve)
+            speedup = sum(times["scipy_loop"]) / sum(times["batched"])
+            rows.append({
+                "n": n, "m": m, "r": r,
+                "batched_factor_s": times["batched"][0],
+                "batched_solve_s": times["batched"][1],
+                "loop_factor_s": times["scipy_loop"][0],
+                "loop_solve_s": times["scipy_loop"][1],
+                "factor_solve_speedup": speedup,
+            })
+            if (n, m, r) == LU_ACCEPTANCE:
+                assert speedup >= LU_SPEEDUP_FLOOR, (
+                    f"batched LU factor+solve at (n,m,r)={LU_ACCEPTANCE} is "
+                    f"{speedup:.2f}x the scipy loop, below the "
+                    f"{LU_SPEEDUP_FLOOR}x floor"
+                )
+        kernel_results["lu_backends"] = rows
+
+
+class TestRecurrenceModes:
+    def test_sequential_vs_levelwise_grid(self, kernel_results):
+        rows = []
+        for h, m, r in REC_GRID:
+            mat, _ = helmholtz_block_system(h, m)
+            ops = TransferOperators(distribute_matrix(mat, 1)[0])
+            g = ops.g(RNG.standard_normal((h, m, r)))
+            entry = RNG.standard_normal((2 * m, r))
+            ops.levels()  # tree build is matrix work, amortized per RHS
+
+            def vector_kernels():
+                local_vector_aggregate(ops, g[: ops.ntransfer])
+                forward_solution(ops, g, entry, h)
+
+            times = {}
+            for mode in ("sequential", "levelwise"):
+                with config_context(recurrence_mode=mode):
+                    times[mode] = _best(vector_kernels)
+            speedup = times["sequential"] / times["levelwise"]
+            rows.append({
+                "h": h, "m": m, "r": r,
+                "sequential_s": times["sequential"],
+                "levelwise_s": times["levelwise"],
+                "speedup": speedup,
+            })
+            if r <= 16:
+                assert speedup >= LEVELWISE_SPEEDUP_FLOOR, (
+                    f"level-wise recurrence at (h,m,r)=({h},{m},{r}) is "
+                    f"{speedup:.2f}x sequential, below the "
+                    f"{LEVELWISE_SPEEDUP_FLOOR}x floor"
+                )
+        kernel_results["recurrence_modes"] = rows
+
+
+class TestFastcopy:
+    def test_fastcopy_vs_deepcopy(self, kernel_results):
+        pair = AffinePair(
+            RNG.standard_normal((16, 16)), RNG.standard_normal((16, 4))
+        )
+        structured = {
+            "pair": pair,
+            "rows": (RNG.standard_normal((8, 4, 4)), [np.arange(6.0)]),
+        }
+        rows = []
+        for label, payload in [("affine_pair", pair),
+                               ("structured_dict", structured)]:
+            t_fast = _best(lambda: fastcopy(payload), reps=20, inner=200)
+            t_deep = _best(lambda: copy.deepcopy(payload), reps=20, inner=200)
+            rows.append({
+                "payload": label,
+                "fastcopy_s": t_fast,
+                "deepcopy_s": t_deep,
+                "speedup": t_deep / t_fast,
+            })
+        kernel_results["fastcopy"] = rows
+        pair_speedup = rows[0]["speedup"]
+        assert pair_speedup >= FASTCOPY_SPEEDUP_FLOOR, (
+            f"fastcopy on an AffinePair is {pair_speedup:.1f}x deepcopy, "
+            f"below the {FASTCOPY_SPEEDUP_FLOOR}x floor"
+        )
+
+
+class TestEndToEnd:
+    def test_ard_service_stream_speedup(self, kernel_results):
+        """ARD solve under the new kernel defaults vs the seed config on
+        the service-shaped workload: ``RHS_TOTAL`` single-column
+        requests coalesced into ``BATCH``-wide solves against one held
+        factorization (how ``repro.service`` drives the solver).  The
+        monolithic full-width solve is recorded alongside — the new
+        defaults must hold parity there (the width-aware dispatch
+        routes wide panels to the same kernels the seed used)."""
+        mat, _ = helmholtz_block_system(E2E_N, E2E_M)
+        full = random_rhs(E2E_N, E2E_M, nrhs=E2E_RHS_TOTAL, seed=0)
+        batches = [
+            full[:, :, i:i + E2E_BATCH]
+            for i in range(0, E2E_RHS_TOTAL, E2E_BATCH)
+        ]
+        configs = [("new", _NEW_DEFAULTS), ("seed", _SEED_CONFIG)]
+        facts = {}
+        for label, cfg in configs:
+            with config_context(**cfg):
+                facts[label] = ARDFactorization(mat, nranks=E2E_P)
+                facts[label].solve(batches[0])  # warm; builds level tree
+        stream = {"new": float("inf"), "seed": float("inf")}
+        mono = {"new": float("inf"), "seed": float("inf")}
+        for _ in range(3):  # interleaved so host noise hits both configs
+            for label, cfg in configs:
+                with config_context(**cfg):
+                    t0 = time.perf_counter()
+                    for b in batches:
+                        facts[label].solve(b)
+                    stream[label] = min(stream[label], time.perf_counter() - t0)
+                    t0 = time.perf_counter()
+                    facts[label].solve(full)
+                    mono[label] = min(mono[label], time.perf_counter() - t0)
+        stream_speedup = stream["seed"] / stream["new"]
+        kernel_results["ard_end_to_end"] = {
+            "n": E2E_N, "m": E2E_M, "nranks": E2E_P,
+            "rhs_total": E2E_RHS_TOTAL, "batch": E2E_BATCH,
+            "stream_new_s": stream["new"], "stream_seed_s": stream["seed"],
+            "stream_speedup": stream_speedup,
+            "mono_new_s": mono["new"], "mono_seed_s": mono["seed"],
+            "mono_speedup": mono["seed"] / mono["new"],
+        }
+        assert stream_speedup >= E2E_SPEEDUP_FLOOR, (
+            f"ARD solve on the coalesced-stream workload is "
+            f"{stream_speedup:.2f}x the seed configuration, below the "
+            f"{E2E_SPEEDUP_FLOOR}x floor"
+        )
+
+
+# -- single-kernel timings (pytest-benchmark; no cross-backend claims) --
 
 
 def test_batched_lu_factor(benchmark):

@@ -28,6 +28,7 @@ from .communicator import (
 )
 from .costmodel import CostModel, DEFAULT_COST_MODEL, payload_nbytes
 from .clock import VirtualClock
+from .fastcopy import fastcopy, fastcopy_counted
 from .runtime import CommAborted, run_spmd
 from .stats import RankStats, SimulationResult
 
@@ -44,6 +45,8 @@ __all__ = [
     "DEFAULT_COST_MODEL",
     "payload_nbytes",
     "VirtualClock",
+    "fastcopy",
+    "fastcopy_counted",
     "CommAborted",
     "run_spmd",
     "RankStats",

@@ -1,0 +1,109 @@
+"""Structure-aware payload copying for the send path.
+
+The runtime copies every payload at send time (``copy_messages=True``)
+so in-process sharing cannot mask aliasing bugs that real distributed
+memory would expose.  The seed implementation bottomed out in
+``copy.deepcopy`` for any object without a ``copy()`` method — which
+walks the object graph through pickle-style introspection, orders of
+magnitude slower than ``ndarray.copy()`` for the array-of-blocks
+payloads this library actually sends.
+
+:func:`fastcopy` replaces that fallback with a structural protocol:
+
+- ``numpy.ndarray`` → ``.copy()`` (one memcpy);
+- immutable scalars (``None``/bool/int/float/complex/str/bytes and
+  NumPy scalars) → passed through;
+- tuples (including namedtuples), lists, dicts → rebuilt with each
+  element fast-copied;
+- objects with a ``copy()`` method (:class:`~repro.prefix.affine.
+  AffinePair`, :class:`~repro.linalg.blockops.BatchedLU`, …) → that
+  method;
+- dataclasses (scan-record entries and friends) → shallow ``copy.copy``
+  with every field fast-copied and re-set (``object.__setattr__``, so
+  frozen dataclasses work);
+- anything else → ``copy.deepcopy``, *counted*, so
+  :class:`~repro.comm.stats.RankStats` (``payload_deepcopies``) and the
+  obs layer show exactly how often the slow path still fires.
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+import dataclasses
+from typing import Any
+
+import numpy as np
+
+__all__ = ["fastcopy", "fastcopy_counted"]
+
+_SCALARS = (type(None), bool, int, float, complex, str, bytes, np.generic)
+
+# The protocol branch for a payload class never changes, so it is
+# resolved once per type and memoized — the send path then pays one
+# dict lookup instead of re-walking the isinstance chain per object
+# (payload streams repeat a handful of types millions of times).
+_ARRAY, _SCALAR, _NAMEDTUPLE, _TUPLE, _LIST, _DICT, _COPYABLE, \
+    _DATACLASS, _DEEP = range(9)
+_DISPATCH: dict[type, int] = {}
+
+
+def _classify(tp: type) -> int:
+    if issubclass(tp, np.ndarray):
+        return _ARRAY
+    if issubclass(tp, _SCALARS):
+        return _SCALAR
+    if issubclass(tp, tuple):
+        return _NAMEDTUPLE if hasattr(tp, "_fields") else _TUPLE
+    if issubclass(tp, list):
+        return _LIST
+    if issubclass(tp, dict):
+        return _DICT
+    if callable(getattr(tp, "copy", None)):
+        return _COPYABLE
+    if dataclasses.is_dataclass(tp):
+        return _DATACLASS
+    return _DEEP
+
+
+def _walk(obj: Any, counts: list) -> Any:
+    tp = obj.__class__
+    kind = _DISPATCH.get(tp)
+    if kind is None:
+        kind = _DISPATCH[tp] = _classify(tp)
+    if kind == _ARRAY:
+        return obj.copy()
+    if kind == _SCALAR:
+        return obj
+    if kind == _TUPLE:
+        return tuple(_walk(item, counts) for item in obj)
+    if kind == _NAMEDTUPLE:  # rebuild positionally
+        return tp(*(_walk(item, counts) for item in obj))
+    if kind == _LIST:
+        return [_walk(item, counts) for item in obj]
+    if kind == _DICT:
+        return {k: _walk(v, counts) for k, v in obj.items()}
+    if kind == _COPYABLE:
+        return obj.copy()
+    if kind == _DATACLASS:
+        dup = _copy.copy(obj)
+        for f in dataclasses.fields(obj):
+            object.__setattr__(dup, f.name, _walk(getattr(obj, f.name), counts))
+        return dup
+    counts[0] += 1
+    return _copy.deepcopy(obj)
+
+
+def fastcopy_counted(obj: Any) -> tuple[Any, int]:
+    """Copy ``obj`` structurally; also return the deepcopy-fallback count.
+
+    The count is the number of sub-objects the protocol did not
+    recognize (each handed to ``copy.deepcopy``) — zero for every
+    payload type the library sends on its own.
+    """
+    counts = [0]
+    return _walk(obj, counts), counts[0]
+
+
+def fastcopy(obj: Any) -> Any:
+    """Copy ``obj`` so sender and receiver never alias memory."""
+    return _walk(obj, [0])

@@ -35,7 +35,6 @@ Key properties
 
 from __future__ import annotations
 
-import copy as _copy
 import itertools
 import os
 import threading
@@ -43,18 +42,17 @@ import time
 import warnings
 from typing import Any, Callable, Sequence
 
-import numpy as np
-
 from ..exceptions import (
     CommError,
     DeadlockError,
     UnconsumedMessageError,
     UnconsumedMessageWarning,
 )
-from ..obs.tracer import Tracer, tracing
+from ..obs.tracer import Tracer, kernel_time, tracing
 from ..util.flops import FlopCounter, counting_flops
 from .clock import VirtualClock
 from .costmodel import CostModel, DEFAULT_COST_MODEL, payload_nbytes
+from .fastcopy import fastcopy_counted
 from .stats import RankStats, SimulationResult
 
 __all__ = ["Runtime", "RankContext", "run_spmd", "CommAborted"]
@@ -111,24 +109,6 @@ class _Wait:
         inside = f" inside collective '{self.op}'" if self.op else ""
         return (f"rank {rank}{inside}: blocked receiving from {src} "
                 f"({tag}) on communicator {self.comm_key!r}")
-
-
-def _copy_payload(obj: Any) -> Any:
-    """Copy a payload so sender and receiver never alias memory."""
-    if isinstance(obj, np.ndarray):
-        return obj.copy()
-    if obj is None or isinstance(obj, (bool, int, float, complex, str, bytes, np.generic)):
-        return obj
-    if isinstance(obj, tuple):
-        return tuple(_copy_payload(item) for item in obj)
-    if isinstance(obj, list):
-        return [_copy_payload(item) for item in obj]
-    if isinstance(obj, dict):
-        return {k: _copy_payload(v) for k, v in obj.items()}
-    clone = getattr(obj, "copy", None)
-    if callable(clone):
-        return clone()
-    return _copy.deepcopy(obj)
 
 
 class RankContext:
@@ -218,7 +198,10 @@ class Runtime:
         ctx.clock.sync_compute()
         ctx.clock.charge_overhead()
         if self.copy_messages:
-            payload = _copy_payload(payload)
+            with kernel_time("comm.copy"):
+                payload, ndeep = fastcopy_counted(payload)
+            ctx.stats.payload_copies += 1
+            ctx.stats.payload_deepcopies += ndeep
         nbytes = payload_nbytes(payload)
         arrival = ctx.clock.now + self.cost_model.message_time(nbytes)
         ctx.stats.bytes_sent += nbytes

@@ -23,6 +23,13 @@ class RankStats:
     bytes_sent / msgs_sent:
         Point-to-point traffic originated by this rank (collectives are
         built on point-to-point, so their traffic is included).
+    payload_copies / payload_deepcopies:
+        Send-path copy accounting (``copy_messages=True`` runs only):
+        messages whose payload was copied at post time, and how many
+        sub-objects within them fell through the structural
+        :func:`~repro.comm.fastcopy.fastcopy` protocol to
+        ``copy.deepcopy``.  A nonzero deepcopy count means some payload
+        type should be taught to the protocol.
     coll_counts / coll_bytes:
         Per-collective call counts and the point-to-point bytes this
         rank sent *inside* each collective (``bcast`` / ``allgather`` /
@@ -37,6 +44,8 @@ class RankStats:
     flops_by_kernel: dict[str, int] = dataclasses.field(default_factory=dict)
     bytes_sent: int = 0
     msgs_sent: int = 0
+    payload_copies: int = 0
+    payload_deepcopies: int = 0
     coll_counts: dict[str, int] = dataclasses.field(default_factory=dict)
     coll_bytes: dict[str, int] = dataclasses.field(default_factory=dict)
 
@@ -55,6 +64,8 @@ class RankStats:
                                 for k, v in self.flops_by_kernel.items()},
             "bytes_sent": int(self.bytes_sent),
             "msgs_sent": int(self.msgs_sent),
+            "payload_copies": int(self.payload_copies),
+            "payload_deepcopies": int(self.payload_deepcopies),
             "coll_counts": dict(self.coll_counts),
             "coll_bytes": dict(self.coll_bytes),
         }

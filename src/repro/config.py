@@ -25,7 +25,13 @@ import numpy as np
 from .exceptions import ConfigError
 
 __all__ = ["ReproConfig", "get_config", "set_config", "install_config",
-           "config_context"]
+           "config_context", "BLOCKOPS_BACKENDS", "RECURRENCE_MODES"]
+
+#: Valid values of :attr:`ReproConfig.blockops_backend`.
+BLOCKOPS_BACKENDS = frozenset({"batched", "scipy_loop"})
+
+#: Valid values of :attr:`ReproConfig.recurrence_mode`.
+RECURRENCE_MODES = frozenset({"auto", "sequential", "levelwise"})
 
 
 @dataclasses.dataclass(frozen=True)
@@ -46,12 +52,27 @@ class ReproConfig:
     growth_warn_threshold:
         Transfer-product growth factor above which
         :class:`repro.exceptions.StabilityWarning` is emitted.
+    blockops_backend:
+        Implementation behind :class:`repro.linalg.blockops.BatchedLU`:
+        ``"batched"`` (default) uses the pure-NumPy vectorized LU of
+        :mod:`repro.linalg.batchlu`; ``"scipy_loop"`` keeps the
+        one-``scipy`` -call-per-block reference path for
+        cross-validation.  See docs/KERNELS.md.
+    recurrence_mode:
+        How the local transfer recurrence is evaluated
+        (:mod:`repro.core.recurrence`): ``"sequential"`` loops one block
+        row at a time, ``"levelwise"`` runs a batched Blelloch scan in
+        ``O(log h)`` full-batch gemms (more flops, far fewer interpreter
+        round-trips), ``"auto"`` (default) picks by chunk height and
+        block size.  See docs/KERNELS.md.
     """
 
     dtype: np.dtype = dataclasses.field(default_factory=lambda: np.dtype(np.float64))
     singularity_rcond: float = 1e-13
     flop_counting: bool = False
     growth_warn_threshold: float = 1e8
+    blockops_backend: str = "batched"
+    recurrence_mode: str = "auto"
 
     def __post_init__(self) -> None:
         dt = np.dtype(self.dtype)
@@ -66,6 +87,16 @@ class ReproConfig:
             raise ConfigError(
                 "growth_warn_threshold must exceed 1.0, got "
                 f"{self.growth_warn_threshold}"
+            )
+        if self.blockops_backend not in BLOCKOPS_BACKENDS:
+            raise ConfigError(
+                f"blockops_backend must be one of {sorted(BLOCKOPS_BACKENDS)}, "
+                f"got {self.blockops_backend!r}"
+            )
+        if self.recurrence_mode not in RECURRENCE_MODES:
+            raise ConfigError(
+                f"recurrence_mode must be one of {sorted(RECURRENCE_MODES)}, "
+                f"got {self.recurrence_mode!r}"
             )
 
 

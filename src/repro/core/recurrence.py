@@ -23,14 +23,30 @@ provides the three structured local kernels every solver uses:
   (pure matrix–vector work, the per-RHS cost);
 - :func:`forward_solution` — back-substitution: given the state at the
   chunk entry, produce the owned solution rows.
+
+Evaluation modes
+----------------
+Each kernel evaluates either *sequentially* (one block row per
+iteration, ``h`` interpreter round-trips) or *level-wise*: the ``h``
+transfer maps are stacked into a ``(h, 2M, 2M)`` batch and run through
+the cached Blelloch tree of :class:`repro.prefix.batched.AffineLevels`
+in ``O(log h)`` full-batch gemms.  Level-wise spends ~2x the matrix
+flops and ~4x the vector flops to eliminate the per-row Python
+dispatch — a win once ``h`` is large, ``M`` small, and the RHS panel
+thin.  The choice is ``repro.config``'s ``recurrence_mode`` (``auto``
+picks by ``(h, M, R)``, see docs/KERNELS.md); each decision is recorded
+on the active trace as a ``recurrence.mode`` instant event.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..config import get_config
 from ..exceptions import ShapeError
 from ..linalg.blockops import BatchedLU, gemm
+from ..obs.tracer import instant
+from ..prefix.batched import AffineLevels
 from .distribute import LocalChunk
 
 __all__ = [
@@ -40,6 +56,55 @@ __all__ = [
     "forward_solution",
 ]
 
+#: ``auto`` switches to level-wise evaluation at this many transfer rows.
+LEVELWISE_MIN_ROWS = 64
+
+#: ``auto`` stays sequential above this block order (the batched
+#: ``(2M, 2M)`` composites grow as ``M^3`` while the structured
+#: sequential path only pays 4 ``M x M`` products per row).
+LEVELWISE_MAX_BLOCK = 16
+
+#: ``auto`` keeps the *vector* kernels sequential above this RHS panel
+#: width.  Level-wise vector evaluation spends ~4x the flops of the
+#: sequential recurrence; that only pays while the per-row dispatch
+#: overhead dominates, i.e. for thin panels.  Wide panels are
+#: compute-bound and the sequential per-row gemms are already efficient.
+LEVELWISE_MAX_RHS = 32
+
+
+def _use_levelwise(
+    nrows: int, block_size: int, kernel: str, panel: int | None = None
+) -> bool:
+    """Resolve the configured ``recurrence_mode`` for one kernel call.
+
+    ``panel`` is the RHS panel width for the vector kernels (``None``
+    for the matrix aggregate, whose cost has no RHS dimension).  Records
+    the decision as a ``recurrence.mode`` instant event on the active
+    trace (no-op when tracing is off).
+    """
+    mode = get_config().recurrence_mode
+    if mode == "sequential":
+        levelwise = False
+    elif mode == "levelwise":
+        levelwise = nrows > 0
+    else:
+        levelwise = (
+            nrows >= LEVELWISE_MIN_ROWS
+            and block_size <= LEVELWISE_MAX_BLOCK
+            and (panel is None or panel <= LEVELWISE_MAX_RHS)
+        )
+    instant(
+        "recurrence.mode",
+        cat="detail",
+        kernel=kernel,
+        mode=mode,
+        levelwise=levelwise,
+        nrows=nrows,
+        block_size=block_size,
+        panel=panel,
+    )
+    return levelwise
+
 
 class TransferOperators:
     """Per-chunk transfer maps ``(T1_i, T2_i)`` plus the ``U_i`` factors.
@@ -48,9 +113,14 @@ class TransferOperators:
     chunk's ``ntransfer`` rows (all owned rows except a final closing
     row).  The construction is the ``O((N/P) M^3)`` matrix work that RD
     repeats per right-hand side and ARD performs once.
+
+    The level-wise evaluation path lazily builds (and caches) the
+    Blelloch matrix tree over the stacked transfer maps — matrix-only
+    work that, like the rest of this object, amortizes across solves.
     """
 
-    __slots__ = ("lo", "ntransfer", "block_size", "t1", "t2", "ulu", "dtype")
+    __slots__ = ("lo", "ntransfer", "block_size", "t1", "t2", "ulu", "dtype",
+                 "_levels")
 
     def __init__(self, chunk: LocalChunk):
         t = chunk.ntransfer
@@ -59,6 +129,7 @@ class TransferOperators:
         self.ntransfer = t
         self.block_size = m
         self.dtype = chunk.dtype
+        self._levels = None
         if t > 0:
             # Factor the superdiagonal blocks; raises SingularBlockError
             # (with the global row index) if any is singular.
@@ -89,23 +160,55 @@ class TransferOperators:
             return np.empty((0, self.block_size, d_rows.shape[2]), dtype=self.dtype)
         return self.ulu.solve(d_rows[: self.ntransfer])
 
+    def stacked_maps(self) -> np.ndarray:
+        """The transfer maps as one ``(ntransfer, 2M, 2M)`` batch."""
+        m = self.block_size
+        mats = np.zeros((self.ntransfer, 2 * m, 2 * m), dtype=self.dtype)
+        mats[:, :m, :m] = self.t1
+        mats[:, :m, m:] = self.t2
+        idx = np.arange(m)
+        mats[:, m + idx, idx] = 1.0
+        return mats
+
+    def levels(self) -> AffineLevels:
+        """The cached Blelloch matrix tree over the transfer maps."""
+        if self._levels is None:
+            self._levels = AffineLevels(self.stacked_maps())
+        return self._levels
+
     @property
     def nbytes(self) -> int:
         total = self.t1.nbytes + self.t2.nbytes
         if self.ulu is not None:
             total += self.ulu.nbytes
+        if self._levels is not None:
+            total += self._levels.nbytes
         return total
+
+
+def _stacked_vectors(ops: TransferOperators, g_rows: np.ndarray) -> np.ndarray:
+    """The vector parts ``b_j = [g_j; 0]`` as ``(ntransfer, 2M, R)``."""
+    m = ops.block_size
+    r = g_rows.shape[2]
+    vecs = np.zeros((ops.ntransfer, 2 * m, r), dtype=ops.dtype)
+    vecs[:, :m] = g_rows[: ops.ntransfer]
+    return vecs
 
 
 def local_matrix_aggregate(ops: TransferOperators) -> np.ndarray:
     """Composed matrix part of the chunk's transfer maps as ``(2M, 2M)``.
 
-    Maintains the invariant that the running product
+    Sequential mode maintains the invariant that the running product
     ``A_{i} ... A_{lo}`` has the form ``[[G, H], [Gp, Hp]]`` (its bottom
     half equals the previous step's top half), so each row costs four
     ``M x M`` products instead of a full ``(2M)^3`` multiply.
+    Level-wise mode reads the cached Blelloch tree's root.
     """
     m = ops.block_size
+    if _use_levelwise(ops.ntransfer, m, "matrix_aggregate"):
+        # Copy: the root stays cached on the operators and the caller
+        # may ship (or mutate) the aggregate.
+        return ops.levels().total_matrix.copy()
     g_cur = np.eye(m, dtype=ops.dtype)
     h_cur = np.zeros((m, m), dtype=ops.dtype)
     g_prev = np.zeros((m, m), dtype=ops.dtype)
@@ -127,13 +230,18 @@ def local_vector_aggregate(ops: TransferOperators, g_rows: np.ndarray) -> np.nda
     """Composed vector part of the chunk's transfer maps as ``(2M, R)``.
 
     Equals the state reached from ``s = 0`` by running the recurrence
-    across the chunk — pure matrix–vector work, ``O((N/P) M^2 R)``.
+    across the chunk — pure matrix–vector work, ``O((N/P) M^2 R)``
+    sequentially, ``O(log h)`` batched gemms level-wise.
     """
     m = ops.block_size
     if g_rows.shape[0] != ops.ntransfer:
         raise ShapeError(
             f"expected {ops.ntransfer} g rows, got {g_rows.shape[0]}"
         )
+    if g_rows.ndim == 3 and _use_levelwise(
+        ops.ntransfer, m, "vector_aggregate", panel=g_rows.shape[2]
+    ):
+        return ops.levels().reduce_vectors(_stacked_vectors(ops, g_rows))
     r = g_rows.shape[2] if g_rows.ndim == 3 else 0
     v_cur = np.zeros((m, r), dtype=ops.dtype)
     v_prev = np.zeros((m, r), dtype=ops.dtype)
@@ -156,23 +264,45 @@ def forward_solution(
     The first output row is ``x_lo``; subsequent rows apply the transfer
     recurrence.  Only the first ``nrows - 1`` transfer maps are needed
     (the chunk's last transfer produces the *next* rank's first row).
+
+    Level-wise mode folds the entry state into the scan's first element
+    so the Blelloch exclusive outputs are exactly the states ``s_j``.
     """
     m = ops.block_size
     r = entry_state.shape[1]
     out = np.empty((nrows, m, r), dtype=ops.dtype)
     if nrows == 0:
         return out
+    steps = min(ops.ntransfer, nrows - 1)
+    if steps < nrows - 1:
+        raise ShapeError(
+            f"chunk has {ops.ntransfer} transfers but {nrows} rows requested"
+        )
+    if (
+        g_rows.shape[0] >= ops.ntransfer
+        and _use_levelwise(ops.ntransfer, m, "forward_solution", panel=r)
+    ):
+        states = ops.levels().exclusive_states(
+            _stacked_vectors(ops, g_rows), entry_state
+        )
+        take = min(nrows, ops.ntransfer)
+        out[:take] = states[:take, :m]
+        if nrows == ops.ntransfer + 1:
+            # The exclusive scan yields s_0 .. s_{h-1}; the final row
+            # needs s_h — one more application of the last map.
+            last = states[-1] if ops.ntransfer else entry_state
+            out[nrows - 1] = (
+                gemm(ops.t1[steps - 1], last[:m])
+                + gemm(ops.t2[steps - 1], last[m:])
+                + g_rows[steps - 1]
+            )
+        return out
     x_cur = entry_state[:m]
     x_prev = entry_state[m:]
     out[0] = x_cur
-    steps = min(ops.ntransfer, nrows - 1)
     for j in range(steps):
         x_new = gemm(ops.t1[j], x_cur) + gemm(ops.t2[j], x_prev) + g_rows[j]
         x_prev = x_cur
         x_cur = x_new
         out[j + 1] = x_cur
-    if steps < nrows - 1:
-        raise ShapeError(
-            f"chunk has {ops.ntransfer} transfers but {nrows} rows requested"
-        )
     return out

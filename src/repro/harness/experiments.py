@@ -43,13 +43,7 @@ from ..core.ard import ard_solve_spmd
 from ..exceptions import ExperimentError
 from ..linalg.reference import dense_solve
 from ..perfmodel import PAPER_ERA_MODEL, predict_cost, predict_time, speedup_model
-from ..prefix import (
-    AffinePair,
-    affine_compose,
-    dist_scan_blelloch,
-    dist_scan_kogge_stone,
-    dist_scan_pipeline,
-)
+from ..prefix import DIST_SCANS, AffinePair, affine_compose
 from ..util.flops import counting_flops
 from ..util.tables import render_csv, render_table
 from ..workloads import (
@@ -642,21 +636,15 @@ def a1_scan_ablation(scale: str = "full") -> ExperimentResult:
         mats = rng.standard_normal((p, dim, dim)) / dim
         pairs = [AffinePair(mats[i], np.zeros((dim, 1))) for i in range(p)]
 
-        def ks(comm, pairs=pairs):
-            return dist_scan_kogge_stone(comm, pairs[comm.rank], affine_compose)
-
-        def pipe(comm, pairs=pairs):
-            return dist_scan_pipeline(comm, pairs[comm.rank], affine_compose)
-
-        def bl(comm, pairs=pairs, dim=dim):
-            ident = AffinePair.identity(dim, 1)
-            return dist_scan_blelloch(comm, pairs[comm.rank], affine_compose, ident)
-
         results = {}
-        for name, fn in [("kogge_stone", ks), ("pipeline", pipe), ("blelloch", bl)]:
+        for name, scan_fn in DIST_SCANS.items():
             if name == "blelloch" and p & (p - 1):
-                continue
-            res = run_spmd(fn, p, cost_model=_CM, copy_messages=False)
+                continue  # the Blelloch schedule needs power-of-two ranks
+
+            def program(comm, pairs=pairs, scan_fn=scan_fn):
+                return scan_fn(comm, pairs[comm.rank], affine_compose)
+
+            res = run_spmd(program, p, cost_model=_CM, copy_messages=False)
             results[name] = res
         ref = results["kogge_stone"].values[-1]
         for name, res in results.items():

@@ -5,6 +5,7 @@ flop accounting, and independent reference solvers used as ground truth.
 """
 
 from .analysis import estimate_condition, from_scipy_sparse, onenorm
+from .batchlu import first_singular_block, lu_factor_batched, lu_solve_batched
 from .blockops import (
     BatchedLU,
     as_block_batch,
@@ -21,6 +22,9 @@ __all__ = [
     "estimate_condition",
     "from_scipy_sparse",
     "onenorm",
+    "first_singular_block",
+    "lu_factor_batched",
+    "lu_solve_batched",
     "BatchedLU",
     "as_block_batch",
     "gemm",

@@ -8,6 +8,23 @@ compare *instrumented* flop counts against the paper's formulas (every
 kernel calls :func:`repro.util.flops.record_flops` with its textbook
 count).
 
+Two interchangeable backends sit behind :class:`BatchedLU` (selected by
+``repro.config``'s ``blockops_backend``, see docs/KERNELS.md):
+
+``"batched"`` (default)
+    The pure-NumPy vectorized LU of :mod:`repro.linalg.batchlu` —
+    Python-loop length ``m`` (block order), every step a full-batch
+    operation.
+``"scipy_loop"``
+    The seed's one-``scipy``-call-per-block reference path, retained
+    for cross-validation; factors are bit-interchangeable (both store
+    LAPACK-convention ``(lu, piv)``).
+
+Either way the facade owns the shared contract: singularity checks
+(``singularity_rcond``, non-finite detection, ``block_offset`` in
+errors), flop accounting, kernel wall-time counters
+(:func:`repro.obs.kernel_time`), and ``nbytes``/``copy()``.
+
 Array conventions
 -----------------
 A *block batch* is an array of shape ``(n, m, m)``: ``n`` square blocks
@@ -23,9 +40,11 @@ import warnings
 import numpy as np
 import scipy.linalg
 
-from ..config import get_config
-from ..exceptions import ShapeError, SingularBlockError
+from ..config import BLOCKOPS_BACKENDS, get_config
+from ..exceptions import ConfigError, ShapeError, SingularBlockError
+from ..obs.tracer import kernel_time
 from ..util.flops import gemm_flops, lu_flops, lu_solve_flops, record_flops
+from .batchlu import first_singular_block, lu_factor_batched, lu_solve_batched
 
 __all__ = [
     "as_block_batch",
@@ -36,6 +55,18 @@ __all__ = [
     "identity_blocks",
     "transpose_blocks",
 ]
+
+
+#: The ``batched`` backend's :meth:`BatchedLU.solve` uses the vectorized
+#: substitution of :mod:`repro.linalg.batchlu` while the per-block panel
+#: work ``m * r`` stays at or below this bound.  Wider panels hand each
+#: block to LAPACK ``getrs`` instead: the substitution's ``2m``
+#: full-batch broadcast steps stream ``O(n m r)`` memory each, while a
+#: per-block BLAS-3 solve on a large ``(m, r)`` panel amortizes its call
+#: overhead (measured crossover ``m * r ~ 1000`` on x86; see
+#: docs/KERNELS.md).  Both backends store LAPACK-convention factors, so
+#: the two substitutions are interchangeable per solve.
+VECTOR_SOLVE_MAX_WORK = 512
 
 
 def as_block_batch(a: np.ndarray, name: str = "array") -> np.ndarray:
@@ -56,7 +87,8 @@ def gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """
     a = np.asarray(a)
     b = np.asarray(b)
-    out = np.matmul(a, b)
+    with kernel_time("kernel.gemm"):
+        out = np.matmul(a, b)
     if get_config().flop_counting:
         m, k = a.shape[-2], a.shape[-1]
         r = b.shape[-1]
@@ -128,47 +160,68 @@ class BatchedLU:
     block_offset:
         Global index of ``blocks[0]``; only used to report *which*
         global block was singular.
+    backend:
+        Override the configured ``blockops_backend`` for this instance
+        (``"batched"`` or ``"scipy_loop"``).
     """
 
-    __slots__ = ("n", "m", "dtype", "_lu", "_piv")
+    __slots__ = ("n", "m", "dtype", "backend", "_lu", "_piv")
 
     def __init__(self, blocks: np.ndarray, *, check_singular: bool = True,
-                 block_offset: int = 0):
+                 block_offset: int = 0, backend: str | None = None):
         blocks = as_block_batch(blocks, "blocks")
         self.n, self.m, _ = blocks.shape
         self.dtype = blocks.dtype
-        self._lu = np.empty_like(blocks)
-        self._piv = np.empty((self.n, self.m), dtype=np.int32)
-        rcond = get_config().singularity_rcond
-        for i in range(self.n):
-            with warnings.catch_warnings():
-                # We run our own singularity check below with a
-                # configurable threshold; scipy's warning is redundant.
-                warnings.simplefilter("ignore", scipy.linalg.LinAlgWarning)
-                lu, piv = scipy.linalg.lu_factor(blocks[i], check_finite=False)
-            if check_singular:
-                if not np.isfinite(lu).all():
-                    # Overflowed inputs produce NaN factors whose diagonal
-                    # comparisons below would silently pass (NaN < x is
-                    # False); fail loudly instead.
-                    raise SingularBlockError(
-                        f"block {block_offset + i} contains non-finite "
-                        "entries (upstream overflow)",
-                        block_index=block_offset + i,
-                    )
-                diag = np.abs(np.diagonal(lu))
-                scale = diag.max() if diag.size else 0.0
-                if scale == 0.0 or diag.min() < rcond * scale:
-                    raise SingularBlockError(
-                        f"block {block_offset + i} is singular to working "
-                        f"precision (min |U_kk| / max |U_kk| = "
-                        f"{0.0 if scale == 0.0 else diag.min() / scale:.2e})",
-                        block_index=block_offset + i,
-                    )
-            self._lu[i] = lu
-            self._piv[i] = piv
-        if get_config().flop_counting:
+        cfg = get_config()
+        self.backend = backend if backend is not None else cfg.blockops_backend
+        if self.backend not in BLOCKOPS_BACKENDS:
+            raise ConfigError(
+                f"unknown blockops backend {self.backend!r}; expected one "
+                f"of {sorted(BLOCKOPS_BACKENDS)}"
+            )
+        with kernel_time("kernel.lu"):
+            if self.backend == "batched":
+                self._lu, self._piv = lu_factor_batched(blocks)
+            else:
+                self._lu = np.empty_like(blocks)
+                self._piv = np.empty((self.n, self.m), dtype=np.int32)
+                for i in range(self.n):
+                    with warnings.catch_warnings():
+                        # The facade runs its own singularity check with
+                        # a configurable threshold; scipy's warning is
+                        # redundant.
+                        warnings.simplefilter(
+                            "ignore", scipy.linalg.LinAlgWarning
+                        )
+                        lu, piv = scipy.linalg.lu_factor(
+                            blocks[i], check_finite=False
+                        )
+                    self._lu[i] = lu
+                    self._piv[i] = piv
+        if check_singular:
+            self._raise_if_singular(cfg.singularity_rcond, block_offset)
+        if cfg.flop_counting:
             record_flops("lu", self.n * lu_flops(self.m))
+
+    def _raise_if_singular(self, rcond: float, block_offset: int) -> None:
+        bad = first_singular_block(self._lu, rcond)
+        if bad is None:
+            return
+        i, kind, ratio = bad
+        if kind == "nonfinite":
+            # Overflowed inputs produce NaN factors whose diagonal
+            # comparisons would silently pass (NaN < x is False); fail
+            # loudly instead.
+            raise SingularBlockError(
+                f"block {block_offset + i} contains non-finite "
+                "entries (upstream overflow)",
+                block_index=block_offset + i,
+            )
+        raise SingularBlockError(
+            f"block {block_offset + i} is singular to working "
+            f"precision (min |U_kk| / max |U_kk| = {ratio:.2e})",
+            block_index=block_offset + i,
+        )
 
     def solve(self, b: np.ndarray, transposed: bool = False) -> np.ndarray:
         """Solve ``blocks[i] x[i] = b[i]`` for all ``i``.
@@ -182,24 +235,40 @@ class BatchedLU:
                 f"rhs has shape {b.shape}, expected leading ({self.n}, {self.m}, ...)"
             )
         trans = 1 if transposed else 0
-        out = np.empty_like(b, dtype=np.result_type(self.dtype, b.dtype))
-        for i in range(self.n):
-            out[i] = scipy.linalg.lu_solve(
-                (self._lu[i], self._piv[i]), b[i], trans=trans, check_finite=False
-            )
+        r = b.shape[2] if b.ndim == 3 else 1
+        vectorized = (
+            self.backend == "batched" and self.m * r <= VECTOR_SOLVE_MAX_WORK
+        )
+        with kernel_time("kernel.trsm"):
+            if vectorized:
+                out = lu_solve_batched(self._lu, self._piv, b, trans=trans)
+            else:
+                out = np.empty_like(
+                    b, dtype=np.result_type(self.dtype, b.dtype)
+                )
+                for i in range(self.n):
+                    out[i] = scipy.linalg.lu_solve(
+                        (self._lu[i], self._piv[i]), b[i], trans=trans,
+                        check_finite=False,
+                    )
         if get_config().flop_counting:
-            r = b.shape[2] if b.ndim == 3 else 1
             record_flops("trsm", self.n * lu_solve_flops(self.m, r))
         return out
 
     def solve_one(self, i: int, b: np.ndarray, transposed: bool = False) -> np.ndarray:
-        """Solve against a single factored block ``i``."""
+        """Solve against a single factored block ``i``.
+
+        Both backends store LAPACK-convention ``(lu, piv)``, so the
+        single-block path always goes through ``scipy.lu_solve``.
+        """
         if not 0 <= i < self.n:
             raise ShapeError(f"block index {i} out of range [0, {self.n})")
         trans = 1 if transposed else 0
-        out = scipy.linalg.lu_solve(
-            (self._lu[i], self._piv[i]), np.asarray(b), trans=trans, check_finite=False
-        )
+        with kernel_time("kernel.trsm"):
+            out = scipy.linalg.lu_solve(
+                (self._lu[i], self._piv[i]), np.asarray(b), trans=trans,
+                check_finite=False,
+            )
         if get_config().flop_counting:
             r = b.shape[1] if np.asarray(b).ndim == 2 else 1
             record_flops("trsm", lu_solve_flops(self.m, r))
@@ -213,6 +282,7 @@ class BatchedLU:
     def copy(self) -> "BatchedLU":
         dup = object.__new__(BatchedLU)
         dup.n, dup.m, dup.dtype = self.n, self.m, self.dtype
+        dup.backend = self.backend
         dup._lu = self._lu.copy()
         dup._piv = self._piv.copy()
         return dup

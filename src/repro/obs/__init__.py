@@ -50,6 +50,7 @@ from .tracer import (
     Tracer,
     current_tracer,
     instant,
+    kernel_time,
     span,
     tracing,
 )
@@ -63,6 +64,7 @@ __all__ = [
     "tracing",
     "span",
     "instant",
+    "kernel_time",
     "PhaseReport",
     "PhaseStat",
     "build_phase_report",

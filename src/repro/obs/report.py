@@ -56,12 +56,20 @@ class PhaseReport:
         The rank realizing each segment's makespan.
     nranks:
         Number of simulated ranks.
+    kernel_wall / kernel_calls:
+        Measured wall seconds and call counts of the instrumented block
+        kernels (``kernel.lu`` / ``kernel.trsm`` / ``kernel.gemm`` /
+        ``comm.copy``), summed over all ranks and segments — where the
+        host actually spends its time, complementing the modelled
+        virtual breakdown above.
     """
 
     stats: list[PhaseStat]
     segment_virtual: dict[str, float]
     segment_critical_rank: dict[str, int]
     nranks: int
+    kernel_wall: dict[str, float] = dataclasses.field(default_factory=dict)
+    kernel_calls: dict[str, int] = dataclasses.field(default_factory=dict)
 
     @property
     def virtual_total(self) -> float:
@@ -113,12 +121,25 @@ class PhaseReport:
             msgs = sum(s.msgs_sent for s in stats)
             rows.append([key, f"{vt:.3e}", f"{vt / total:.1%}",
                          flops, nbytes, msgs])
-        return render_table(
+        table = render_table(
             ["phase", "virtual_s", "share", "flops", "bytes", "msgs"],
             rows,
             title=f"Phase breakdown (P={self.nranks}, "
             f"T_virtual={self.virtual_total:.3e}s, critical ranks)",
         )
+        if not self.kernel_wall:
+            return table
+        kernel_rows = [
+            [name, f"{self.kernel_wall[name]:.3e}",
+             self.kernel_calls.get(name, 0)]
+            for name in sorted(self.kernel_wall)
+        ]
+        kernels = render_table(
+            ["kernel", "wall_s", "calls"],
+            kernel_rows,
+            title="Kernel wall time (all ranks)",
+        )
+        return table + "\n" + kernels
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict (JSON-serializable) form."""
@@ -128,6 +149,8 @@ class PhaseReport:
             "segment_virtual": dict(self.segment_virtual),
             "segment_critical_rank": dict(self.segment_critical_rank),
             "virtual_by_phase": self.virtual_by_phase(),
+            "kernel_wall": dict(self.kernel_wall),
+            "kernel_calls": dict(self.kernel_calls),
             "stats": [s.to_dict() for s in self.stats],
         }
 
@@ -148,6 +171,8 @@ def build_phase_report(
     stats: list[PhaseStat] = []
     segment_virtual: dict[str, float] = {}
     segment_critical: dict[str, int] = {}
+    kernel_wall: dict[str, float] = {}
+    kernel_calls: dict[str, int] = {}
     nranks = 0
     for label, result in segments:
         if result is None or getattr(result, "traces", None) is None:
@@ -159,6 +184,10 @@ def build_phase_report(
             key=lambda r: result.stats[r].virtual_time,
         )
         for trace in result.traces:
+            for name, seconds in getattr(trace, "kernel_wall", {}).items():
+                kernel_wall[name] = kernel_wall.get(name, 0.0) + seconds
+            for name, calls in getattr(trace, "kernel_calls", {}).items():
+                kernel_calls[name] = kernel_calls.get(name, 0) + calls
             agg: dict[str, PhaseStat] = {}
             for s in trace.phase_spans():
                 stat = agg.get(s.name)
@@ -178,4 +207,6 @@ def build_phase_report(
         segment_virtual=segment_virtual,
         segment_critical_rank=segment_critical,
         nranks=nranks,
+        kernel_wall=kernel_wall,
+        kernel_calls=kernel_calls,
     )

@@ -64,6 +64,7 @@ __all__ = [
     "tracing",
     "span",
     "instant",
+    "kernel_time",
 ]
 
 
@@ -136,12 +137,18 @@ class RankTrace:
     """Finished timeline of one simulated rank.
 
     ``spans`` are appended at span *exit* (children precede parents);
-    sort by ``v_start`` for chronological order.
+    sort by ``v_start`` for chronological order.  ``kernel_wall`` /
+    ``kernel_calls`` hold the measured wall seconds and call counts of
+    the instrumented block kernels (``kernel.lu``, ``kernel.trsm``,
+    ``kernel.gemm``, ``comm.copy``) — the wall-clock counterpart of the
+    flop counter's per-kernel breakdown.
     """
 
     rank: int
     spans: list[SpanRecord] = dataclasses.field(default_factory=list)
     events: list[EventRecord] = dataclasses.field(default_factory=list)
+    kernel_wall: dict[str, float] = dataclasses.field(default_factory=dict)
+    kernel_calls: dict[str, int] = dataclasses.field(default_factory=dict)
 
     def phase_spans(self) -> list[SpanRecord]:
         """The ``cat == "phase"`` spans in chronological order."""
@@ -156,6 +163,8 @@ class RankTrace:
             "rank": self.rank,
             "spans": [s.to_dict() for s in self.spans],
             "events": [e.to_dict() for e in self.events],
+            "kernel_wall": dict(self.kernel_wall),
+            "kernel_calls": dict(self.kernel_calls),
         }
 
 
@@ -226,7 +235,7 @@ class Tracer:
     """
 
     __slots__ = ("rank", "clock", "counter", "stats", "spans", "events",
-                 "_depth")
+                 "kernel_wall", "kernel_calls", "_depth")
 
     def __init__(self, rank: int = 0, clock=None, counter=None, stats=None):
         self.rank = rank
@@ -235,6 +244,8 @@ class Tracer:
         self.stats = stats
         self.spans: list[SpanRecord] = []
         self.events: list[EventRecord] = []
+        self.kernel_wall: dict[str, float] = {}
+        self.kernel_calls: dict[str, int] = {}
         self._depth = 0
 
     def _vnow(self) -> float:
@@ -262,9 +273,16 @@ class Tracer:
             attrs=attrs,
         ))
 
+    def add_kernel_time(self, name: str, seconds: float) -> None:
+        """Accumulate measured wall time for one block-kernel call."""
+        self.kernel_wall[name] = self.kernel_wall.get(name, 0.0) + seconds
+        self.kernel_calls[name] = self.kernel_calls.get(name, 0) + 1
+
     def finish(self) -> RankTrace:
         """Freeze the collected records into a :class:`RankTrace`."""
-        return RankTrace(rank=self.rank, spans=self.spans, events=self.events)
+        return RankTrace(rank=self.rank, spans=self.spans, events=self.events,
+                         kernel_wall=self.kernel_wall,
+                         kernel_calls=self.kernel_calls)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Tracer(rank={self.rank}, spans={len(self.spans)}, "
@@ -331,3 +349,39 @@ def instant(name: str, cat: str = "comm", **attrs: Any) -> None:
     tracer = getattr(_state, "tracer", None)
     if tracer is not None:
         tracer.instant(name, cat, **attrs)
+
+
+class _KernelTimer:
+    """Live context manager timing one block-kernel call."""
+
+    __slots__ = ("_tracer", "_name", "_t0")
+
+    def __init__(self, tracer: Tracer, name: str):
+        self._tracer = tracer
+        self._name = name
+
+    def __enter__(self) -> None:
+        self._t0 = time.perf_counter()
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        self._tracer.add_kernel_time(
+            self._name, time.perf_counter() - self._t0
+        )
+        return False
+
+
+def kernel_time(name: str):
+    """Time one kernel call on the active tracer; no-op when disabled.
+
+    Unlike :func:`span`, kernel timings are plain per-name wall-clock
+    accumulators (no virtual-clock sync, no per-call records), so the
+    enabled cost is two ``perf_counter`` reads — cheap enough for the
+    innermost block kernels (``kernel.lu`` / ``kernel.trsm`` /
+    ``kernel.gemm`` / ``comm.copy``).  The disabled path is the same
+    one-lookup guard as :func:`span`.
+    """
+    tracer = getattr(_state, "tracer", None)
+    if tracer is None:
+        return _NULL_SPAN
+    return _KernelTimer(tracer, name)

@@ -1,0 +1,163 @@
+"""Array-stacked Blelloch scan over the affine-map semigroup.
+
+:mod:`repro.core.recurrence` evaluates the chunk-local recurrence
+``s_{j+1} = A_j s_j + b_j`` either one row at a time (``h`` interpreter
+round-trips) or *level-wise* through this module: the ``h`` transfer
+matrices are stacked as one ``(h, 2M, 2M)`` array and combined with a
+work-efficient Blelloch scan whose every step is a full-batch ``gemm``
+— ``O(log h)`` NumPy calls instead of ``O(h)``.
+
+The ARD split survives intact: :class:`AffineLevels` precomputes the
+scan's *matrix* tree once (cacheable on the factorization, like the
+matrix prefixes of the distributed scan), and per right-hand-side batch
+only the *vector* parts are replayed through the cached tree.  The
+replay costs ~4x the sequential vector flops (each step works on
+``(2M, 2M)`` composites instead of two ``(M, M)`` blocks) but runs in
+``~2 log2 h`` batched gemms — the flops-vs-dispatch trade quantified in
+docs/KERNELS.md.
+
+Composition convention matches :mod:`repro.prefix.affine`: position
+order is time order, so combining positions ``i < j`` forms
+``later ∘ earlier`` = ``(A_j A_i, A_j b_i + b_j)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from ..linalg.blockops import gemm
+
+__all__ = ["AffineLevels"]
+
+
+def _next_pow2(n: int) -> int:
+    p = 1
+    while p < n:
+        p <<= 1
+    return p
+
+
+class AffineLevels:
+    """Cached Blelloch level tree over stacked affine-map matrices.
+
+    Built once from the ``(h, k, k)`` matrix parts (the ``O(h k^3)``
+    work); the vector-only entry points then replay the tree's up- and
+    down-sweeps with batched matrix–vector panels, never touching a
+    matrix–matrix product again.
+
+    The stack is padded to the next power of two with identity maps
+    (appended *after* the real elements, so every prefix of the real
+    range is unaffected).
+    """
+
+    __slots__ = ("h", "dim", "dtype", "n2", "_am", "_up_pre")
+
+    def __init__(self, mats: np.ndarray):
+        mats = np.asarray(mats)
+        if mats.ndim != 3 or mats.shape[1] != mats.shape[2]:
+            raise ShapeError(
+                f"matrix stack must be (h, k, k), got {mats.shape}"
+            )
+        h, k, _ = mats.shape
+        self.h = h
+        self.dim = k
+        self.dtype = mats.dtype
+        self.n2 = n2 = _next_pow2(max(h, 1))
+        am = np.zeros((n2, k, k), dtype=mats.dtype)
+        am[:h] = mats
+        idx = np.arange(k)
+        am[h:, idx, idx] = 1.0
+        # Up-sweep: after level d, position (j*2^{d+1} - 1) holds its
+        # subtree's total composition.  The pre-combine right-node
+        # matrices are kept per level — the vector replay needs them
+        # (b_right' = A_right_pre @ b_left + b_right).
+        self._up_pre: list[np.ndarray] = []
+        step = 2
+        while step <= n2:
+            left = slice(step // 2 - 1, None, step)
+            right = slice(step - 1, None, step)
+            pre = am[right].copy()
+            self._up_pre.append(pre)
+            am[right] = gemm(pre, am[left])
+            step <<= 1
+        self._am = am
+
+    @property
+    def total_matrix(self) -> np.ndarray:
+        """Matrix part of the full composition ``A_{h-1} ... A_0``."""
+        return self._am[-1]
+
+    @property
+    def nbytes(self) -> int:
+        return self._am.nbytes + sum(p.nbytes for p in self._up_pre)
+
+    def _padded_vectors(self, vecs: np.ndarray) -> np.ndarray:
+        vecs = np.asarray(vecs)
+        if (
+            vecs.ndim != 3
+            or vecs.shape[0] != self.h
+            or vecs.shape[1] != self.dim
+        ):
+            raise ShapeError(
+                f"vector stack must be ({self.h}, {self.dim}, r), "
+                f"got {vecs.shape}"
+            )
+        vb = np.zeros(
+            (self.n2, self.dim, vecs.shape[2]),
+            dtype=np.result_type(self.dtype, vecs.dtype),
+        )
+        vb[: self.h] = vecs
+        return vb
+
+    def _up_sweep_vectors(self, vb: np.ndarray) -> np.ndarray:
+        for d, pre in enumerate(self._up_pre):
+            step = 2 << d
+            left = slice(step // 2 - 1, None, step)
+            right = slice(step - 1, None, step)
+            vb[right] = gemm(pre, vb[left]) + vb[right]
+        return vb
+
+    def reduce_vectors(self, vecs: np.ndarray) -> np.ndarray:
+        """Vector part of the full composition, as ``(k, r)``.
+
+        Equals the state reached from ``s = 0`` by running the
+        recurrence across all ``h`` maps — one up-sweep of ``log2 h``
+        batched gemms.
+        """
+        return self._up_sweep_vectors(self._padded_vectors(vecs))[-1]
+
+    def exclusive_states(
+        self, vecs: np.ndarray, entry: np.ndarray
+    ) -> np.ndarray:
+        """All intermediate states ``s_0 .. s_{h-1}``, as ``(h, k, r)``.
+
+        ``out[j] = A_{j-1}(... A_0(entry) ...)`` — the exclusive affine
+        prefix applied to ``entry``.  The entry state is folded into
+        element 0 (``b_0' = A_0 @ entry + b_0``) so the scan's exclusive
+        vector outputs *are* the states, with no extra inclusive pass;
+        ``out[0]`` is ``entry`` itself.
+        """
+        entry = np.asarray(entry)
+        vb = self._padded_vectors(vecs)
+        if self.h:
+            # _am[0] is never written by the sweeps: it still holds A_0.
+            vb[0] = gemm(self._am[0], entry) + vb[0]
+        vb = self._up_sweep_vectors(vb)
+        # Down-sweep (exclusive): the right child's prefix is the left
+        # subtree's total composed after the parent's carry —
+        # b_right' = A_left_up @ b_carry + b_left_up, with A_left_up
+        # read from the cached post-up-sweep matrix tree.
+        vb[-1] = 0.0
+        for d in reversed(range(len(self._up_pre))):
+            step = 2 << d
+            left = slice(step // 2 - 1, None, step)
+            right = slice(step - 1, None, step)
+            left_up = vb[left].copy()
+            carry = vb[right].copy()
+            vb[left] = carry
+            vb[right] = gemm(self._am[left], carry) + left_up
+        out = vb[: self.h].copy()
+        if self.h:
+            out[0] = entry
+        return out

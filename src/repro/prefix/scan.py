@@ -32,6 +32,7 @@ __all__ = [
     "seq_exclusive_scan",
     "dist_scan_kogge_stone",
     "dist_scan_blelloch",
+    "dist_scan_blelloch_affine",
     "dist_scan_pipeline",
     "DIST_SCANS",
 ]
@@ -149,8 +150,31 @@ def dist_scan_pipeline(
     return acc
 
 
+def dist_scan_blelloch_affine(
+    comm: "Communicator", value: Any, op: Callable[[Any, Any], Any]
+) -> Any:
+    """Blelloch scan over :class:`~repro.prefix.affine.AffinePair`
+    values, deriving the identity from the payload's shape.
+
+    Adapts :func:`dist_scan_blelloch` to the two-argument
+    ``(comm, value, op)`` signature shared by every :data:`DIST_SCANS`
+    entry, so the scan-algorithm ablation (abl-A1) can select all
+    schedules by name.  Inherits the power-of-two rank requirement.
+    """
+    from .affine import AffinePair  # deferred: keep scan.py payload-agnostic
+
+    if not isinstance(value, AffinePair):
+        raise ShapeError(
+            "dist_scan_blelloch_affine scans AffinePair values; for other "
+            f"payloads call dist_scan_blelloch with an explicit identity "
+            f"(got {type(value).__name__})"
+        )
+    identity = AffinePair.identity(value.dim, value.width, dtype=value.a.dtype)
+    return dist_scan_blelloch(comm, value, op, identity)
+
+
 DIST_SCANS = {
     "kogge_stone": dist_scan_kogge_stone,
     "pipeline": dist_scan_pipeline,
-    # "blelloch" requires an identity argument; see dist_scan_blelloch.
+    "blelloch": dist_scan_blelloch_affine,
 }

@@ -1,0 +1,221 @@
+"""Tests for the vectorized batched LU (repro.linalg.batchlu) and the
+backend selection of the BatchedLU facade."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+from hypothesis import given, settings, strategies as st
+
+from repro.config import config_context
+from repro.exceptions import ConfigError, SingularBlockError
+from repro.linalg.batchlu import (
+    first_singular_block,
+    lu_factor_batched,
+    lu_solve_batched,
+)
+from repro.linalg.blockops import BatchedLU
+
+
+def _spd_batch(rng, n, m, dtype=np.float64):
+    a = rng.standard_normal((n, m, m))
+    if np.dtype(dtype).kind == "c":
+        a = a + 1j * rng.standard_normal((n, m, m))
+    return (a + m * np.eye(m)).astype(dtype)
+
+
+def _reconstruct(lu, piv):
+    """Rebuild each block from its packed factors: A = P L U."""
+    n, m, _ = lu.shape
+    out = np.empty_like(lu)
+    for i in range(n):
+        ell = np.tril(lu[i], -1) + np.eye(m, dtype=lu.dtype)
+        u = np.triu(lu[i])
+        a = ell @ u
+        for k in range(m - 1, -1, -1):  # undo P^T = S_{m-1} ... S_0
+            p = piv[i, k]
+            a[[k, p]] = a[[p, k]]
+        out[i] = a
+    return out
+
+
+class TestFactorBatched:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64, np.complex128])
+    def test_reconstructs_input(self, rng, dtype):
+        a = _spd_batch(rng, 6, 4, dtype)
+        lu, piv = lu_factor_batched(a)
+        assert lu.dtype == a.dtype and piv.shape == (6, 4)
+        tol = 1e-4 if dtype == np.float32 else 1e-10
+        np.testing.assert_allclose(_reconstruct(lu, piv), a, atol=tol)
+
+    def test_matches_scipy_factors(self, rng):
+        """Same pivot choices as LAPACK (first-maximum tie-break), so
+        the packed factors agree elementwise."""
+        a = _spd_batch(rng, 5, 4)
+        lu, piv = lu_factor_batched(a)
+        for i in range(5):
+            slu, spiv = scipy.linalg.lu_factor(a[i])
+            np.testing.assert_array_equal(piv[i], spiv)
+            np.testing.assert_allclose(lu[i], slu, atol=1e-12)
+
+    def test_pivoting_handles_zero_leading_entry(self):
+        a = np.array([[[0.0, 1.0], [1.0, 0.0]]])
+        lu, piv = lu_factor_batched(a)
+        np.testing.assert_allclose(_reconstruct(lu, piv), a)
+
+    def test_zero_pivot_stays_finite(self):
+        """A singular block must not poison the batch with inf/NaN —
+        the unscaled column is the LAPACK info>0 behaviour the
+        singularity scan relies on."""
+        a = np.stack([np.eye(2), np.ones((2, 2))])
+        lu, piv = lu_factor_batched(a)
+        assert np.isfinite(lu).all()
+        assert lu[1, 1, 1] == 0.0
+
+    def test_empty_batch(self):
+        lu, piv = lu_factor_batched(np.empty((0, 3, 3)))
+        assert lu.shape == (0, 3, 3) and piv.shape == (0, 3)
+
+
+class TestSolveBatched:
+    def test_interop_scipy_factors_both_ways(self, rng):
+        """Factors cross over between backends in both directions."""
+        a = _spd_batch(rng, 4, 3)
+        b = rng.standard_normal((4, 3, 2))
+        lu, piv = lu_factor_batched(a)
+        for i in range(4):
+            np.testing.assert_allclose(
+                scipy.linalg.lu_solve((lu[i], piv[i]), b[i]),
+                np.linalg.solve(a[i], b[i]), atol=1e-10,
+            )
+            slu, spiv = scipy.linalg.lu_factor(a[i])
+            got = lu_solve_batched(slu[None], spiv[None], b[i][None])
+            np.testing.assert_allclose(
+                got[0], np.linalg.solve(a[i], b[i]), atol=1e-10
+            )
+
+    def test_transposed(self, rng):
+        a = _spd_batch(rng, 3, 5)
+        b = rng.standard_normal((3, 5, 2))
+        lu, piv = lu_factor_batched(a)
+        x = lu_solve_batched(lu, piv, b, trans=1)
+        np.testing.assert_allclose(np.swapaxes(a, 1, 2) @ x, b, atol=1e-10)
+
+    def test_vector_rhs(self, rng):
+        a = _spd_batch(rng, 4, 3)
+        b = rng.standard_normal((4, 3))
+        lu, piv = lu_factor_batched(a)
+        x = lu_solve_batched(lu, piv, b)
+        assert x.shape == (4, 3)
+        np.testing.assert_allclose(
+            np.einsum("nij,nj->ni", a, x), b, atol=1e-10
+        )
+
+    def test_dtype_promotion(self, rng):
+        a = _spd_batch(rng, 2, 3, np.float32)
+        lu, piv = lu_factor_batched(a)
+        x = lu_solve_batched(lu, piv, np.ones((2, 3, 1), dtype=np.float64))
+        assert x.dtype == np.float64
+
+
+class TestFirstSingularBlock:
+    def test_healthy_batch(self, rng):
+        lu, _ = lu_factor_batched(_spd_batch(rng, 3, 4))
+        assert first_singular_block(lu, 1e-13) is None
+
+    def test_reports_lowest_index(self):
+        blocks = np.stack([np.eye(2), np.zeros((2, 2)), np.zeros((2, 2))])
+        lu, _ = lu_factor_batched(blocks)
+        idx, kind, ratio = first_singular_block(lu, 1e-13)
+        assert (idx, kind, ratio) == (1, "singular", 0.0)
+
+    def test_nonfinite_takes_precedence(self):
+        lu = np.stack([np.diag([1.0, np.nan]), np.zeros((2, 2))])
+        idx, kind, _ = first_singular_block(lu, 1e-13)
+        assert (idx, kind) == (0, "nonfinite")
+
+    def test_rcond_threshold(self):
+        lu = np.diag([1.0, 1e-10])[None]
+        assert first_singular_block(lu, 1e-13) is None
+        assert first_singular_block(lu, 1e-8) is not None
+
+
+class TestBackendParity:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64, np.complex128])
+    def test_factors_and_solutions_agree(self, rng, dtype):
+        a = _spd_batch(rng, 8, 5, dtype)
+        b = rng.standard_normal((8, 5, 3)).astype(dtype)
+        batched = BatchedLU(a, backend="batched")
+        loop = BatchedLU(a, backend="scipy_loop")
+        rtol = 1e-5 if dtype == np.float32 else 1e-12
+        if np.dtype(dtype).kind != "c":
+            # Real pivoting tie-breaks identically (first maximum), so
+            # the packed factors agree elementwise.  Complex LAPACK
+            # pivots on |re| + |im| rather than the true modulus, so
+            # only the solutions are comparable there.
+            np.testing.assert_array_equal(batched._piv, loop._piv)
+            np.testing.assert_allclose(
+                batched._lu, loop._lu, rtol=rtol, atol=rtol
+            )
+        for transposed in (False, True):
+            np.testing.assert_allclose(
+                batched.solve(b, transposed=transposed),
+                loop.solve(b, transposed=transposed),
+                rtol=rtol, atol=rtol,
+            )
+
+    @pytest.mark.parametrize("backend", ["batched", "scipy_loop"])
+    def test_singularity_error_parity(self, backend):
+        blocks = np.stack([np.eye(3), np.zeros((3, 3))])
+        with pytest.raises(SingularBlockError, match="block 11") as exc:
+            BatchedLU(blocks, block_offset=10, backend=backend)
+        assert exc.value.block_index == 11
+
+    @pytest.mark.parametrize("backend", ["batched", "scipy_loop"])
+    def test_nonfinite_error_parity(self, backend):
+        block = np.array([[[1.0, 0.0], [0.0, np.inf]]])
+        with pytest.raises(SingularBlockError, match="non-finite") as exc:
+            BatchedLU(block, backend=backend)
+        assert exc.value.block_index == 0
+
+    def test_backend_from_config(self, rng):
+        a = _spd_batch(rng, 2, 3)
+        with config_context(blockops_backend="scipy_loop"):
+            assert BatchedLU(a).backend == "scipy_loop"
+        assert BatchedLU(a).backend == "batched"
+
+    def test_unknown_backend_rejected(self, rng):
+        with pytest.raises(ConfigError):
+            BatchedLU(_spd_batch(rng, 2, 3), backend="magma")
+
+    def test_copy_preserves_backend(self, rng):
+        lu = BatchedLU(_spd_batch(rng, 2, 3), backend="scipy_loop")
+        assert lu.copy().backend == "scipy_loop"
+
+    def test_wide_panel_dispatch_parity(self, rng):
+        """Above ``VECTOR_SOLVE_MAX_WORK`` the batched backend hands
+        each block to LAPACK ``getrs``; the answers (and the transposed
+        path) must be identical to the explicit loop backend."""
+        from repro.linalg.blockops import VECTOR_SOLVE_MAX_WORK
+
+        a = _spd_batch(rng, 4, 8)
+        r = VECTOR_SOLVE_MAX_WORK // 8 + 1  # just past the crossover
+        b = rng.standard_normal((4, 8, r))
+        batched = BatchedLU(a, backend="batched")
+        loop = BatchedLU(a, backend="scipy_loop")
+        for transposed in (False, True):
+            np.testing.assert_allclose(
+                batched.solve(b, transposed=transposed),
+                loop.solve(b, transposed=transposed),
+                rtol=1e-12, atol=1e-12,
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 7), st.integers(1, 6), st.integers(1, 4),
+           st.integers(0, 10_000))
+    def test_property_backend_parity(self, n, m, r, seed):
+        rng = np.random.default_rng(seed)
+        a = _spd_batch(rng, n, m)
+        b = rng.standard_normal((n, m, r))
+        xb = BatchedLU(a, backend="batched").solve(b)
+        xl = BatchedLU(a, backend="scipy_loop").solve(b)
+        np.testing.assert_allclose(xb, xl, rtol=1e-10, atol=1e-12)

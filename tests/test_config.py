@@ -43,6 +43,22 @@ class TestReproConfig:
         with pytest.raises(Exception):
             cfg.flop_counting = True
 
+    def test_kernel_defaults(self):
+        cfg = ReproConfig()
+        assert cfg.blockops_backend == "batched"
+        assert cfg.recurrence_mode == "auto"
+
+    def test_blockops_backend_validated(self):
+        assert ReproConfig(blockops_backend="scipy_loop").blockops_backend == "scipy_loop"
+        with pytest.raises(ConfigError, match="blockops_backend"):
+            ReproConfig(blockops_backend="cublas")
+
+    def test_recurrence_mode_validated(self):
+        for mode in ("auto", "sequential", "levelwise"):
+            assert ReproConfig(recurrence_mode=mode).recurrence_mode == mode
+        with pytest.raises(ConfigError, match="recurrence_mode"):
+            ReproConfig(recurrence_mode="vectorized")
+
 
 class TestGlobalConfig:
     def test_get_returns_default(self):

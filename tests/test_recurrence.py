@@ -9,8 +9,10 @@ aggregate/back-substitution match direct evaluation of the affine maps.
 import numpy as np
 import pytest
 
+from repro.config import config_context
 from repro.core.distribute import distribute_matrix
 from repro.core.recurrence import (
+    LEVELWISE_MIN_ROWS,
     TransferOperators,
     forward_solution,
     local_matrix_aggregate,
@@ -161,3 +163,83 @@ class TestForwardSolution:
         entry = rng.standard_normal((6, 1))
         out = forward_solution(ops, g, entry, chunk.nrows)
         np.testing.assert_array_equal(out[0], entry[:3])
+
+
+class TestLevelwiseMode:
+    """The level-wise (batched Blelloch) evaluation must agree with the
+    sequential recurrence on every kernel, at every chunk height."""
+
+    @pytest.mark.parametrize("n", [2, 3, 7, 8, 16, 19])
+    def test_all_kernels_match_sequential(self, n):
+        mat, _ = helmholtz_block_system(n, 3)
+        chunk = distribute_matrix(mat, 1)[0]
+        ops = TransferOperators(chunk)
+        rng = np.random.default_rng(4)
+        g = ops.g(rng.standard_normal((chunk.nrows, 3, 2)))
+        entry = rng.standard_normal((6, 2))
+        results = {}
+        for mode in ("sequential", "levelwise"):
+            with config_context(recurrence_mode=mode):
+                results[mode] = (
+                    local_matrix_aggregate(ops),
+                    local_vector_aggregate(ops, g[: ops.ntransfer]),
+                    forward_solution(ops, g, entry, chunk.nrows),
+                )
+        for seq, lvl in zip(results["sequential"], results["levelwise"]):
+            np.testing.assert_allclose(lvl, seq, rtol=1e-9, atol=1e-11)
+
+    def test_levels_cached_on_operators(self):
+        mat, _ = helmholtz_block_system(8, 2)
+        ops = TransferOperators(distribute_matrix(mat, 1)[0])
+        assert ops._levels is None
+        with config_context(recurrence_mode="levelwise"):
+            local_matrix_aggregate(ops)
+            levels = ops._levels
+            assert levels is not None
+            local_matrix_aggregate(ops)  # reuse, no rebuild
+            assert ops._levels is levels
+        assert ops.nbytes > levels.nbytes  # tree counted in footprint
+
+    def test_auto_threshold(self):
+        """``auto`` only engages level-wise evaluation at large chunk
+        heights, small blocks, and thin RHS panels — small (test-sized)
+        problems keep the sequential flop profile the virtual-time
+        model is calibrated on, and wide compute-bound panels never pay
+        the 4x level-wise vector flops."""
+        from repro.core.recurrence import LEVELWISE_MAX_RHS, _use_levelwise
+
+        with config_context(recurrence_mode="auto"):
+            assert not _use_levelwise(8, 4, "t")
+            assert _use_levelwise(LEVELWISE_MIN_ROWS, 4, "t")
+            assert not _use_levelwise(LEVELWISE_MIN_ROWS, 32, "t")
+            assert _use_levelwise(LEVELWISE_MIN_ROWS, 4, "t",
+                                  panel=LEVELWISE_MAX_RHS)
+            assert not _use_levelwise(LEVELWISE_MIN_ROWS, 4, "t",
+                                      panel=LEVELWISE_MAX_RHS + 1)
+        with config_context(recurrence_mode="sequential"):
+            assert not _use_levelwise(10_000, 2, "t")
+        with config_context(recurrence_mode="levelwise"):
+            assert _use_levelwise(2, 2, "t", panel=1000)
+
+    def test_mode_decision_traced(self):
+        from repro.obs import tracing
+
+        mat, _ = helmholtz_block_system(6, 2)
+        ops = TransferOperators(distribute_matrix(mat, 1)[0])
+        with tracing() as tr, config_context(recurrence_mode="levelwise"):
+            local_matrix_aggregate(ops)
+        events = [e for e in tr.events if e.name == "recurrence.mode"]
+        assert events and events[0].attrs["levelwise"] is True
+        assert events[0].attrs["kernel"] == "matrix_aggregate"
+
+    def test_forward_solution_matches_reference(self):
+        mat, _ = helmholtz_block_system(12, 2)
+        b = random_rhs(12, 2, nrhs=3, seed=5)
+        x_ref = dense_solve(mat, b)
+        chunk = distribute_matrix(mat, 1)[0]
+        ops = TransferOperators(chunk)
+        g = ops.g(b)
+        entry = np.vstack([x_ref[0], np.zeros((2, 3))])
+        with config_context(recurrence_mode="levelwise"):
+            x = forward_solution(ops, g, entry, 12)
+        np.testing.assert_allclose(x, x_ref, atol=1e-9)

@@ -122,6 +122,92 @@ class TestMessageSemantics:
         # Documented sharing semantics: the receiver observes mutation.
         np.testing.assert_array_equal(res.values[1], -np.ones(4))
 
+    def test_structured_payloads_never_alias_sender(self):
+        """Mutating a received payload (or the sender mutating after
+        send) must never be visible on the other side, for every payload
+        shape the library ships — the fastcopy isolation contract."""
+        import dataclasses
+
+        from repro.prefix import AffinePair
+
+        @dataclasses.dataclass(frozen=True)
+        class Record:
+            tag: str
+            arrays: tuple
+
+        def make():
+            pair = AffinePair(np.eye(2), np.ones((2, 1)))
+            return {
+                "pair": pair,
+                "rec": Record("r", (np.arange(3.0), [np.zeros(2)])),
+                "nested": [(np.full(2, 7.0),)],
+            }
+
+        def program(comm):
+            if comm.rank == 0:
+                payload = make()
+                comm.send(payload, 1)
+                payload["pair"].a[:] = -1.0  # sender mutates after send
+                payload["rec"].arrays[0][:] = -1.0
+                payload["nested"][0][0][:] = -1.0
+                return None
+            got = comm.recv(source=0)
+            fresh = make()
+            assert np.array_equal(got["pair"].a, fresh["pair"].a)
+            assert np.array_equal(got["rec"].arrays[0], fresh["rec"].arrays[0])
+            assert np.array_equal(got["nested"][0][0], fresh["nested"][0][0])
+            return True
+
+        res = run_spmd(program, 2, copy_messages=True)
+        assert res.values[1] is True
+
+    def test_payload_copy_counters(self):
+        """Library payload types take the structural path; only foreign
+        objects fall through to the counted deepcopy."""
+
+        class Opaque:  # no copy(), not a dataclass
+            __slots__ = ("x",)
+
+            def __init__(self):
+                self.x = 1
+
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(3.0), 1)
+                comm.send((np.eye(2), Opaque()), 1)
+            else:
+                comm.recv(source=0)
+                comm.recv(source=0)
+
+        res = run_spmd(program, 2, copy_messages=True)
+        assert res.stats[0].payload_copies == 2
+        assert res.stats[0].payload_deepcopies == 1
+        assert res.stats[1].payload_copies == 0
+        d = res.stats[0].to_dict()
+        assert d["payload_copies"] == 2 and d["payload_deepcopies"] == 1
+
+    def test_no_copy_mode_skips_counters(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(3.0), 1)
+            else:
+                comm.recv(source=0)
+
+        res = run_spmd(program, 2, copy_messages=False)
+        assert res.stats[0].payload_copies == 0
+
+    def test_comm_copy_kernel_timed(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(1000.0), 1)
+            else:
+                comm.recv(source=0)
+
+        res = run_spmd(program, 2, copy_messages=True, trace=True)
+        assert res.traces[0].kernel_calls.get("comm.copy") == 1
+        assert res.traces[0].kernel_wall["comm.copy"] >= 0.0
+        assert "comm.copy" not in res.traces[1].kernel_calls
+
 
 class TestVirtualTiming:
     def test_message_latency_ordering(self):
