@@ -108,6 +108,23 @@ def _suppressions(source: str) -> dict[int, frozenset[str] | None]:
     return out
 
 
+def _print_exempt(path: str) -> bool:
+    """Is ``path`` allowed to use bare ``print()`` (RC107)?
+
+    Exempt: CLI entry modules (``__main__.py``), the plain-text table
+    renderer (``util/tables.py``), and anything outside a ``repro``
+    package tree (fixtures, scripts, the default ``<string>`` buffer) —
+    the rule targets library code that should speak the structured
+    telemetry protocol of :mod:`repro.obs.log`.
+    """
+    p = pathlib.PurePath(path)
+    if "repro" not in p.parts:
+        return True
+    if p.name == "__main__.py":
+        return True
+    return p.name == "tables.py" and len(p.parts) >= 2 and p.parts[-2] == "util"
+
+
 def _is_rank_dependent(node: ast.AST) -> bool:
     """Does the expression read the executing rank (``comm.rank``, a
     ``rank``/``vrank`` local, ...)?"""
@@ -164,7 +181,7 @@ def _walk_scope(body: Sequence[ast.stmt]) -> Iterable[ast.AST]:
 
 
 class _Visitor(ast.NodeVisitor):
-    """Single-pass visitor implementing RC101/RC102/RC103/RC105/RC106."""
+    """Single-pass visitor implementing RC101-RC103 and RC105-RC107."""
 
     def __init__(self, path: str, findings: list[Finding]):
         self.path = path
@@ -176,6 +193,7 @@ class _Visitor(ast.NodeVisitor):
             part in THREADING_ALLOWLIST
             for part in pathlib.PurePath(path).parts
         )
+        self._print_exempt = _print_exempt(path)
 
     def _emit(self, rule_id: str, node: ast.AST, message: str) -> None:
         self.findings.append(
@@ -223,7 +241,22 @@ class _Visitor(ast.NodeVisitor):
                     f"sequence",
                 )
         self._check_thread_primitive(node)
+        self._check_bare_print(node)
         self.generic_visit(node)
+
+    # -- RC107: bare print() in library code ------------------------------
+
+    def _check_bare_print(self, node: ast.Call) -> None:
+        if self._print_exempt:
+            return
+        if isinstance(node.func, ast.Name) and node.func.id == "print":
+            self._emit(
+                "RC107",
+                node,
+                "bare print() in library code; route output through "
+                "repro.obs.log (get_logger for telemetry events, "
+                "console for CLI output)",
+            )
 
     # -- RC103: raw threading primitives ---------------------------------
 

@@ -109,6 +109,18 @@ RULES: dict[str, Rule] = {
             "thread shares the same function object.",
             "Default to None and create the container inside the function.",
         ),
+        Rule(
+            "RC107",
+            "bare-print",
+            "Bare print() in library code bypasses the structured "
+            "telemetry pipeline: the output carries no level, no trace "
+            "context, and cannot be captured, filtered or shipped like "
+            "repro.obs.log records.",
+            "Use repro.obs.log — get_logger(component) for telemetry "
+            "events, console() for deliberate CLI/report output; bare "
+            "print() is allowed only in __main__ modules and "
+            "util/tables.py.",
+        ),
     )
 }
 

@@ -48,6 +48,12 @@ from ..exceptions import (
     UnconsumedMessageError,
     UnconsumedMessageWarning,
 )
+from ..obs.context import (
+    TraceContext,
+    current_trace_context,
+    new_trace_context,
+    trace_context,
+)
 from ..obs.tracer import Tracer, kernel_time, tracing
 from ..util.flops import FlopCounter, counting_flops
 from .clock import VirtualClock
@@ -71,10 +77,10 @@ class _Message:
     """
 
     __slots__ = ("comm_key", "source", "tag", "payload", "nbytes",
-                 "arrival_time", "seq", "source_world")
+                 "arrival_time", "seq", "source_world", "trace_id")
 
     def __init__(self, comm_key, source, tag, payload, nbytes, arrival_time,
-                 seq, source_world):
+                 seq, source_world, trace_id=None):
         self.comm_key = comm_key
         self.source = source
         self.tag = tag
@@ -83,6 +89,9 @@ class _Message:
         self.arrival_time = arrival_time
         self.seq = seq
         self.source_world = source_world
+        # Correlation id of the operation the sender was executing
+        # (see repro.obs.context); None when the run is uncorrelated.
+        self.trace_id = trace_id
 
 
 class _Wait:
@@ -115,7 +124,7 @@ class RankContext:
     """Per-rank simulation state: clock, flop counter, statistics."""
 
     __slots__ = ("rank", "clock", "counter", "stats", "runtime", "tracer",
-                 "coll_depth", "current_coll")
+                 "trace_ctx", "coll_depth", "current_coll")
 
     def __init__(self, rank: int, runtime: "Runtime"):
         self.rank = rank
@@ -123,9 +132,17 @@ class RankContext:
         self.counter = FlopCounter()
         self.clock = VirtualClock(runtime.cost_model, self.counter)
         self.stats = RankStats(rank=rank)
+        # Per-rank child of the run's TraceContext (rank filled in),
+        # installed thread-locally for the duration of the rank fn.
+        self.trace_ctx = (
+            runtime.trace_ctx.for_rank(rank)
+            if runtime.trace_ctx is not None else None
+        )
         self.tracer = (
             Tracer(rank=rank, clock=self.clock, counter=self.counter,
-                   stats=self.stats)
+                   stats=self.stats,
+                   trace_id=(runtime.trace_ctx.trace_id
+                             if runtime.trace_ctx is not None else None))
             if runtime.trace else None
         )
         # Collective nesting depth: user-facing collectives compose
@@ -162,6 +179,7 @@ class Runtime:
         poll_interval: float = 0.05,
         trace: bool = False,
         verify: bool = False,
+        trace_ctx: TraceContext | None = None,
     ):
         if nranks <= 0:
             raise CommError(f"nranks must be positive, got {nranks}")
@@ -169,6 +187,7 @@ class Runtime:
         self.cost_model = cost_model
         self.copy_messages = copy_messages
         self.trace = trace
+        self.trace_ctx = trace_ctx
         # Retained for API compatibility: deadlocks are now detected
         # exactly (and immediately) from the wait-for graph, so no
         # wall-clock stall window is involved anymore.
@@ -209,7 +228,9 @@ class Runtime:
         if ctx.tracer is not None:
             ctx.tracer.instant("send", dest=dest_world, tag=tag, nbytes=nbytes)
         msg = _Message(comm_key, source_commrank, tag, payload, nbytes, arrival,
-                       next(self._seq), ctx.rank)
+                       next(self._seq), ctx.rank,
+                       trace_id=(ctx.trace_ctx.trace_id
+                                 if ctx.trace_ctx is not None else None))
         with self._cond:
             if self._abort is not None:
                 raise CommAborted("simulation aborted") from self._abort
@@ -450,6 +471,12 @@ def run_spmd(
         verify = os.environ.get("REPRO_VERIFY", "").strip().lower() not in (
             "", "0", "false", "no",
         )
+    # Correlation: adopt the caller's active TraceContext (e.g. a service
+    # request), or mint a fresh one when tracing so the per-rank spans of
+    # this run already share one trace_id.
+    run_ctx = current_trace_context()
+    if run_ctx is None and trace:
+        run_ctx = new_trace_context()
     runtime = Runtime(
         nranks,
         cost_model or DEFAULT_COST_MODEL,
@@ -457,6 +484,7 @@ def run_spmd(
         deadlock_timeout=deadlock_timeout,
         trace=trace,
         verify=verify,
+        trace_ctx=run_ctx,
     )
     values: list[Any] = [None] * nranks
     errors: list[BaseException | None] = [None] * nranks
@@ -468,13 +496,19 @@ def run_spmd(
         extra = tuple(rank_args[rank]) if rank_args is not None else ()
         previous_config = get_config()
         install_config(worker_config)
+        def call() -> Any:
+            if ctx.tracer is not None:
+                with tracing(ctx.tracer):
+                    return fn(comm, *args, *extra, **kwargs)
+            return fn(comm, *args, *extra, **kwargs)
+
         try:
             with counting_flops(ctx.counter):
-                if ctx.tracer is not None:
-                    with tracing(ctx.tracer):
-                        values[rank] = fn(comm, *args, *extra, **kwargs)
+                if ctx.trace_ctx is not None:
+                    with trace_context(ctx.trace_ctx):
+                        values[rank] = call()
                 else:
-                    values[rank] = fn(comm, *args, *extra, **kwargs)
+                    values[rank] = call()
         except CommAborted as exc:
             errors[rank] = exc
         except BaseException as exc:  # noqa: BLE001 - reported to caller
@@ -521,5 +555,6 @@ def run_spmd(
         [ctx.tracer.finish() for ctx in runtime.contexts] if trace else None
     )
     return SimulationResult(
-        values=values, stats=stats, wall_time=wall, traces=traces
+        values=values, stats=stats, wall_time=wall, traces=traces,
+        trace_id=run_ctx.trace_id if run_ctx is not None else None,
     )

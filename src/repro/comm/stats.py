@@ -86,12 +86,17 @@ class SimulationResult:
     traces:
         Per-rank :class:`repro.obs.tracer.RankTrace` timelines when the
         simulation ran with ``trace=True``; ``None`` otherwise.
+    trace_id:
+        Correlation id of the :class:`repro.obs.context.TraceContext`
+        this run executed under (adopted from the caller or minted when
+        tracing); ``None`` for uncorrelated runs.
     """
 
     values: list[Any]
     stats: list[RankStats]
     wall_time: float
     traces: list[Any] | None = None
+    trace_id: str | None = None
 
     @property
     def nranks(self) -> int:
@@ -167,6 +172,8 @@ class SimulationResult:
             "collective_counts": self.collective_counts(),
             "collective_bytes": self.collective_bytes(),
         }
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
         if include_ranks:
             out["ranks"] = [s.to_dict() for s in self.stats]
         return out

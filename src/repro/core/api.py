@@ -78,6 +78,13 @@ class SolveInfo:
         per-phase time/flop/byte breakdown when the solve ran with
         ``trace=True``; ``None`` otherwise.  Its per-phase virtual
         times sum to :attr:`virtual_time`.
+    trace_id:
+        Correlation id (:mod:`repro.obs.context`) of this solve when it
+        ran traced or under an active trace context; shared by the
+        rank spans, log records, and message envelopes it produced.
+    health:
+        :class:`~repro.obs.health.HealthReport` when the solve ran
+        with ``health=True``; ``None`` otherwise.
     """
 
     method: str
@@ -88,6 +95,8 @@ class SolveInfo:
     factor_result: SimulationResult | None = None
     solve_result: SimulationResult | None = None
     phase_report: Any | None = None
+    trace_id: str | None = None
+    health: Any | None = None
 
 
 def _reject_unknown_kwargs(fn_name: str, kwargs: dict) -> None:
@@ -128,6 +137,7 @@ def solve(
     check: bool = False,
     refine: int = 0,
     trace: bool = False,
+    health: Any = False,
     return_info: bool = False,
     **unknown_kwargs,
 ):
@@ -163,6 +173,15 @@ def solve(
         methods (which never run on the simulated runtime).  Off by
         default — disabled tracing costs only a no-op guard and leaves
         results bit-identical.
+    health:
+        Run the numerical-health probes (:mod:`repro.obs.health`) on
+        the result: residual classification, diagonal-block pivot
+        growth, and — when the method produced a reusable
+        factorization — a condition estimate.  Pass ``True`` (default
+        thresholds) or a
+        :class:`~repro.obs.health.HealthThresholds`; the report lands
+        on ``SolveInfo.health`` (``return_info=True`` to see it) and
+        threshold breaches emit structured log records.
     return_info:
         Also return a :class:`SolveInfo`.
 
@@ -195,51 +214,84 @@ def solve(
     if refine < 0:
         raise ShapeError(f"refine must be >= 0, got {refine}")
 
-    if method in ("ard", "spike"):
-        cls = ARDFactorization if method == "ard" else SpikeFactorization
-        fact = cls(matrix, nranks=nranks, cost_model=cost_model, trace=trace)
-        x = fact.solve(bb, refine=refine)
-        factor_result = fact.factor_result
-        solve_result = fact.last_solve_result
-        virtual_time = fact.factor_result.virtual_time + solve_result.virtual_time
-        trace_segments = [("factor", factor_result), ("solve", solve_result)]
-    elif method == "rd":
-        def _rd_once(rhs):
-            chunks = distribute_matrix(matrix, nranks)
-            d_chunks = distribute_rhs(rhs, nranks)
-            return run_spmd(
-                rd_solve_spmd,
-                nranks,
-                cost_model=cost_model,
-                copy_messages=False,
-                rank_args=[(c, d) for c, d in zip(chunks, d_chunks)],
-                trace=trace,
+    # Correlation: one TraceContext covers the whole solve, so ARD's
+    # separate factor/solve SPMD runs (and any log records) share one
+    # trace_id.  The caller's active context is adopted; a fresh one is
+    # minted only when tracing asked for correlation.
+    from ..obs.context import current_trace_context, trace_context
+    from contextlib import ExitStack
+
+    tc = current_trace_context()
+    fact = None  # reusable factorization, when the method builds one
+    with ExitStack() as stack:
+        if tc is None and trace:
+            from ..obs.context import new_trace_context
+
+            tc = new_trace_context()
+        if tc is not None:
+            stack.enter_context(trace_context(tc))
+
+        if method in ("ard", "spike"):
+            cls = ARDFactorization if method == "ard" else SpikeFactorization
+            fact = cls(matrix, nranks=nranks, cost_model=cost_model,
+                       trace=trace)
+            x = fact.solve(bb, refine=refine)
+            factor_result = fact.factor_result
+            solve_result = fact.last_solve_result
+            virtual_time = (fact.factor_result.virtual_time
+                            + solve_result.virtual_time)
+            trace_segments = [("factor", factor_result),
+                              ("solve", solve_result)]
+        elif method == "rd":
+            def _rd_once(rhs):
+                chunks = distribute_matrix(matrix, nranks)
+                d_chunks = distribute_rhs(rhs, nranks)
+                return run_spmd(
+                    rd_solve_spmd,
+                    nranks,
+                    cost_model=cost_model,
+                    copy_messages=False,
+                    rank_args=[(c, d) for c, d in zip(chunks, d_chunks)],
+                    trace=trace,
+                )
+
+            result = _rd_once(bb)
+            solve_result = result
+            virtual_time = result.virtual_time
+            trace_segments = [("solve", result)]
+            x = gather_solution(list(result.values))
+            for i in range(refine):
+                # Honest refinement for the baseline: each round repeats
+                # the full per-RHS passes on the residual.
+                result = _rd_once(bb - matrix.matvec(x))
+                virtual_time += result.virtual_time
+                trace_segments.append((f"refine{i + 1}", result))
+                x = x + gather_solution(list(result.values))
+        elif method == "thomas":
+            fact = ThomasFactorization(matrix)
+            x = fact.solve(bb, refine=refine)
+        elif method == "cyclic":
+            fact = CyclicReductionFactorization(matrix)
+            x = fact.solve(bb, refine=refine)
+        else:
+            ref = {"dense": dense_solve, "banded": banded_solve,
+                   "sparse": sparse_solve}[method]
+            x = ref(matrix, bb)
+            for _ in range(refine):
+                x = x + ref(matrix, bb - matrix.matvec(x))
+
+        x = np.asarray(x).reshape(n, m, nrhs)
+        health_report = None
+        if health:
+            from ..obs.health import HealthThresholds, probe_solve
+
+            thresholds = (health if isinstance(health, HealthThresholds)
+                          else None)
+            health_report = probe_solve(
+                matrix, x, bb, factorization=fact, thresholds=thresholds,
+                condition=fact is not None, growth=True,
             )
 
-        result = _rd_once(bb)
-        solve_result = result
-        virtual_time = result.virtual_time
-        trace_segments = [("solve", result)]
-        x = gather_solution(list(result.values))
-        for i in range(refine):
-            # Honest refinement for the baseline: each round repeats the
-            # full per-RHS passes on the residual.
-            result = _rd_once(bb - matrix.matvec(x))
-            virtual_time += result.virtual_time
-            trace_segments.append((f"refine{i + 1}", result))
-            x = x + gather_solution(list(result.values))
-    elif method == "thomas":
-        x = ThomasFactorization(matrix).solve(bb, refine=refine)
-    elif method == "cyclic":
-        x = CyclicReductionFactorization(matrix).solve(bb, refine=refine)
-    else:
-        ref = {"dense": dense_solve, "banded": banded_solve,
-               "sparse": sparse_solve}[method]
-        x = ref(matrix, bb)
-        for _ in range(refine):
-            x = x + ref(matrix, bb - matrix.matvec(x))
-
-    x = np.asarray(x).reshape(n, m, nrhs)
     out = restore_rhs_shape(x, original)
     if not return_info:
         return out
@@ -248,16 +300,26 @@ def solve(
         from ..obs import build_phase_report
 
         phase_report = build_phase_report(trace_segments)
+    residual = matrix.residual(x, bb)
     info = SolveInfo(
         method=method,
         nranks=nranks if method in ("ard", "rd", "spike") else 1,
         nrhs=nrhs,
-        residual=matrix.residual(x, bb),
+        residual=residual,
         virtual_time=virtual_time,
         factor_result=factor_result,
         solve_result=solve_result,
         phase_report=phase_report,
+        trace_id=tc.trace_id if tc is not None else None,
+        health=health_report,
     )
+    from ..obs.log import get_logger
+
+    fields = {"method": method, "nranks": info.nranks, "nrhs": nrhs,
+              "residual": residual, "virtual_time": virtual_time}
+    if tc is not None:  # the dispatch context is uninstalled by now
+        fields["trace_id"] = tc.trace_id
+    get_logger("core.api").info("solve.completed", **fields)
     return out, info
 
 

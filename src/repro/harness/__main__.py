@@ -6,7 +6,19 @@ Usage::
     python -m repro.harness run recon-F1 [--scale smoke] [--out results/]
     python -m repro.harness all [--scale smoke] [--out results/]
     python -m repro.harness trace recon-T2 [--scale smoke] [--out results/]
+    python -m repro.harness trace recon-T2 --out /tmp/t2.trace.json
     python -m repro.harness serve-bench [--scale smoke] [--rhs 10,100,256]
+    python -m repro.harness serve-bench --http [PORT]
+    python -m repro.harness bench-history [--check] [--out FILE]
+
+``trace --out`` accepts either a directory (writes
+``<exp-id>.trace.json`` inside it) or an exact ``.json`` file path.
+``serve-bench --http`` exposes the live telemetry endpoint
+(``/metrics``, ``/healthz``, ``/traces``) while the benchmark runs.
+``bench-history`` appends one perf-trajectory record to
+``results/BENCH_history.jsonl``; with ``--check`` it then runs the
+regression gate (:mod:`repro.obs.regress`) and exits nonzero on a
+regression.
 
 ``run``/``all``/``trace``/``serve-bench`` accept ``--verify``: every
 simulated solve runs with the SPMD runtime verifier enabled
@@ -71,7 +83,7 @@ def main(argv: list[str] | None = None) -> int:
     trace_p.add_argument("--scale", choices=("full", "smoke"), default="full")
     trace_p.add_argument("--out", default="results",
                          help="directory for the .trace.json file "
-                         "(default: results/)")
+                         "(default: results/), or an exact .json file path")
     _add_verify(trace_p)
 
     serve_p = sub.add_parser(
@@ -87,7 +99,31 @@ def main(argv: list[str] | None = None) -> int:
                          help="service worker threads (default: 2)")
     serve_p.add_argument("--out", default=None,
                          help="directory for serve_bench.stats.json")
+    serve_p.add_argument("--http", nargs="?", const=True, default=False,
+                         type=int, metavar="PORT",
+                         help="expose the live telemetry endpoint while "
+                         "the benchmark runs (loopback; ephemeral port "
+                         "unless PORT is given)")
     _add_verify(serve_p)
+
+    hist_p = sub.add_parser(
+        "bench-history",
+        help="append a perf-trajectory record and (with --check) run "
+        "the regression gate",
+    )
+    hist_p.add_argument("--out", default="results/BENCH_history.jsonl",
+                        help="history file (default: "
+                        "results/BENCH_history.jsonl)")
+    hist_p.add_argument("--scale", choices=("full", "smoke"),
+                        default="smoke")
+    hist_p.add_argument("--check", action="store_true",
+                        help="after recording, compare the new record "
+                        "against the rolling median and exit nonzero "
+                        "on a >threshold regression")
+    hist_p.add_argument("--threshold", type=float, default=0.15,
+                        help="relative regression threshold "
+                        "(default: 0.15)")
+    _add_verify(hist_p)
 
     args = parser.parse_args(argv)
     if args.verify:
@@ -107,8 +143,14 @@ def main(argv: list[str] | None = None) -> int:
 
         rhs = (tuple(int(v) for v in args.rhs.split(","))
                if args.rhs else None)
-        serve_bench(args.scale, rhs, workers=args.workers, out_dir=args.out)
+        serve_bench(args.scale, rhs, workers=args.workers, out_dir=args.out,
+                    http=args.http)
         return 0
+    if args.command == "bench-history":
+        from .bench_history import run_bench_history
+
+        return run_bench_history(args.out, args.scale, check=args.check,
+                                 threshold=args.threshold)
     run_all(args.scale, out_dir=args.out, plot=args.plot)
     return 0
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 import pathlib
 import time
 
+from ..obs.log import console, get_logger
 from .experiments import (
     EXPERIMENTS,
     ExperimentResult,
@@ -21,6 +22,8 @@ from .experiments import (
 )
 
 __all__ = ["run_experiment", "run_all", "trace_experiment"]
+
+_log = get_logger("harness")
 
 
 def run_experiment(
@@ -53,16 +56,18 @@ def run_experiment(
         result = exp.func(scale)
     result.sim_stats = sim_log
     elapsed = time.perf_counter() - t0
+    _log.info("experiment.completed", exp_id=exp_id, scale=scale,
+              elapsed_s=elapsed)
     if verbose:
-        print(result.render())
+        console(result.render())
         if plot:
             from .plot import plot_experiment
 
             figure = plot_experiment(result)
             if figure:
-                print()
-                print(figure)
-        print(f"  [{exp_id} completed in {elapsed:.1f}s at scale={scale}]")
+                console()
+                console(figure)
+        console(f"  [{exp_id} completed in {elapsed:.1f}s at scale={scale}]")
     if out_dir is not None:
         from ..io import write_stats_json
 
@@ -102,7 +107,9 @@ def trace_experiment(
         ``"smoke"`` traces a seconds-scale problem (N=64, M=4, P=4,
         R=8); ``"full"`` a paper-scale one (N=256, M=8, P=8, R=32).
     out_dir:
-        Directory for ``<exp_id>.trace.json`` (default ``results/``).
+        Directory for ``<exp_id>.trace.json`` (default ``results/``),
+        or — when the path ends in ``.json`` — the exact trace file to
+        write (``python -m repro.harness trace <exp-id> --out PATH``).
     verbose:
         Print the phase reports and the output path.
 
@@ -136,25 +143,31 @@ def trace_experiment(
     )
 
     out = pathlib.Path(out_dir)
+    if out.suffix == ".json":
+        target = out
+        out = out.parent
+    else:
+        target = out / f"{exp_id}.trace.json"
     out.mkdir(parents=True, exist_ok=True)
     path = write_chrome_trace(
-        out / f"{exp_id}.trace.json",
+        target,
         {"ard": fact, "rd (1 rhs)": rd_result},
     )
+    _log.info("trace.written", exp_id=exp_id, scale=scale, path=str(path))
     if verbose:
         ard_report = build_phase_report(
             [("factor", fact.factor_result),
              ("solve", fact.last_solve_result)]
         )
         rd_report = build_phase_report([("solve", rd_result)])
-        print(f"[{exp_id}] representative traced runs "
-              f"(N={n}, M={m}, P={p}, R={r}, scale={scale})")
-        print()
-        print("ARD " + ard_report.render())
-        print()
-        print("RD, single RHS " + rd_report.render())
-        print()
-        print(f"wrote {path}")
+        console(f"[{exp_id}] representative traced runs "
+                f"(N={n}, M={m}, P={p}, R={r}, scale={scale})")
+        console()
+        console("ARD " + ard_report.render())
+        console()
+        console("RD, single RHS " + rd_report.render())
+        console()
+        console(f"wrote {path}")
     return path
 
 

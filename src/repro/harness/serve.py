@@ -25,11 +25,14 @@ import time
 from typing import Any, Sequence
 
 from ..core.api import solve
+from ..obs.log import console, get_logger
 from ..service import SolverService
 from ..util.tables import render_table
 from ..workloads import helmholtz_block_system, random_rhs
 
 __all__ = ["serve_bench", "BASELINE_CAP"]
+
+_log = get_logger("harness")
 
 #: Baseline RD requests actually executed per R (rate extrapolated).
 BASELINE_CAP = 32
@@ -60,6 +63,7 @@ def serve_bench(
     max_batch_rhs: int = 128,
     out_dir: str | pathlib.Path | None = None,
     verbose: bool = True,
+    http: bool | int = False,
 ) -> dict[str, Any]:
     """Run the service-vs-baseline throughput comparison.
 
@@ -76,6 +80,12 @@ def serve_bench(
         If given, write ``serve_bench.stats.json`` there.
     verbose:
         Print the ASCII table.
+    http:
+        ``True`` (ephemeral port) or a port number: expose each
+        service's live ``/metrics`` + ``/healthz`` + ``/traces``
+        telemetry endpoint while its sweep point runs (``python -m
+        repro.harness serve-bench --http``); the bound URL is printed
+        and recorded per row as ``http_url``.
 
     Returns
     -------
@@ -97,8 +107,11 @@ def serve_bench(
         service = SolverService(
             method="ard", nranks=p, workers=workers,
             batch_window=batch_window, max_batch_rhs=max_batch_rhs,
-            max_pending=max(r, 1),
+            max_pending=max(r, 1), expose_http=http,
         )
+        http_url = service.http.url if service.http is not None else None
+        if http_url and verbose:
+            console(f"telemetry: {http_url}/metrics (R={r})")
         try:
             handle = service.register(matrix, eager=True)
             rhs = [random_rhs(n, m, nrhs=1, seed=i) for i in range(r)]
@@ -112,7 +125,7 @@ def serve_bench(
             service.close()
 
         batch = snap["summaries"].get("batch.size", {})
-        rows.append({
+        row = {
             "R": r,
             "rd_req_per_s": base_rate,
             "service_req_per_s": svc_rate,
@@ -121,7 +134,14 @@ def serve_bench(
             "mean_batch": batch.get("mean"),
             "max_batch": batch.get("max"),
             "metrics": snap,
-        })
+        }
+        if http_url is not None:
+            row["http_url"] = http_url
+        rows.append(row)
+        _log.info("serve_bench.row", R=r, scale=scale,
+                  service_req_per_s=svc_rate, rd_req_per_s=base_rate,
+                  speedup=row["speedup"],
+                  cache_hit_rate=row["cache_hit_rate"])
 
     result = {
         "scale": scale,
@@ -132,7 +152,7 @@ def serve_bench(
         "rows": rows,
     }
     if verbose:
-        print(render_table(
+        console(render_table(
             ["R", "rd req/s", "service req/s", "speedup",
              "hit rate", "mean batch", "max batch"],
             [[row["R"], row["rd_req_per_s"], row["service_req_per_s"],
@@ -148,5 +168,5 @@ def serve_bench(
         out_dir.mkdir(parents=True, exist_ok=True)
         path = write_stats_json(out_dir / "serve_bench.stats.json", result)
         if verbose:
-            print(f"wrote {path}")
+            console(f"wrote {path}")
     return result

@@ -23,9 +23,14 @@ from . import __version__
 from .exceptions import ReproError
 
 __all__ = ["save", "load", "write_stats_json", "FormatError",
-           "SAVABLE_CLASSES"]
+           "SAVABLE_CLASSES", "STATS_SCHEMA_VERSION"]
 
 _MAGIC = "repro-factorization-v1"
+
+#: Version stamped into every ``*.stats.json`` document; bump when the
+#: document shape changes incompatibly so downstream consumers (the
+#: perf-trajectory gate, dashboards) can dispatch on it.
+STATS_SCHEMA_VERSION = 1
 
 
 class FormatError(ReproError, ValueError):
@@ -113,9 +118,13 @@ def write_stats_json(path: str | pathlib.Path, obj: Any,
     :class:`~repro.harness.experiments.ExperimentResult`,
     :class:`~repro.comm.stats.SimulationResult`); ``extra`` entries are
     merged on top.  Numpy scalars and arrays are converted.  The
-    harness writes one ``<exp_id>.stats.json`` per experiment next to
-    its CSV output.  Returns the path.
+    document is stamped with ``"schema_version"``
+    (:data:`STATS_SCHEMA_VERSION`) and a ``"written_at"`` ISO-8601 UTC
+    timestamp unless the caller already provided them.  The harness
+    writes one ``<exp_id>.stats.json`` per experiment next to its CSV
+    output.  Returns the path.
     """
+    import datetime
     import json
 
     if hasattr(obj, "to_stats_dict"):
@@ -124,6 +133,13 @@ def write_stats_json(path: str | pathlib.Path, obj: Any,
         obj = obj.to_dict()
     if extra:
         obj = {**obj, **extra}
+    if isinstance(obj, dict):
+        obj = dict(obj)  # never mutate the caller's document
+        obj.setdefault("schema_version", STATS_SCHEMA_VERSION)
+        obj.setdefault(
+            "written_at",
+            datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        )
     path = pathlib.Path(path)
     path.write_text(json.dumps(obj, indent=2, default=_json_default) + "\n")
     return path

@@ -20,10 +20,29 @@ package makes that story observable instead of analytic.  Three pieces:
     :class:`PhaseReport`: aggregated time + flops + bytes per solver
     phase per rank, surfaced on :class:`repro.core.api.SolveInfo`.
 :mod:`repro.obs.metrics`
-    Thread-safe counters / gauges / summaries with a combined
-    ``snapshot()`` — the aggregate view long-lived components expose
-    (the solver service, :mod:`repro.service`, reports cache hit rates
-    and batch sizes through one :class:`MetricsRegistry`).
+    Thread-safe counters / gauges / summaries (with windowed
+    quantiles) and a combined ``snapshot()`` — the aggregate view
+    long-lived components expose (the solver service,
+    :mod:`repro.service`, reports cache hit rates and batch sizes
+    through one :class:`MetricsRegistry`).
+:mod:`repro.obs.context`
+    :class:`TraceContext` propagation: one ``trace_id`` correlates the
+    spans of every rank, the service request lifecycle, message
+    envelopes, and structured log records of one logical operation.
+:mod:`repro.obs.log`
+    Leveled, schema-versioned JSONL event log carrying the active
+    trace context; :func:`console` for deliberate CLI output (lint
+    rule RC107 steers bare ``print()`` here).
+:mod:`repro.obs.export` / :mod:`repro.obs.http`
+    Prometheus text rendering of metrics snapshots and the stdlib
+    ``/metrics`` + ``/healthz`` + ``/traces`` HTTP endpoint
+    (``SolverService(expose_http=...)``).
+:mod:`repro.obs.health`
+    Numerical-health probes (residual norm, pivot growth, condition
+    estimate) classified against warn/page thresholds.
+:mod:`repro.obs.regress`
+    Rolling-median regression gate over the benchmark history written
+    by ``python -m repro.harness bench-history``.
 
 Quick start
 -----------
@@ -41,7 +60,32 @@ CLI (``python -m repro.harness trace <exp-id>``).
 """
 
 from .chrome import chrome_trace_events, write_chrome_trace
-from .metrics import Counter, Gauge, MetricsRegistry, Summary
+from .context import (
+    TraceContext,
+    current_trace_context,
+    new_request_id,
+    new_trace_context,
+    new_trace_id,
+    trace_context,
+)
+from .export import render_prometheus
+from .health import (
+    HealthReport,
+    HealthThresholds,
+    probe_factor,
+    probe_solve,
+)
+from .http import TelemetryServer
+from .log import (
+    EventLog,
+    Logger,
+    active_log,
+    configure_logging,
+    console,
+    disable_logging,
+    get_logger,
+)
+from .metrics import SUMMARY_WINDOW, Counter, Gauge, MetricsRegistry, Summary
 from .report import PhaseReport, PhaseStat, build_phase_report
 from .tracer import (
     EventRecord,
@@ -73,5 +117,25 @@ __all__ = [
     "Counter",
     "Gauge",
     "Summary",
+    "SUMMARY_WINDOW",
     "MetricsRegistry",
+    "TraceContext",
+    "new_trace_id",
+    "new_request_id",
+    "new_trace_context",
+    "current_trace_context",
+    "trace_context",
+    "EventLog",
+    "Logger",
+    "configure_logging",
+    "disable_logging",
+    "active_log",
+    "get_logger",
+    "console",
+    "render_prometheus",
+    "TelemetryServer",
+    "HealthThresholds",
+    "HealthReport",
+    "probe_solve",
+    "probe_factor",
 ]

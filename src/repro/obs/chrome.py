@@ -96,13 +96,16 @@ def chrome_trace_events(
     for seg_label, result in segments:
         for trace in result.traces:
             ranks.add(trace.rank)
+            trace_id = getattr(trace, "trace_id", None)
+            seg_args = ({"segment": seg_label, "trace_id": trace_id}
+                        if trace_id is not None else {"segment": seg_label})
             for s in trace.spans:
                 common = {
                     "name": s.name,
                     "cat": s.cat,
                     "ph": "X",
                     "tid": trace.rank,
-                    "args": {"segment": seg_label, **_span_args(s)},
+                    "args": {**seg_args, **_span_args(s)},
                 }
                 events.append({
                     **common,
@@ -124,7 +127,7 @@ def chrome_trace_events(
                     "ph": "i",
                     "s": "t",
                     "tid": trace.rank,
-                    "args": {"segment": seg_label, **e.attrs},
+                    "args": {**seg_args, **e.attrs},
                 }
                 events.append({
                     **common,

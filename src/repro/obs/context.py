@@ -1,0 +1,138 @@
+"""Trace-context propagation: correlate spans across ranks and requests.
+
+A :class:`TraceContext` is the correlation envelope of the telemetry
+pipeline: one ``trace_id`` names one logical operation end to end (a
+``solve()`` call, a service request), and every span, log record, and
+message emitted while that operation runs carries it.  The pieces that
+propagate it:
+
+- :func:`repro.comm.runtime.run_spmd` captures the caller's active
+  context (or mints one when tracing) and installs a per-rank child —
+  ``rank`` filled in — on every simulated rank's thread, so all ranks
+  of one solve share one ``trace_id``;
+- the runtime stamps the ``trace_id`` into every point-to-point message
+  envelope (:class:`repro.comm.runtime._Message`), so in-flight traffic
+  is attributable to its originating operation;
+- :class:`repro.service.SolverService` mints a fresh ``request_id``
+  child per admitted request and serves the batch inside that context,
+  so the request lifecycle spans, the structured log records
+  (:mod:`repro.obs.log`), and the nested SPMD rank spans all stitch
+  into one correlated trace.
+
+Contexts are immutable; derivation (:meth:`TraceContext.for_rank`,
+:meth:`TraceContext.for_request`, :meth:`TraceContext.child`) returns a
+new instance.  Installation is thread-local (the same ownership model
+as the tracer and the flop counter), so concurrent requests on
+different worker threads never see each other's context.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import uuid
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = [
+    "TraceContext",
+    "new_trace_id",
+    "new_request_id",
+    "new_trace_context",
+    "current_trace_context",
+    "trace_context",
+]
+
+
+def new_trace_id() -> str:
+    """Fresh 16-hex-digit trace id (random, collision-negligible)."""
+    return uuid.uuid4().hex[:16]
+
+
+def new_request_id() -> str:
+    """Fresh 12-hex-digit request id (scoped to one trace)."""
+    return uuid.uuid4().hex[:12]
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceContext:
+    """Immutable correlation envelope for one traced operation.
+
+    Attributes
+    ----------
+    trace_id:
+        Identifier of the whole logical operation; shared by every
+        rank, span, message, and log record it produces.
+    request_id:
+        Identifier of one service request within the trace (``None``
+        outside the service layer).
+    rank:
+        Simulated rank this context is installed on (``None`` outside
+        the SPMD runtime).
+    parent_span:
+        Optional name of the enclosing span, for hierarchical
+        correlation in exported traces.
+    """
+
+    trace_id: str
+    request_id: str | None = None
+    rank: int | None = None
+    parent_span: str | None = None
+
+    def for_rank(self, rank: int) -> "TraceContext":
+        """Derive the per-rank child installed on an SPMD rank thread."""
+        return dataclasses.replace(self, rank=rank)
+
+    def for_request(self, request_id: str | None = None) -> "TraceContext":
+        """Derive a child carrying a (fresh by default) request id."""
+        return dataclasses.replace(
+            self, request_id=request_id or new_request_id()
+        )
+
+    def child(self, parent_span: str) -> "TraceContext":
+        """Derive a child recording the enclosing span's name."""
+        return dataclasses.replace(self, parent_span=parent_span)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form with ``None`` fields omitted (log/envelope
+        serialization)."""
+        out: dict[str, Any] = {"trace_id": self.trace_id}
+        if self.request_id is not None:
+            out["request_id"] = self.request_id
+        if self.rank is not None:
+            out["rank"] = self.rank
+        if self.parent_span is not None:
+            out["parent_span"] = self.parent_span
+        return out
+
+
+def new_trace_context() -> TraceContext:
+    """Mint a root :class:`TraceContext` with a fresh trace id."""
+    return TraceContext(trace_id=new_trace_id())
+
+
+_state = threading.local()
+
+
+def current_trace_context() -> TraceContext | None:
+    """The context active on this thread, or ``None`` (uncorrelated)."""
+    return getattr(_state, "context", None)
+
+
+@contextmanager
+def trace_context(ctx: TraceContext | None = None) -> Iterator[TraceContext]:
+    """Install ``ctx`` (a fresh root by default) on this thread.
+
+    >>> with trace_context() as tc:
+    ...     assert current_trace_context() is tc
+    >>> current_trace_context() is None
+    True
+    """
+    if ctx is None:
+        ctx = new_trace_context()
+    previous = current_trace_context()
+    _state.context = ctx
+    try:
+        yield ctx
+    finally:
+        _state.context = previous

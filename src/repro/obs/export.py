@@ -1,0 +1,100 @@
+"""Prometheus text-format rendering of metrics snapshots.
+
+Converts the nested snapshot dicts produced by
+:meth:`repro.obs.MetricsRegistry.snapshot` (and the service's
+:meth:`~repro.service.SolverService.metrics_snapshot`, which adds a
+``"cache"`` section) into the `Prometheus text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ served
+by :class:`repro.obs.http.TelemetryServer` at ``/metrics``.
+
+Mapping rules:
+
+- counters become ``<prefix><name>_total`` with ``# TYPE ... counter``;
+- gauges become ``<prefix><name>`` with ``# TYPE ... gauge``;
+- summaries become a Prometheus summary: ``_count`` and ``_sum`` series
+  plus ``{quantile="..."}`` samples for the windowed p50/p90/p99, and
+  ``_min`` / ``_max`` gauges for the exact extremes;
+- the flat ``"cache"`` section becomes plain gauges
+  (``<prefix>cache_<key>``).
+
+Metric names are sanitized to ``[a-zA-Z0-9_:]`` (dots become
+underscores), matching the Prometheus data model.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Mapping
+
+__all__ = ["render_prometheus"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Quantile keys a summary snapshot may carry, mapped to their labels.
+_QUANTILE_KEYS = (("p50", "0.5"), ("p90", "0.9"), ("p99", "0.99"))
+
+
+def _sanitize(name: str) -> str:
+    name = _NAME_RE.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _num(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: Mapping[str, Any] | Any,
+                      prefix: str = "repro_") -> str:
+    """Render a metrics snapshot as Prometheus exposition text.
+
+    Parameters
+    ----------
+    snapshot:
+        A nested dict with any of the sections ``counters`` /
+        ``gauges`` / ``summaries`` / ``cache``, or an object exposing
+        ``snapshot()`` returning one (e.g. a
+        :class:`~repro.obs.metrics.MetricsRegistry`).
+    prefix:
+        Namespace prepended to every metric name.
+    """
+    if hasattr(snapshot, "snapshot"):
+        snapshot = snapshot.snapshot()
+    lines: list[str] = []
+
+    for name, value in sorted(dict(snapshot.get("counters", {})).items()):
+        metric = prefix + _sanitize(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_num(value)}")
+
+    for name, value in sorted(dict(snapshot.get("gauges", {})).items()):
+        metric = prefix + _sanitize(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_num(value)}")
+
+    for name, summ in sorted(dict(snapshot.get("summaries", {})).items()):
+        metric = prefix + _sanitize(name)
+        lines.append(f"# TYPE {metric} summary")
+        for key, label in _QUANTILE_KEYS:
+            if summ.get(key) is not None:
+                lines.append(
+                    f'{metric}{{quantile="{label}"}} {_num(summ[key])}'
+                )
+        lines.append(f"{metric}_count {_num(summ.get('count', 0))}")
+        lines.append(f"{metric}_sum {_num(summ.get('total', 0.0))}")
+        for extreme in ("min", "max"):
+            if summ.get(extreme) is not None:
+                lines.append(f"# TYPE {metric}_{extreme} gauge")
+                lines.append(f"{metric}_{extreme} {_num(summ[extreme])}")
+
+    for name, value in sorted(dict(snapshot.get("cache", {})).items()):
+        if value is None or not isinstance(value, (int, float, bool)):
+            continue
+        metric = prefix + "cache_" + _sanitize(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_num(value)}")
+
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,154 @@
+"""Stdlib HTTP endpoint exposing live telemetry.
+
+A tiny, dependency-free server (``http.server.ThreadingHTTPServer`` on a
+daemon thread) serving three routes:
+
+- ``GET /metrics`` — the metrics snapshot rendered in Prometheus text
+  exposition format (:func:`repro.obs.export.render_prometheus`);
+- ``GET /healthz`` — JSON health document from the health provider;
+  returns ``503`` when the status is ``"page"``, ``200`` otherwise
+  (load balancers and probes key off the status code);
+- ``GET /traces`` — JSON summary of recently collected trace segments.
+
+Start one directly or via ``SolverService(expose_http=...)`` /
+``python -m repro.harness serve-bench --http``::
+
+    server = TelemetryServer(registry.snapshot)
+    server.start()
+    ...  # curl http://127.0.0.1:<server.port>/metrics
+    server.stop()
+
+Binding is loopback-only by default and ``port=0`` asks the OS for a
+free port (read it back from :attr:`TelemetryServer.port`).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Mapping
+
+from .export import render_prometheus
+
+__all__ = ["TelemetryServer"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "_Server"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    def _reply(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        owner = self.server.owner
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if path == "/metrics":
+                text = render_prometheus(owner._metrics_provider())
+                self._reply(200, "text/plain; version=0.0.4; charset=utf-8",
+                            text.encode("utf-8"))
+            elif path == "/healthz":
+                doc = (owner._health_provider() if owner._health_provider
+                       else {"status": "ok"})
+                status = 503 if doc.get("status") == "page" else 200
+                self._reply(status, "application/json",
+                            json.dumps(doc, default=str).encode("utf-8"))
+            elif path == "/traces":
+                doc = (owner._traces_provider() if owner._traces_provider
+                       else {"traces": []})
+                self._reply(200, "application/json",
+                            json.dumps(doc, default=str).encode("utf-8"))
+            else:
+                self._reply(404, "text/plain; charset=utf-8",
+                            b"not found: try /metrics /healthz /traces\n")
+        except BrokenPipeError:
+            pass
+        except Exception as exc:
+            self._reply(500, "text/plain; charset=utf-8",
+                        f"internal error: {exc}\n".encode("utf-8"))
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    owner: "TelemetryServer"
+
+
+class TelemetryServer:
+    """Loopback HTTP server for ``/metrics``, ``/healthz``, ``/traces``.
+
+    Parameters
+    ----------
+    metrics_provider:
+        Zero-arg callable returning a metrics snapshot dict (rendered to
+        Prometheus text on each scrape).
+    health_provider:
+        Optional zero-arg callable returning the ``/healthz`` JSON
+        document; must contain a ``"status"`` key (``"page"`` → 503).
+    traces_provider:
+        Optional zero-arg callable returning the ``/traces`` JSON
+        document.
+    host, port:
+        Bind address; ``port=0`` picks a free ephemeral port.
+    """
+
+    def __init__(self, metrics_provider: Callable[[], Mapping[str, Any]], *,
+                 health_provider: Callable[[], Mapping[str, Any]] | None = None,
+                 traces_provider: Callable[[], Mapping[str, Any]] | None = None,
+                 host: str = "127.0.0.1", port: int = 0):
+        self._metrics_provider = metrics_provider
+        self._health_provider = health_provider
+        self._traces_provider = traces_provider
+        self._host = host
+        self._requested_port = port
+        self._server: _Server | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "TelemetryServer":
+        """Bind and begin serving on a daemon thread; returns ``self``."""
+        if self._server is not None:
+            return self
+        server = _Server((self._host, self._requested_port), _Handler)
+        server.owner = self
+        self._server = server
+        self._thread = threading.Thread(
+            target=server.serve_forever, name="repro-telemetry-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut down the server and join its thread (idempotent)."""
+        server, self._server = self._server, None
+        thread, self._thread = self._thread, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` after :meth:`start`)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server (``http://host:port``)."""
+        return f"http://{self._host}:{self.port}"
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()

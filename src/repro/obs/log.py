@@ -1,0 +1,232 @@
+"""Structured, schema-versioned JSONL event log with trace correlation.
+
+The library's machine-readable log: one JSON object per line, each
+carrying the schema version, an ISO-8601 UTC timestamp, a level, a
+component, an event name, and — when a :class:`~repro.obs.context.TraceContext`
+is active on the emitting thread — the ``trace_id`` / ``request_id`` /
+``rank`` correlation fields.  This replaces ad-hoc ``print()`` in the
+service, harness, and API layers (lint rule RC107 in
+:mod:`repro.check` enforces the migration).
+
+Logging is **off by default and cheap when off**: every logger method
+first checks the module-level sink and returns immediately when none is
+configured — the same guard budget as the disabled tracer span.
+Configure explicitly::
+
+    from repro.obs import configure_logging, get_logger
+
+    configure_logging(path="results/telemetry.jsonl", level="debug")
+    log = get_logger("myapp")
+    log.info("run.start", message="sweep begins", nranks=4)
+
+or via the environment: ``REPRO_LOG=/path/to/file.jsonl`` (or
+``REPRO_LOG=stderr``) activates logging lazily at the first emit;
+``REPRO_LOG_LEVEL`` sets the threshold (default ``info``).
+
+Record schema (version 1)::
+
+    {"schema_version": 1, "ts": "2026-08-07T12:00:00.123456+00:00",
+     "level": "info", "component": "service", "event": "request.served",
+     "trace_id": "…", "request_id": "…", "rank": 2, ...fields}
+
+Human-facing CLI output goes through :func:`console` instead — a thin
+stdout writer that keeps rendered tables out of the structured stream
+while satisfying the same lint rule.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import sys
+import threading
+from typing import Any, IO
+
+from .context import current_trace_context
+
+__all__ = [
+    "LOG_SCHEMA_VERSION",
+    "EventLog",
+    "Logger",
+    "configure_logging",
+    "disable_logging",
+    "active_log",
+    "get_logger",
+    "console",
+]
+
+#: Version stamped into every record; bump on breaking field changes.
+LOG_SCHEMA_VERSION = 1
+
+_LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+def _utcnow_iso() -> str:
+    return datetime.datetime.now(datetime.timezone.utc).isoformat()
+
+
+class EventLog:
+    """Thread-safe JSONL sink writing one record per :meth:`log` call.
+
+    Parameters
+    ----------
+    stream:
+        Open text stream to append records to (owned by the caller).
+    path:
+        Alternatively, a file path opened in append mode (owned and
+        closed by this object).  Exactly one of ``stream``/``path``.
+    level:
+        Minimum level emitted (``debug``/``info``/``warning``/``error``).
+    """
+
+    def __init__(self, stream: IO[str] | None = None,
+                 path: str | None = None, level: str = "info"):
+        if (stream is None) == (path is None):
+            raise ValueError("provide exactly one of stream or path")
+        if level not in _LEVELS:
+            raise ValueError(f"unknown log level {level!r}; "
+                             f"choose from {sorted(_LEVELS)}")
+        self._lock = threading.Lock()
+        self._owns_stream = path is not None
+        self._stream = (open(path, "a", encoding="utf-8")
+                        if path is not None else stream)
+        self.threshold = _LEVELS[level]
+        self.records_written = 0
+
+    def log(self, level: str, component: str, event: str,
+            message: str | None = None, **fields: Any) -> None:
+        """Emit one record (no-op below the configured threshold).
+
+        Correlation fields of the thread's active
+        :class:`~repro.obs.context.TraceContext` are merged in; explicit
+        ``fields`` of the same name win.
+        """
+        if _LEVELS.get(level, 0) < self.threshold:
+            return
+        record: dict[str, Any] = {
+            "schema_version": LOG_SCHEMA_VERSION,
+            "ts": _utcnow_iso(),
+            "level": level,
+            "component": component,
+            "event": event,
+        }
+        if message is not None:
+            record["message"] = message
+        ctx = current_trace_context()
+        if ctx is not None:
+            record.update(ctx.to_dict())
+        record.update(fields)
+        line = json.dumps(record, default=str)
+        with self._lock:
+            self._stream.write(line + "\n")
+            self._stream.flush()
+            self.records_written += 1
+
+    def close(self) -> None:
+        """Close the sink (only closes streams this object opened)."""
+        with self._lock:
+            if self._owns_stream:
+                self._stream.close()
+
+
+_lock = threading.Lock()
+_log: EventLog | None = None
+_env_checked = False
+
+
+def configure_logging(path: str | None = None,
+                      stream: IO[str] | None = None,
+                      level: str = "info") -> EventLog:
+    """Install the process-wide structured log sink; returns it.
+
+    Replaces any previously configured sink (closing it if owned).
+    """
+    global _log, _env_checked
+    new = EventLog(stream=stream, path=path, level=level)
+    with _lock:
+        old, _log = _log, new
+        _env_checked = True
+    if old is not None:
+        old.close()
+    return new
+
+
+def disable_logging() -> None:
+    """Remove the process-wide sink; loggers return to no-op mode."""
+    global _log, _env_checked
+    with _lock:
+        old, _log = _log, None
+        _env_checked = True
+    if old is not None:
+        old.close()
+
+
+def active_log() -> EventLog | None:
+    """The installed sink, honoring ``REPRO_LOG`` lazily; ``None`` = off."""
+    global _log, _env_checked
+    if _log is not None:
+        return _log
+    if _env_checked:
+        return None
+    with _lock:
+        if not _env_checked:
+            _env_checked = True
+            target = os.environ.get("REPRO_LOG", "").strip()
+            level = os.environ.get("REPRO_LOG_LEVEL", "info").strip() or "info"
+            if target == "stderr":
+                _log = EventLog(stream=sys.stderr, level=level)
+            elif target:
+                _log = EventLog(path=target, level=level)
+    return _log
+
+
+class Logger:
+    """Component-bound front end over the process-wide :class:`EventLog`.
+
+    All methods are no-ops (one module-global check) when logging is
+    not configured, so instrumentation is safe in hot paths.
+    """
+
+    __slots__ = ("component",)
+
+    def __init__(self, component: str):
+        self.component = component
+
+    def _emit(self, level: str, event: str, message: str | None,
+              fields: dict[str, Any]) -> None:
+        sink = active_log()
+        if sink is not None:
+            sink.log(level, self.component, event, message, **fields)
+
+    def debug(self, event: str, message: str | None = None, **fields: Any) -> None:
+        """Emit a ``debug`` record."""
+        self._emit("debug", event, message, fields)
+
+    def info(self, event: str, message: str | None = None, **fields: Any) -> None:
+        """Emit an ``info`` record."""
+        self._emit("info", event, message, fields)
+
+    def warning(self, event: str, message: str | None = None, **fields: Any) -> None:
+        """Emit a ``warning`` record."""
+        self._emit("warning", event, message, fields)
+
+    def error(self, event: str, message: str | None = None, **fields: Any) -> None:
+        """Emit an ``error`` record."""
+        self._emit("error", event, message, fields)
+
+
+def get_logger(component: str) -> Logger:
+    """A :class:`Logger` bound to ``component`` (cheap; not cached)."""
+    return Logger(component)
+
+
+def console(*values: Any, sep: str = " ", end: str = "\n") -> None:
+    """Write human-facing CLI output to stdout.
+
+    The sanctioned sink for rendered tables and progress lines —
+    deliberate terminal output, as opposed to telemetry (which belongs
+    in the structured log) and debugging prints (which lint rule RC107
+    rejects).
+    """
+    print(*values, sep=sep, end=end)  # repro: noqa[RC107]

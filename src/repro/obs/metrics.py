@@ -13,9 +13,11 @@ instrument kinds, all registered on a :class:`MetricsRegistry`:
     bytes).
 :class:`Summary`
     Streaming aggregate of an observed quantity — count / total / min /
-    max / last (batch sizes, queue-wait seconds).  No buckets: the
-    consumers here need means and extremes, not quantiles, and a
-    five-number struct keeps ``observe()`` O(1) and lock-cheap.
+    max / last plus windowed quantiles (batch sizes, queue-wait
+    seconds).  Quantiles come from a fixed ring buffer of the most
+    recent :data:`SUMMARY_WINDOW` observations — deterministic, O(1)
+    per ``observe()``, lock-cheap — which is what the Prometheus
+    exporter (:mod:`repro.obs.export`) surfaces as p50/p90/p99.
 
 ``registry.snapshot()`` returns a plain nested dict (JSON-serializable,
 stable key order) so services can surface one self-describing blob; the
@@ -34,7 +36,10 @@ from __future__ import annotations
 import threading
 from typing import Any
 
-__all__ = ["Counter", "Gauge", "Summary", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Summary", "MetricsRegistry", "SUMMARY_WINDOW"]
+
+#: Ring-buffer size backing Summary quantiles (most recent observations).
+SUMMARY_WINDOW = 512
 
 
 class Counter:
@@ -85,21 +90,37 @@ class Gauge:
 
 
 class Summary:
-    """Streaming count/total/min/max/last aggregate of observations."""
+    """Streaming count/total/min/max/last aggregate with windowed quantiles.
 
-    __slots__ = ("_lock", "count", "total", "min", "max", "last")
+    ``count``/``total``/``min``/``max``/``last`` cover the whole stream;
+    :meth:`quantile` is computed over the most recent
+    :data:`SUMMARY_WINDOW` observations (a fixed ring buffer), so it
+    tracks current behaviour rather than all of history — the usual
+    summary-quantile trade-off, made deterministic.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("_lock", "count", "total", "min", "max", "last",
+                 "_window", "_ring")
+
+    def __init__(self, window: int = SUMMARY_WINDOW) -> None:
+        if window < 1:
+            raise ValueError(f"summary window must be >= 1, got {window}")
         self._lock = threading.Lock()
         self.count = 0
         self.total = 0.0
         self.min: float | None = None
         self.max: float | None = None
         self.last: float | None = None
+        self._window = window
+        self._ring: list[float] = []
 
     def observe(self, value: float) -> None:
         """Record one observation."""
         with self._lock:
+            if len(self._ring) < self._window:
+                self._ring.append(value)
+            else:
+                self._ring[self.count % self._window] = value
             self.count += 1
             self.total += value
             self.last = value
@@ -113,6 +134,22 @@ class Summary:
         """Mean of all observations (``None`` before the first)."""
         return self.total / self.count if self.count else None
 
+    def quantile(self, q: float) -> float | None:
+        """Windowed quantile by nearest-rank over the ring buffer.
+
+        ``None`` before the first observation; with a single
+        observation every quantile is that value.  ``q`` must lie in
+        ``[0, 1]``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            data = sorted(self._ring)
+        if not data:
+            return None
+        idx = min(len(data) - 1, max(0, int(round(q * (len(data) - 1)))))
+        return data[idx]
+
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict (JSON-serializable) form."""
         return {
@@ -122,6 +159,9 @@ class Summary:
             "min": self.min,
             "max": self.max,
             "last": self.last,
+            "p50": self.quantile(0.5),
+            "p90": self.quantile(0.9),
+            "p99": self.quantile(0.99),
         }
 
 

@@ -149,6 +149,9 @@ class RankTrace:
     events: list[EventRecord] = dataclasses.field(default_factory=list)
     kernel_wall: dict[str, float] = dataclasses.field(default_factory=dict)
     kernel_calls: dict[str, int] = dataclasses.field(default_factory=dict)
+    #: Correlation id of the operation this timeline belongs to
+    #: (see :mod:`repro.obs.context`); ``None`` for uncorrelated runs.
+    trace_id: str | None = None
 
     def phase_spans(self) -> list[SpanRecord]:
         """The ``cat == "phase"`` spans in chronological order."""
@@ -159,13 +162,16 @@ class RankTrace:
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict form (JSON-serializable for simple attrs)."""
-        return {
+        out = {
             "rank": self.rank,
             "spans": [s.to_dict() for s in self.spans],
             "events": [e.to_dict() for e in self.events],
             "kernel_wall": dict(self.kernel_wall),
             "kernel_calls": dict(self.kernel_calls),
         }
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+        return out
 
 
 class _Span:
@@ -232,16 +238,22 @@ class Tracer:
     stats:
         Optional :class:`~repro.comm.stats.RankStats` for per-span
         traffic deltas.
+    trace_id:
+        Optional correlation id (see :mod:`repro.obs.context`) stamped
+        into the finished :class:`RankTrace` so merged multi-rank /
+        multi-run exports remain attributable to one operation.
     """
 
     __slots__ = ("rank", "clock", "counter", "stats", "spans", "events",
-                 "kernel_wall", "kernel_calls", "_depth")
+                 "kernel_wall", "kernel_calls", "trace_id", "_depth")
 
-    def __init__(self, rank: int = 0, clock=None, counter=None, stats=None):
+    def __init__(self, rank: int = 0, clock=None, counter=None, stats=None,
+                 trace_id: str | None = None):
         self.rank = rank
         self.clock = clock
         self.counter = counter
         self.stats = stats
+        self.trace_id = trace_id
         self.spans: list[SpanRecord] = []
         self.events: list[EventRecord] = []
         self.kernel_wall: dict[str, float] = {}
@@ -282,7 +294,8 @@ class Tracer:
         """Freeze the collected records into a :class:`RankTrace`."""
         return RankTrace(rank=self.rank, spans=self.spans, events=self.events,
                          kernel_wall=self.kernel_wall,
-                         kernel_calls=self.kernel_calls)
+                         kernel_calls=self.kernel_calls,
+                         trace_id=self.trace_id)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Tracer(rank={self.rank}, spans={len(self.spans)}, "

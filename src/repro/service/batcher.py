@@ -62,6 +62,11 @@ class SolveRequest:
         Absolute ``time.monotonic()`` bound on *queue* time, or
         ``None``; requests still queued past it fail with
         :class:`~repro.exceptions.DeadlineExceededError`.
+    trace:
+        The request's :class:`~repro.obs.context.TraceContext`
+        (trace id + per-request id), minted at admission; the serving
+        worker installs it so the batch's spans, log records, and
+        nested SPMD runs correlate back to this request.
     """
 
     key: str
@@ -71,6 +76,7 @@ class SolveRequest:
     future: Future
     enqueued: float
     deadline: float | None = None
+    trace: Any = None
 
     @property
     def nrhs(self) -> int:

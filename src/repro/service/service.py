@@ -32,13 +32,32 @@ each worker records ``cat="request"`` spans (``queued`` /
 :meth:`~SolverService.metrics_snapshot` merges the
 :class:`~repro.obs.MetricsRegistry` instruments with the cache's
 hit/miss/eviction counters into one JSON-serializable dict.
+
+Telemetry pipeline (docs/OBSERVABILITY.md):
+
+- every admitted request gets a :class:`~repro.obs.context.TraceContext`
+  child (fresh ``request_id``; the caller's ``trace_id`` is adopted
+  when one is active).  The serving worker installs it, so lifecycle
+  spans, structured log records (:mod:`repro.obs.log`, component
+  ``"service"``), and the nested SPMD rank spans of the solve all share
+  one ``trace_id`` — :meth:`~SolverService.write_trace` merges them
+  into one Chrome trace;
+- ``expose_http=True`` (or a port number) starts a loopback
+  :class:`~repro.obs.http.TelemetryServer` with ``/metrics``
+  (Prometheus text), ``/healthz``, and ``/traces``;
+- ``health=True`` (default: on iff the endpoint is exposed) runs the
+  numerical-health probes of :mod:`repro.obs.health`: per-solve
+  residual norm, plus pivot growth and a condition estimate once per
+  factorization (on the cache-miss path, where their cost amortizes).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import pathlib
 import threading
 import time
+from collections import deque
 from concurrent.futures import Future
 from typing import Any
 
@@ -58,12 +77,40 @@ from ..linalg.blocktridiag import (
     reshape_rhs,
     restore_rhs_shape,
 )
-from ..obs import MetricsRegistry, RankTrace, Tracer
+from ..obs import (
+    HealthThresholds,
+    MetricsRegistry,
+    RankTrace,
+    TelemetryServer,
+    Tracer,
+    current_trace_context,
+    get_logger,
+    new_trace_context,
+    probe_factor,
+    probe_solve,
+    trace_context,
+)
 from .batcher import RequestBatcher, SolveRequest
 from .cache import FactorizationCache
 from .fingerprint import factor_key
 
 __all__ = ["SolverService", "FactorHandle", "SolveTicket"]
+
+_log = get_logger("service")
+
+#: Traced batches retained for /traces and write_trace (newest wins).
+_TRACE_SEGMENT_LIMIT = 32
+
+
+class _LifecycleTraces:
+    """Adapter presenting worker lifecycle timelines to the Chrome
+    exporter (which expects ``.traces`` and ``.virtual_time``)."""
+
+    __slots__ = ("traces", "virtual_time")
+
+    def __init__(self, traces: list[RankTrace]):
+        self.traces = traces
+        self.virtual_time = 0.0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -87,13 +134,21 @@ class FactorHandle:
 
 
 class SolveTicket:
-    """Future-backed receipt for one submitted request."""
+    """Future-backed receipt for one submitted request.
 
-    __slots__ = ("key", "nrhs", "_future")
+    ``trace_id`` / ``request_id`` identify the request in the
+    structured log, the lifecycle spans, and the merged Chrome trace.
+    """
 
-    def __init__(self, key: str, nrhs: int, future: Future):
+    __slots__ = ("key", "nrhs", "trace_id", "request_id", "_future")
+
+    def __init__(self, key: str, nrhs: int, future: Future,
+                 trace_id: str | None = None,
+                 request_id: str | None = None):
         self.key = key
         self.nrhs = nrhs
+        self.trace_id = trace_id
+        self.request_id = request_id
         self._future = future
 
     def result(self, timeout: float | None = None) -> np.ndarray:
@@ -136,7 +191,23 @@ class SolverService:
         A shared :class:`~repro.service.cache.FactorizationCache`;
         by default a private 256 MiB one.
     trace:
-        Record per-request lifecycle spans on per-worker tracers.
+        Record per-request lifecycle spans on per-worker tracers, run
+        the underlying distributed factorizations with per-rank tracing
+        enabled, and retain the most recent traced batches for
+        :meth:`write_trace` / the ``/traces`` endpoint.
+    expose_http:
+        Start a loopback :class:`~repro.obs.http.TelemetryServer`
+        serving ``/metrics`` (Prometheus text), ``/healthz``, and
+        ``/traces``.  ``True`` binds an ephemeral port (read it from
+        :attr:`http`), an ``int`` binds that port, ``False`` (default)
+        exposes nothing.
+    health:
+        Numerical-health probing (:mod:`repro.obs.health`): per-solve
+        residual gauge plus per-factorization pivot growth and
+        condition estimate.  ``True``/``False`` force it, a
+        :class:`~repro.obs.health.HealthThresholds` enables it with
+        custom warn/page limits, and ``None`` (default) enables it
+        exactly when the HTTP endpoint is exposed.
 
     Example
     -------
@@ -164,6 +235,8 @@ class SolverService:
         max_batch_rhs: int = 128,
         cache: FactorizationCache | None = None,
         trace: bool = False,
+        expose_http: bool | int = False,
+        health: bool | HealthThresholds | None = None,
     ):
         if method not in FACTOR_METHODS:
             raise ConfigError(
@@ -185,6 +258,15 @@ class SolverService:
         self.trace = trace
         self.cache = cache if cache is not None else FactorizationCache()
         self.metrics = MetricsRegistry()
+        if health is None:
+            health = expose_http is not False
+        if isinstance(health, HealthThresholds):
+            self.health_thresholds: HealthThresholds | None = health
+        else:
+            self.health_thresholds = HealthThresholds() if health else None
+        self._last_health: Any | None = None
+        self._segments: deque[tuple[str, list[tuple[str, Any]]]] = deque(
+            maxlen=_TRACE_SEGMENT_LIMIT)
         self._batcher = RequestBatcher(window=batch_window,
                                        max_batch_rhs=max_batch_rhs)
         self._lock = threading.Lock()
@@ -200,6 +282,16 @@ class SolverService:
         ]
         for t in self._threads:
             t.start()
+        self.http: TelemetryServer | None = None
+        if expose_http is not False:
+            port = 0 if expose_http is True else int(expose_http)
+            self.http = TelemetryServer(
+                self.metrics_snapshot,
+                health_provider=self._health_snapshot,
+                traces_provider=self._trace_snapshot,
+                port=port,
+            ).start()
+            _log.info("http.started", url=self.http.url)
 
     # -- registration ------------------------------------------------------
 
@@ -228,11 +320,21 @@ class SolverService:
         return self.cache.evict(key)
 
     def _factorization(self, handle: FactorHandle) -> tuple[Any, bool]:
-        return self.cache.get_or_create(
+        fact, hit = self.cache.get_or_create(
             handle.key,
             lambda: factor(handle.matrix, method=handle.method,
-                           nranks=handle.nranks, cost_model=self.cost_model),
+                           nranks=handle.nranks, cost_model=self.cost_model,
+                           trace=self.trace),
         )
+        if not hit and self.health_thresholds is not None:
+            # Matrix-level probes amortize per cache key: pivot growth
+            # and the condition estimate are paid once on the miss path,
+            # never per batch.
+            self._last_health = probe_factor(
+                handle.matrix, fact, thresholds=self.health_thresholds,
+                registry=self.metrics,
+            )
+        return fact, hit
 
     # -- submission --------------------------------------------------------
 
@@ -271,10 +373,16 @@ class SolverService:
         if deadline is not None and deadline <= 0:
             raise ConfigError(f"deadline must be > 0 seconds, got {deadline}")
         now = time.monotonic()
+        # Correlation: adopt the caller's trace (so a traced outer
+        # operation owns this request) or mint a fresh one, then derive
+        # the per-request child id.
+        caller_ctx = current_trace_context()
+        req_ctx = (caller_ctx or new_trace_context()).for_request()
         request = SolveRequest(
             key=handle.key, handle=handle, bb=bb, original=original,
             future=Future(), enqueued=now,
             deadline=None if deadline is None else now + deadline,
+            trace=req_ctx,
         )
         with self._lock:
             if self._closing:
@@ -297,7 +405,11 @@ class SolverService:
             self.metrics.gauge("queue.depth").set(
                 self._batcher.pending_requests)
             self._cond.notify()
-        return SolveTicket(handle.key, request.nrhs, request.future)
+        _log.info("request.submitted", key=handle.key, nrhs=request.nrhs,
+                  trace_id=req_ctx.trace_id, request_id=req_ctx.request_id)
+        return SolveTicket(handle.key, request.nrhs, request.future,
+                           trace_id=req_ctx.trace_id,
+                           request_id=req_ctx.request_id)
 
     def solve(self, target: FactorHandle | BlockTridiagonalMatrix,
               b: np.ndarray, *, deadline: float | None = None,
@@ -334,6 +446,14 @@ class SolverService:
                     self._batcher.release(batch[0].key)
                     self._cond.notify_all()
 
+    @staticmethod
+    def _ids_of(req: SolveRequest) -> dict[str, Any]:
+        """Correlation attrs of a request for spans and log records."""
+        if req.trace is None:
+            return {}
+        return {"trace_id": req.trace.trace_id,
+                "request_id": req.trace.request_id}
+
     def _serve(self, batch: list[SolveRequest], tracer: Tracer) -> None:
         taken = time.monotonic()
         taken_w = time.perf_counter()
@@ -345,10 +465,12 @@ class SolverService:
                 tracer.closed_span(
                     "queued", "request",
                     0.0, 0.0, taken_w - queued_s, taken_w,
-                    key=req.key, nrhs=req.nrhs,
+                    key=req.key, nrhs=req.nrhs, **self._ids_of(req),
                 )
             if req.deadline is not None and taken > req.deadline:
                 self.metrics.counter("requests.expired").inc()
+                _log.warning("request.expired", key=req.key,
+                             queued_s=queued_s, **self._ids_of(req))
                 req.future.set_exception(DeadlineExceededError(
                     f"request spent {queued_s * 1e3:.1f} ms queued, past "
                     "its deadline"
@@ -357,23 +479,38 @@ class SolverService:
                 live.append(req)
         if not live:
             return
+        lead = live[0]
         try:
-            t0 = time.perf_counter()
-            fact, hit = self._factorization(live[0].handle)
-            t1 = time.perf_counter()
-            if not hit:
-                self.metrics.summary("factor.wall_s").observe(t1 - t0)
-                if self.trace:
-                    tracer.closed_span("factor", "request", 0.0, 0.0, t0, t1,
-                                       key=live[0].key)
-            if len(live) == 1:
-                big = live[0].bb
-            else:
-                big = np.concatenate([r.bb for r in live], axis=2)
-            x = fact.solve(big)
-            t2 = time.perf_counter()
+            # The batch executes under the lead request's TraceContext:
+            # the nested SPMD runs (factor/solve), health probes, and
+            # log records all inherit its trace_id.
+            with trace_context(lead.trace):
+                t0 = time.perf_counter()
+                fact, hit = self._factorization(lead.handle)
+                t1 = time.perf_counter()
+                if not hit:
+                    self.metrics.summary("factor.wall_s").observe(t1 - t0)
+                    if self.trace:
+                        tracer.closed_span("factor", "request", 0.0, 0.0,
+                                           t0, t1, key=lead.key,
+                                           **self._ids_of(lead))
+                if len(live) == 1:
+                    big = lead.bb
+                else:
+                    big = np.concatenate([r.bb for r in live], axis=2)
+                x = fact.solve(big)
+                t2 = time.perf_counter()
+                if self.health_thresholds is not None:
+                    xx = np.asarray(x).reshape(big.shape)
+                    self._last_health = probe_solve(
+                        lead.handle.matrix, xx, big,
+                        thresholds=self.health_thresholds,
+                        registry=self.metrics,
+                    )
         except BaseException as exc:
             self.metrics.counter("requests.failed").inc(len(live))
+            _log.error("request.failed", message=str(exc), key=lead.key,
+                       batch=len(live), **self._ids_of(lead))
             for req in live:
                 req.future.set_exception(exc)
             return
@@ -388,14 +525,35 @@ class SolverService:
         self.metrics.summary("solve.wall_s").observe(t2 - t1)
         if self.trace:
             tracer.closed_span("solved", "request", 0.0, 0.0, t1, t2,
-                               key=live[0].key, batch=len(live), nrhs=nrhs,
-                               cache_hit=hit)
+                               key=lead.key, batch=len(live), nrhs=nrhs,
+                               cache_hit=hit, **self._ids_of(lead))
+            self._collect_segments(lead, fact)
         col = 0
         for req in live:
             piece = x[:, :, col:col + req.nrhs]
             col += req.nrhs
             req.future.set_result(restore_rhs_shape(piece, req.original))
             self.metrics.counter("requests.completed").inc()
+            _log.info("request.served", key=req.key, nrhs=req.nrhs,
+                      batch=len(live), cache_hit=hit, **self._ids_of(req))
+
+    def _collect_segments(self, lead: SolveRequest, fact: Any) -> None:
+        """Retain the batch's traced SPMD segments for :meth:`write_trace`.
+
+        Sequential factorizations (thomas/cyclic) never run on the
+        simulated runtime and contribute nothing.
+        """
+        solve_result = getattr(fact, "last_solve_result", None)
+        if solve_result is None or getattr(solve_result, "traces", None) is None:
+            return
+        segments: list[tuple[str, Any]] = []
+        factor_result = getattr(fact, "factor_result", None)
+        if factor_result is not None and getattr(factor_result, "traces",
+                                                 None) is not None:
+            segments.append(("factor", factor_result))
+        segments.append(("solve", solve_result))
+        rid = lead.trace.request_id if lead.trace is not None else "?"
+        self._segments.append((f"request {rid}", segments))
 
     def flush(self) -> None:
         """Make every queued request immediately flushable.
@@ -433,6 +591,9 @@ class SolverService:
                 ServiceClosedError("service closed before this request ran"))
         for t in self._threads:
             t.join(timeout)
+        if self.http is not None:
+            self.http.stop()
+            self.http = None
 
     def __enter__(self) -> "SolverService":
         return self
@@ -445,6 +606,58 @@ class SolverService:
     def traces(self) -> list[RankTrace]:
         """Per-worker request-lifecycle timelines (``trace=True`` runs)."""
         return [t.finish() for t in self._tracers]
+
+    def write_trace(self, path: str | pathlib.Path) -> pathlib.Path:
+        """Write one merged Chrome trace of the service's activity.
+
+        Combines the worker lifecycle timelines (``cat="request"``
+        spans, one tid per worker) with the retained per-batch SPMD
+        rank timelines (``trace=True`` services only) into one file —
+        every event's ``args`` carry the ``trace_id`` of the request
+        that produced it, so one solve is followable from admission
+        through its rank spans in Perfetto.
+        """
+        from ..obs import write_chrome_trace
+
+        source: dict[str, Any] = {
+            "service lifecycle": [("requests",
+                                   _LifecycleTraces(self.traces()))],
+        }
+        for label, segments in list(self._segments):
+            source[label] = segments
+        return write_chrome_trace(path, source)
+
+    def _health_snapshot(self) -> dict[str, Any]:
+        """The ``/healthz`` document (see :mod:`repro.obs.health`)."""
+        if self.health_thresholds is None:
+            return {"status": "ok", "probes": "disabled"}
+        if self._last_health is None:
+            return {"status": "ok", "probes": "no solves yet",
+                    "thresholds": self.health_thresholds.to_dict()}
+        return self._last_health.to_dict()
+
+    def _trace_snapshot(self) -> dict[str, Any]:
+        """The ``/traces`` document: retained traced batches, newest
+        last, plus lifecycle span counts per worker."""
+        batches = []
+        for label, segments in list(self._segments):
+            entry: dict[str, Any] = {"label": label}
+            for seg_label, result in segments:
+                trace_id = next(
+                    (t.trace_id for t in (result.traces or [])
+                     if getattr(t, "trace_id", None) is not None), None)
+                if trace_id is not None:
+                    entry["trace_id"] = trace_id
+                entry[seg_label] = {
+                    "virtual_time": result.virtual_time,
+                    "nranks": result.nranks,
+                }
+            batches.append(entry)
+        return {
+            "traces": batches,
+            "workers": [{"worker": t.rank, "spans": len(t.spans)}
+                        for t in self._tracers],
+        }
 
     def metrics_snapshot(self) -> dict[str, Any]:
         """Service metrics merged with the cache counters.

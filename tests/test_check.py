@@ -298,6 +298,46 @@ class TestSimpleRules:
         assert rule_ids(findings) == ["RC100"]
 
 
+class TestBarePrint:
+    def test_flagged_in_library_code(self):
+        findings = lint_snippet(
+            "def f():\n    print('debugging')\n",
+            path="src/repro/core/rd.py",
+        )
+        assert rule_ids(findings) == ["RC107"]
+        assert "repro.obs.log" in findings[0].message
+
+    def test_main_module_exempt(self):
+        findings = lint_snippet(
+            "print('usage: ...')\n", path="src/repro/harness/__main__.py"
+        )
+        assert findings == []
+
+    def test_util_tables_exempt(self):
+        findings = lint_snippet(
+            "print('| a | b |')\n", path="src/repro/util/tables.py"
+        )
+        assert findings == []
+
+    def test_non_repro_tree_exempt(self):
+        assert lint_snippet("print('hi')\n", path="scripts/tool.py") == []
+        assert lint_source("print('hi')\n") == []  # default <string> buffer
+
+    def test_method_named_print_clean(self):
+        findings = lint_snippet(
+            "def f(report):\n    report.print()\n",
+            path="src/repro/core/rd.py",
+        )
+        assert findings == []
+
+    def test_noqa_suppresses(self):
+        findings = lint_snippet(
+            "print('on purpose')  # repro: noqa[RC107]\n",
+            path="src/repro/obs/log.py",
+        )
+        assert findings == []
+
+
 class TestSuppression:
     def test_targeted_noqa(self):
         findings = lint_snippet(

@@ -110,3 +110,45 @@ class TestValidation:
             pickle.dump([1, 2, 3], fh)
         with pytest.raises(io.FormatError, match="payload"):
             io.load(path)
+
+
+class TestStatsJson:
+    def test_documents_are_schema_stamped(self, tmp_path):
+        import datetime
+        import json
+
+        path = io.write_stats_json(tmp_path / "doc.stats.json",
+                                   {"metric": 1.5})
+        doc = json.loads(path.read_text())
+        assert doc["metric"] == 1.5
+        assert doc["schema_version"] == io.STATS_SCHEMA_VERSION
+        # written_at parses as an aware ISO-8601 UTC timestamp.
+        ts = datetime.datetime.fromisoformat(doc["written_at"])
+        assert ts.utcoffset() == datetime.timedelta(0)
+
+    def test_caller_stamps_win(self, tmp_path):
+        import json
+
+        path = io.write_stats_json(
+            tmp_path / "doc.stats.json",
+            {"schema_version": 99, "written_at": "then"},
+        )
+        doc = json.loads(path.read_text())
+        assert doc["schema_version"] == 99
+        assert doc["written_at"] == "then"
+
+    def test_caller_document_not_mutated(self, tmp_path):
+        original = {"metric": 1}
+        io.write_stats_json(tmp_path / "doc.stats.json", original)
+        assert original == {"metric": 1}
+
+    def test_accepts_str_path_and_numpy_values(self, tmp_path):
+        import json
+
+        path = io.write_stats_json(
+            str(tmp_path / "doc.stats.json"),
+            {"n": np.int64(3), "t": np.float64(0.5),
+             "v": np.arange(2.0)},
+        )
+        doc = json.loads(path.read_text())
+        assert doc["n"] == 3 and doc["t"] == 0.5 and doc["v"] == [0.0, 1.0]

@@ -442,3 +442,103 @@ class TestMetricsRegistry:
         for t in threads:
             t.join()
         assert counter.value == 8000
+
+    def test_concurrent_summary_observe_and_snapshot(self):
+        import threading
+
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        stop = threading.Event()
+
+        def observe():
+            s = reg.summary("lat")
+            for i in range(2000):
+                s.observe(float(i % 100))
+
+        def snapshot():
+            while not stop.is_set():
+                snap = reg.snapshot()
+                summ = snap["summaries"].get("lat")
+                if summ:  # every observed snapshot must be coherent
+                    assert 0.0 <= summ["min"] <= summ["max"] <= 99.0
+                    assert summ["count"] >= 1
+
+        reader = threading.Thread(target=snapshot)
+        writers = [threading.Thread(target=observe) for _ in range(4)]
+        reader.start()
+        for t in writers:
+            t.start()
+        for t in writers:
+            t.join()
+        stop.set()
+        reader.join()
+        assert reg.summary("lat").count == 8000
+
+    def test_concurrent_instrument_creation_is_single_instance(self):
+        import threading
+
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def create():
+            barrier.wait()
+            seen.append(reg.counter("shared"))
+
+        threads = [threading.Thread(target=create) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(c) for c in seen}) == 1
+
+    def test_summary_quantile_empty_is_none(self):
+        from repro.obs import Summary
+
+        s = Summary()
+        assert s.quantile(0.5) is None
+        assert "p50" not in s.to_dict() or s.to_dict().get("p50") is None
+
+    def test_summary_quantile_single_observation(self):
+        from repro.obs import Summary
+
+        s = Summary()
+        s.observe(42.0)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert s.quantile(q) == 42.0
+        d = s.to_dict()
+        assert d["p50"] == d["p99"] == 42.0
+
+    def test_summary_quantile_bounds_and_order(self):
+        from repro.obs import Summary
+
+        s = Summary()
+        for v in range(1, 101):
+            s.observe(float(v))
+        assert s.quantile(0.0) == 1.0
+        assert s.quantile(1.0) == 100.0
+        assert s.quantile(0.5) == pytest.approx(50.0, abs=1.0)
+        with pytest.raises(ValueError):
+            s.quantile(1.5)
+        with pytest.raises(ValueError):
+            s.quantile(-0.1)
+
+    def test_summary_quantile_windows_recent_observations(self):
+        from repro.obs import SUMMARY_WINDOW, Summary
+
+        s = Summary()
+        for _ in range(SUMMARY_WINDOW):
+            s.observe(1000.0)
+        for _ in range(SUMMARY_WINDOW):
+            s.observe(1.0)  # push every old observation out of the ring
+        assert s.quantile(0.5) == 1.0
+        assert s.max == 1000.0  # whole-stream aggregates keep history
+
+    def test_summary_rejects_bad_window(self):
+        from repro.obs import Summary
+
+        with pytest.raises(ValueError):
+            Summary(window=0)

@@ -139,6 +139,50 @@ def test_tracing_disabled_overhead_under_5_percent():
     )
 
 
+def test_logging_disabled_overhead_under_5_percent():
+    """Unconfigured structured logging must cost < 5% on kernel work.
+
+    ``repro.obs.log`` instrumentation sits on the service and API hot
+    paths; with no sink configured every logger call must reduce to one
+    module-global check.  Same paired-rounds methodology as the tracing
+    gate above.
+    """
+    import time
+
+    import numpy as np
+
+    from repro.obs.log import active_log, disable_logging, get_logger
+
+    disable_logging()
+    assert active_log() is None  # guard: the cheap no-op path
+
+    log = get_logger("gate")
+    a = np.ones((128, 128))
+    reps, rounds = 50, 15
+
+    def plain():
+        for _ in range(reps):
+            a @ a
+
+    def instrumented():
+        for _ in range(reps):
+            a @ a
+            log.info("kernel.done", n=128)
+
+    def timed(fn):
+        t0 = time.perf_counter_ns()
+        fn()
+        return time.perf_counter_ns() - t0
+
+    plain(), instrumented()  # warm up
+    ratios = [timed(instrumented) / timed(plain) for _ in range(rounds)]
+    best = min(ratios)
+    assert best < 1.05, (
+        f"disabled logging overhead {best - 1:.1%} exceeds 5% in every "
+        f"round ({reps} 128x128 matmuls per round, {rounds} paired rounds)"
+    )
+
+
 def test_version_consistent():
     import tomllib
 
