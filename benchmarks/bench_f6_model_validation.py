@@ -1,6 +1,15 @@
 """recon-F6 — analytic model vs simulated virtual time (parity data)."""
 
-from conftest import run_and_save
+import datetime
+import platform
+
+import numpy as np
+from conftest import SCALE, run_and_save
+
+from repro.harness.bench_history import (
+    BENCH_HISTORY_SCHEMA_VERSION,
+    append_record,
+)
 
 
 def test_f6_model_parity(benchmark, results_dir):
@@ -9,7 +18,25 @@ def test_f6_model_parity(benchmark, results_dir):
     )
     print()
     print(result.render())
+    ratios = result.column("ratio")
     # Every point within a factor of ~2.5 (the model serializes phases the
     # simulator may overlap) and trends preserved per method.
-    for ratio in result.column("ratio"):
+    for ratio in ratios:
         assert 0.35 < ratio < 2.5
+    # Record model drift into the perf-trajectory history so the
+    # regression gate (repro.obs.regress) watches predictor quality the
+    # same way it watches throughput — calibration changes that degrade
+    # predicted-vs-measured parity surface as a rising metric.
+    model_error = float(np.median([abs(np.log(r)) for r in ratios]))
+    append_record(results_dir / "BENCH_history.jsonl", {
+        "schema_version": BENCH_HISTORY_SCHEMA_VERSION,
+        "written_at": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(),
+        "scale": SCALE,
+        "metrics": {"perfmodel.model_error": model_error},
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+    })

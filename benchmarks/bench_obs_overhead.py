@@ -1,11 +1,14 @@
 """Benchmarks of the tracing subsystem's cost, on and off.
 
-Three questions, one benchmark each: what does the disabled ``span``
-guard cost per call (the price every solver phase pays forever), what
-does an *enabled* span cost per record (the price of ``trace=True``),
-and what does end-to-end tracing add to a representative ARD
-factor+solve?  The disabled-path numbers back the <5% quality gate in
-``tests/test_quality_gates.py``; run with
+One benchmark per question: what do the disabled ``span``/``instant``
+guards cost per call (the price every solver phase and runtime send
+pays forever — the send path now stamps ``seq`` edge attrs when a
+tracer is live, so the disabled guard must stay one thread-local
+lookup), what does an *enabled* span cost per record (the price of
+``trace=True``), what does end-to-end tracing add to a representative
+ARD factor+solve, and what does the post-hoc critical-path analysis of
+such a trace cost?  The disabled-path numbers back the <5% quality
+gate in ``tests/test_quality_gates.py``; run with
 ``REPRO_BENCH_SCALE=full`` for the paper-scale problem.
 """
 
@@ -14,7 +17,7 @@ import os
 import numpy as np
 
 from repro.core.ard import ARDFactorization
-from repro.obs import Tracer, span, tracing
+from repro.obs import Tracer, analyze_critical_path, instant, span, tracing
 from repro.workloads import helmholtz_block_system, random_rhs
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke")
@@ -30,6 +33,21 @@ def test_disabled_span_guard(benchmark):
         for _ in range(SPAN_REPS):
             with span("kernel"):
                 pass
+        return SPAN_REPS
+
+    assert benchmark(run) == SPAN_REPS
+
+
+def test_disabled_instant_guard(benchmark):
+    """Cost of 1000 ``instant()`` calls with no tracer installed.
+
+    This is the exact guard the runtime's send path executes per
+    message when tracing is off (the ``seq`` edge attrs are only
+    computed behind it)."""
+
+    def run():
+        for _ in range(SPAN_REPS):
+            instant("send", dest=1, tag=0, nbytes=128, seq=0, arrival=0.0)
         return SPAN_REPS
 
     assert benchmark(run) == SPAN_REPS
@@ -76,3 +94,16 @@ def test_ard_solve_trace_on(benchmark):
     x = benchmark(run)
     assert x.shape == b.shape
     assert np.isfinite(x).all()
+
+
+def test_critpath_analysis(benchmark):
+    """Cost of the post-hoc span-DAG + critical-path analysis itself
+    (edge reconstruction, backward walk, attribution) on a traced ARD
+    factor+solve — pure post-processing, never on the solve path."""
+    matrix, b = _system()
+    fact = ARDFactorization(matrix, nranks=P, trace=True)
+    fact.solve(b)
+
+    report = benchmark(analyze_critical_path, fact)
+    assert report.validate() == []
+    assert report.nranks == P

@@ -181,7 +181,7 @@ def _walk_scope(body: Sequence[ast.stmt]) -> Iterable[ast.AST]:
 
 
 class _Visitor(ast.NodeVisitor):
-    """Single-pass visitor implementing RC101-RC103 and RC105-RC107."""
+    """Single-pass visitor implementing RC101-RC103 and RC105-RC108."""
 
     def __init__(self, path: str, findings: list[Finding]):
         self.path = path
@@ -189,6 +189,7 @@ class _Visitor(ast.NodeVisitor):
         self._rank_guard: list[int] = []  # linenos of enclosing rank-ifs
         self._thread_aliases: set[str] = set()  # `import threading as t`
         self._thread_names: set[str] = set()  # `from threading import Lock`
+        self._span_names: set[str] = set()  # `from repro.obs import span`
         self._thread_allowed = any(
             part in THREADING_ALLOWLIST
             for part in pathlib.PurePath(path).parts
@@ -271,6 +272,10 @@ class _Visitor(ast.NodeVisitor):
             for alias in node.names:
                 if alias.name in _THREAD_PRIMITIVES:
                     self._thread_names.add(alias.asname or alias.name)
+        if node.module and "obs" in node.module.split("."):
+            for alias in node.names:
+                if alias.name in ("span", "kernel_time"):
+                    self._span_names.add(alias.asname or alias.name)
         self.generic_visit(node)
 
     def _check_thread_primitive(self, node: ast.Call) -> None:
@@ -294,6 +299,44 @@ class _Visitor(ast.NodeVisitor):
                 node,
                 f"raw thread primitive {name}() outside the audited "
                 f"concurrency layers ({allowed})",
+            )
+
+    # -- RC108: span context manager created but never entered ------------
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        self._check_unentered_span(node)
+        self.generic_visit(node)
+
+    def _check_unentered_span(self, node: ast.Expr) -> None:
+        """A bare ``span(...)`` / ``tracer.span(...)`` expression
+        statement builds the context manager and drops it — nothing is
+        recorded.  Bare names fire only when ``span``/``kernel_time``
+        was imported from an ``obs`` module; attribute calls only when
+        the receiver mentions a tracer (``ctx.tracer.span(...)``),
+        keeping unrelated ``.span`` attributes out."""
+        call = node.value
+        if not isinstance(call, ast.Call):
+            return
+        func = call.func
+        name = None
+        if isinstance(func, ast.Name) and func.id in self._span_names:
+            name = func.id
+        elif (isinstance(func, ast.Attribute)
+              and func.attr in ("span", "kernel_time")):
+            for sub in ast.walk(func.value):
+                if ((isinstance(sub, ast.Name)
+                     and "tracer" in sub.id.lower())
+                        or (isinstance(sub, ast.Attribute)
+                            and "tracer" in sub.attr.lower())):
+                    name = func.attr
+                    break
+        if name is not None:
+            self._emit(
+                "RC108",
+                node,
+                f"span context manager {name}(...) created but never "
+                f"entered; the interval is not recorded — use "
+                f"'with {name}(...):'",
             )
 
     # -- RC105: bare except ----------------------------------------------

@@ -121,6 +121,18 @@ RULES: dict[str, Rule] = {
             "print() is allowed only in __main__ modules and "
             "util/tables.py.",
         ),
+        Rule(
+            "RC108",
+            "unentered-span",
+            "Tracer span context manager created but never entered: a "
+            "bare span(...) / tracer.span(...) / kernel_time(...) "
+            "expression statement constructs the context manager and "
+            "drops it, so no interval is ever recorded and the phase "
+            "timeline silently loses it (reports and critical-path "
+            "analysis then under-attribute that work).",
+            "Enter the span with `with span(...):` (or use "
+            "Tracer.closed_span for an already-measured interval).",
+        ),
     )
 }
 

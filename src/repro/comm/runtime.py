@@ -175,7 +175,7 @@ class Runtime:
         cost_model: CostModel,
         *,
         copy_messages: bool = True,
-        deadlock_timeout: float = 5.0,
+        deadlock_timeout: float | None = None,
         poll_interval: float = 0.05,
         trace: bool = False,
         verify: bool = False,
@@ -188,9 +188,10 @@ class Runtime:
         self.copy_messages = copy_messages
         self.trace = trace
         self.trace_ctx = trace_ctx
-        # Retained for API compatibility: deadlocks are now detected
-        # exactly (and immediately) from the wait-for graph, so no
-        # wall-clock stall window is involved anymore.
+        # Deprecated no-op: deadlocks are detected exactly (and
+        # immediately) from the wait-for graph, so no wall-clock stall
+        # window is involved anymore.  Kept only so old call sites keep
+        # importing; run_spmd owns the deprecation warning.
         self.deadlock_timeout = deadlock_timeout
         self.poll_interval = poll_interval
         if verify:
@@ -225,10 +226,15 @@ class Runtime:
         arrival = ctx.clock.now + self.cost_model.message_time(nbytes)
         ctx.stats.bytes_sent += nbytes
         ctx.stats.msgs_sent += 1
+        seq = next(self._seq)
         if ctx.tracer is not None:
-            ctx.tracer.instant("send", dest=dest_world, tag=tag, nbytes=nbytes)
+            # The ``seq`` identifier is the cross-rank happens-before
+            # edge: the matched receive records the same value, so
+            # repro.obs.critpath can reconstruct the send->recv DAG.
+            ctx.tracer.instant("send", dest=dest_world, tag=tag,
+                               nbytes=nbytes, seq=seq, arrival=arrival)
         msg = _Message(comm_key, source_commrank, tag, payload, nbytes, arrival,
-                       next(self._seq), ctx.rank,
+                       seq, ctx.rank,
                        trace_id=(ctx.trace_ctx.trace_id
                                  if ctx.trace_ctx is not None else None))
         with self._cond:
@@ -301,6 +307,8 @@ class Runtime:
                 "recv", "comm", v_wait, ctx.clock.now,
                 w_wait, time.perf_counter(),
                 source=msg.source, tag=msg.tag, nbytes=msg.nbytes,
+                seq=msg.seq, source_world=msg.source_world,
+                arrival=msg.arrival_time,
             )
         return msg
 
@@ -394,7 +402,7 @@ def run_spmd(
     *args: Any,
     cost_model: CostModel | None = None,
     copy_messages: bool = True,
-    deadlock_timeout: float = 5.0,
+    deadlock_timeout: float | None = None,
     rank_args: Sequence[tuple] | None = None,
     count_flops: bool = True,
     trace: bool = False,
@@ -418,9 +426,11 @@ def run_spmd(
         Copy payloads at send time (distributed-memory semantics).
         Disable only for trusted benchmark inner loops.
     deadlock_timeout:
-        Accepted for backward compatibility.  Deadlocks are detected
-        exactly — and immediately — from the runtime's wait-for graph,
-        so no stall window applies anymore.
+        **Deprecated no-op.**  Deadlocks are detected exactly — and
+        immediately — from the runtime's wait-for graph, so no stall
+        window applies anymore; passing a value emits a
+        ``DeprecationWarning`` pointing at the wait-for-graph detector
+        (see docs/CHECKING.md).
     rank_args:
         Optional per-rank extra positional arguments: ``rank_args[r]``
         is appended after ``args`` for rank ``r``.
@@ -462,6 +472,15 @@ def run_spmd(
     from ..config import get_config, install_config
     from .communicator import Communicator  # deferred: avoids import cycle
 
+    if deadlock_timeout is not None:
+        warnings.warn(
+            "deadlock_timeout is deprecated and ignored: the runtime "
+            "detects deadlocks exactly (and immediately) from its "
+            "wait-for graph, so no stall window applies; drop the "
+            "argument (see docs/CHECKING.md, 'Exact deadlock detection')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     worker_config = _dc.replace(get_config(), flop_counting=count_flops)
     if rank_args is not None and len(rank_args) != nranks:
         raise CommError(

@@ -7,12 +7,21 @@ Usage::
     python -m repro.harness all [--scale smoke] [--out results/]
     python -m repro.harness trace recon-T2 [--scale smoke] [--out results/]
     python -m repro.harness trace recon-T2 --out /tmp/t2.trace.json
+    python -m repro.harness profile recon-T1 [--scale smoke] [--json]
+    python -m repro.harness profile recon-T1 --out results/ --check
+    python -m repro.harness profile --calibrate
     python -m repro.harness serve-bench [--scale smoke] [--rhs 10,100,256]
     python -m repro.harness serve-bench --http [PORT]
     python -m repro.harness bench-history [--check] [--out FILE]
 
 ``trace --out`` accepts either a directory (writes
 ``<exp-id>.trace.json`` inside it) or an exact ``.json`` file path.
+``profile`` re-runs the same representative solves and prints the
+critical-path / roofline analysis (``--json`` for the machine-readable
+document, ``--check`` to exit nonzero when the report's invariants
+fail); ``profile --calibrate`` micro-benchmarks this host's kernels
+and writes ``results/CALIB_machine.json`` for the predictor and later
+profiles (see docs/PROFILING.md).
 ``serve-bench --http`` exposes the live telemetry endpoint
 (``/metrics``, ``/healthz``, ``/traces``) while the benchmark runs.
 ``bench-history`` appends one perf-trajectory record to
@@ -86,6 +95,32 @@ def main(argv: list[str] | None = None) -> int:
                          "(default: results/), or an exact .json file path")
     _add_verify(trace_p)
 
+    prof_p = sub.add_parser(
+        "profile",
+        help="critical-path + roofline analysis of an experiment's "
+        "representative traced solves; --calibrate measures this "
+        "host's kernel rates",
+    )
+    prof_p.add_argument("exp_id", nargs="?", choices=sorted(EXPERIMENTS),
+                        help="experiment to profile (omit with "
+                        "--calibrate)")
+    prof_p.add_argument("--scale", choices=("full", "smoke"),
+                        default="full")
+    prof_p.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the JSON document instead of tables")
+    prof_p.add_argument("--out", default=None,
+                        help="directory for <exp-id>.profile.json (or an "
+                        "exact .json path); with --calibrate, the "
+                        "calibration file path")
+    prof_p.add_argument("--check", action="store_true",
+                        help="exit nonzero if the report is missing "
+                        "phases or attribution does not sum to the "
+                        "makespan within 1%%")
+    prof_p.add_argument("--calibrate", action="store_true",
+                        help="micro-benchmark this host and write "
+                        "CALIB_machine.json instead of profiling")
+    _add_verify(prof_p)
+
     serve_p = sub.add_parser(
         "serve-bench",
         help="benchmark the solver service (batched cached ARD) against "
@@ -137,6 +172,27 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "trace":
         trace_experiment(args.exp_id, args.scale, out_dir=args.out)
+        return 0
+    if args.command == "profile":
+        from .profile import profile_experiment, run_calibration
+
+        if args.calibrate:
+            # With an exp_id the profile owns --out; the calibration
+            # goes to its default path and the profile then loads it.
+            run_calibration(args.out if args.exp_id is None else None)
+            if args.exp_id is None:
+                return 0
+        elif args.exp_id is None:
+            prof_p.error("an exp_id is required unless --calibrate is "
+                         "given")
+        try:
+            profile_experiment(args.exp_id, args.scale, out=args.out,
+                               as_json=args.as_json, check=args.check)
+        except Exception as exc:
+            if not args.check:
+                raise
+            print(f"profile check failed: {exc}", file=sys.stderr)
+            return 1
         return 0
     if args.command == "serve-bench":
         from .serve import serve_bench

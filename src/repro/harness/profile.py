@@ -1,0 +1,182 @@
+"""Critical-path profiler CLI backend (``harness profile``).
+
+Re-runs an experiment's representative traced solves (the same runs
+``harness trace`` exports), then answers the planner's questions from
+the measured spans instead of the analytic model:
+
+- **critical path** — which chain of phases and messages determined
+  the makespan (:mod:`repro.obs.critpath`), with per-rank
+  compute/comm/idle/overlap attribution that sums to the makespan;
+- **roofline** — whether each phase is compute- or bandwidth-bound
+  (:mod:`repro.obs.roofline`) against the run's cost-model rates, or
+  against *measured* host rates when ``results/CALIB_machine.json``
+  exists;
+- **calibration** — ``profile --calibrate`` micro-benchmarks the real
+  batched kernels and fastcopy path
+  (:mod:`repro.perfmodel.calibrate`) and writes that JSON snapshot for
+  the predictor and future profiles to load.
+
+Output is human tables by default, one JSON document with ``--json``
+or ``--out`` (the CI triage artifact), and ``--check`` turns the
+report's internal invariants into an exit code.  See
+docs/PROFILING.md.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from ..obs.log import get_logger
+
+__all__ = ["profile_experiment", "run_calibration"]
+
+_log = get_logger("harness")
+
+
+def run_calibration(out: str | pathlib.Path | None = None,
+                    *, verbose: bool = True) -> pathlib.Path:
+    """Measure this host's kernel/copy rates and persist the snapshot.
+
+    Wraps :func:`~repro.perfmodel.calibrate.calibrate_machine` +
+    :func:`~repro.perfmodel.calibrate.save_calibration`; returns the
+    written path (default
+    :data:`~repro.perfmodel.calibrate.DEFAULT_CALIB_PATH`).
+    """
+    from ..obs.log import console
+    from ..perfmodel.calibrate import (
+        DEFAULT_CALIB_PATH,
+        calibrate_machine,
+        save_calibration,
+    )
+
+    calib = calibrate_machine()
+    path = save_calibration(calib, out or DEFAULT_CALIB_PATH)
+    _log.info("calibration.written", path=str(path),
+              gemm_flop_rate=calib.gemm_flop_rate,
+              copy_bandwidth=calib.copy_bandwidth)
+    if verbose:
+        console(f"calibrated {calib.host or 'this host'}:")
+        console(f"  gemm   {calib.gemm_flop_rate:.3e} flop/s")
+        console(f"  lu     {calib.lu_flop_rate:.3e} flop/s")
+        console(f"  trsm   {calib.trsm_flop_rate:.3e} flop/s")
+        console(f"  copy   {calib.copy_bandwidth:.3e} B/s")
+        console(f"  latency proxy {calib.latency:.3e} s")
+        console(f"wrote {path}")
+    return path
+
+
+def _machine_rates() -> Any:
+    """Roofline rates: calibrated when a snapshot exists, else the
+    run's paper-era cost model."""
+    from ..obs.roofline import MachineRates
+    from ..perfmodel.calibrate import DEFAULT_CALIB_PATH, load_calibration
+    from .experiments import _CM
+
+    try:
+        return MachineRates.from_calibration(
+            load_calibration(DEFAULT_CALIB_PATH))
+    except Exception:
+        return MachineRates.from_cost_model(_CM)
+
+
+def profile_experiment(
+    exp_id: str,
+    scale: str = "full",
+    *,
+    out: str | pathlib.Path | None = None,
+    as_json: bool = False,
+    check: bool = False,
+    verbose: bool = True,
+) -> dict[str, Any]:
+    """Profile an experiment's representative runs; return the document.
+
+    Parameters
+    ----------
+    exp_id:
+        Registry key (validated against the experiment registry).
+    scale:
+        ``"smoke"`` (seconds) or ``"full"`` (paper-scale), same
+        problems as ``harness trace``.
+    out:
+        When given, also write the JSON document to
+        ``<out>/<exp_id>.profile.json`` (or the exact path when it
+        ends in ``.json``).
+    as_json:
+        Print the JSON document instead of the tables.
+    check:
+        Run :meth:`~repro.obs.critpath.CritPathReport.validate` on
+        every run and raise :class:`~repro.exceptions.ReproError` on
+        any violated invariant (missing phases, attribution not
+        summing to the makespan within 1%) — the CI gate.
+    verbose:
+        Print the report (tables or JSON) and the output path.
+
+    Returns
+    -------
+    The profile document: per-run phase breakdown, critical path,
+    attribution fractions, and roofline classification.
+    """
+    from ..exceptions import ReproError
+    from ..obs import build_phase_report, build_roofline
+    from ..obs.log import console
+    from .experiments import get_experiment
+    from .runner import representative_runs
+
+    get_experiment(exp_id)  # validate the id before doing any work
+    (n, m, p, r), fact, rd_result = representative_runs(scale)
+    machine = _machine_rates()
+
+    runs = {
+        "ard": [("factor", fact.factor_result),
+                ("solve", fact.last_solve_result)],
+        "rd": [("solve", rd_result)],
+    }
+    doc: dict[str, Any] = {
+        "exp_id": exp_id,
+        "scale": scale,
+        "params": {"n": n, "m": m, "p": p, "r": r},
+        "machine": machine.to_dict(),
+        "runs": {},
+    }
+    problems: list[str] = []
+    text_parts: list[str] = []
+    for label, segments in runs.items():
+        report = build_phase_report(segments, critpath=True)
+        if report is None:
+            raise ReproError(f"run {label!r} produced no traces")
+        roofline = build_roofline(report, machine)
+        run_doc = report.to_dict()
+        run_doc["roofline"] = roofline.to_dict()
+        doc["runs"][label] = run_doc
+        problems.extend(f"{label}: {problem}"
+                        for problem in report.critpath.validate())
+        text_parts.append(f"== {label} ==\n" + report.render() + "\n"
+                          + roofline.render())
+    doc["problems"] = problems
+
+    path = None
+    if out is not None:
+        path = pathlib.Path(out)
+        if path.suffix != ".json":
+            path = path / f"{exp_id}.profile.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(doc, indent=2) + "\n")
+        _log.info("profile.written", exp_id=exp_id, scale=scale,
+                  path=str(path))
+    if verbose:
+        if as_json:
+            console(json.dumps(doc, indent=2))
+        else:
+            console(f"[{exp_id}] profiled representative runs "
+                    f"(N={n}, M={m}, P={p}, R={r}, scale={scale})")
+            for part in text_parts:
+                console()
+                console(part)
+        if path is not None:
+            console(f"wrote {path}")
+    if check and problems:
+        raise ReproError(
+            "profile invariants violated: " + "; ".join(problems))
+    return doc

@@ -21,7 +21,8 @@ from .experiments import (
     get_experiment,
 )
 
-__all__ = ["run_experiment", "run_all", "trace_experiment"]
+__all__ = ["run_experiment", "run_all", "trace_experiment",
+           "representative_runs"]
 
 _log = get_logger("harness")
 
@@ -81,6 +82,48 @@ def run_experiment(
     return result
 
 
+def representative_runs(scale: str = "full"):
+    """Execute one representative traced problem of the recon family.
+
+    Experiments aggregate many simulated runs into tables; tracing and
+    profiling instead re-execute a single *representative* problem — an
+    ARD factor+solve and a classical-RD solve on the same Helmholtz
+    matrix and rank count — with per-rank tracing enabled.  Used by
+    both ``trace`` and ``profile`` harness subcommands so their
+    timelines describe the same runs.
+
+    Returns
+    -------
+    ``((n, m, p, r), fact, rd_result)`` where ``fact`` is the traced
+    :class:`~repro.core.ard.ARDFactorization` (``factor_result`` /
+    ``last_solve_result`` populated) and ``rd_result`` the traced
+    single-RHS classical-RD :class:`~repro.comm.stats.SimulationResult`.
+    """
+    from ..comm import run_spmd
+    from ..core.ard import ARDFactorization
+    from ..core.distribute import distribute_matrix, distribute_rhs
+    from ..core.rd import rd_solve_spmd
+    from ..workloads import helmholtz_block_system, random_rhs
+    from .experiments import _CM
+
+    if scale == "smoke":
+        n, m, p, r = 64, 4, 4, 8
+    else:
+        n, m, p, r = 256, 8, 8, 32
+    matrix, _ = helmholtz_block_system(n, m)
+    b = random_rhs(n, m, r, seed=0)
+
+    fact = ARDFactorization(matrix, nranks=p, cost_model=_CM, trace=True)
+    fact.solve(b)
+    chunks = distribute_matrix(matrix, p)
+    d_chunks = distribute_rhs(b[:, :, :1], p)
+    rd_result = run_spmd(
+        rd_solve_spmd, p, cost_model=_CM, copy_messages=False,
+        rank_args=[(c, d) for c, d in zip(chunks, d_chunks)], trace=True,
+    )
+    return (n, m, p, r), fact, rd_result
+
+
 def trace_experiment(
     exp_id: str,
     scale: str = "full",
@@ -117,30 +160,10 @@ def trace_experiment(
     -------
     The path of the written trace file.
     """
-    from ..core.ard import ARDFactorization
-    from ..core.rd import rd_solve_spmd
-    from ..core.distribute import distribute_matrix, distribute_rhs
-    from ..comm import run_spmd
     from ..obs import build_phase_report, write_chrome_trace
-    from ..workloads import helmholtz_block_system, random_rhs
-    from .experiments import _CM
 
     get_experiment(exp_id)  # validate the id before doing any work
-    if scale == "smoke":
-        n, m, p, r = 64, 4, 4, 8
-    else:
-        n, m, p, r = 256, 8, 8, 32
-    matrix, _ = helmholtz_block_system(n, m)
-    b = random_rhs(n, m, r, seed=0)
-
-    fact = ARDFactorization(matrix, nranks=p, cost_model=_CM, trace=True)
-    fact.solve(b)
-    chunks = distribute_matrix(matrix, p)
-    d_chunks = distribute_rhs(b[:, :, :1], p)
-    rd_result = run_spmd(
-        rd_solve_spmd, p, cost_model=_CM, copy_messages=False,
-        rank_args=[(c, d) for c, d in zip(chunks, d_chunks)], trace=True,
-    )
+    (n, m, p, r), fact, rd_result = representative_runs(scale)
 
     out = pathlib.Path(out_dir)
     if out.suffix == ".json":
@@ -152,6 +175,7 @@ def trace_experiment(
     path = write_chrome_trace(
         target,
         {"ard": fact, "rd (1 rhs)": rd_result},
+        critpath=True,
     )
     _log.info("trace.written", exp_id=exp_id, scale=scale, path=str(path))
     if verbose:

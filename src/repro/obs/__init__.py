@@ -35,14 +35,23 @@ package makes that story observable instead of analytic.  Three pieces:
     rule RC107 steers bare ``print()`` here).
 :mod:`repro.obs.export` / :mod:`repro.obs.http`
     Prometheus text rendering of metrics snapshots and the stdlib
-    ``/metrics`` + ``/healthz`` + ``/traces`` HTTP endpoint
-    (``SolverService(expose_http=...)``).
+    ``/metrics`` + ``/healthz`` + ``/traces`` + ``/critpath`` HTTP
+    endpoint (``SolverService(expose_http=...)``).
 :mod:`repro.obs.health`
     Numerical-health probes (residual norm, pivot growth, condition
     estimate) classified against warn/page thresholds.
 :mod:`repro.obs.regress`
     Rolling-median regression gate over the benchmark history written
     by ``python -m repro.harness bench-history``.
+:mod:`repro.obs.critpath`
+    Cross-rank span-DAG reconstruction (send→recv edges from the
+    runtime's per-message ``seq`` stamps), critical-path extraction,
+    and per-rank compute/comm/idle/overlap attribution
+    (``python -m repro.harness profile <exp-id>``).
+:mod:`repro.obs.roofline`
+    Roofline classification of traced phases (compute- vs
+    bandwidth-bound) against paper-era or calibrated machine rates
+    (:mod:`repro.perfmodel.calibrate`).
 
 Quick start
 -----------
@@ -60,6 +69,15 @@ CLI (``python -m repro.harness trace <exp-id>``).
 """
 
 from .chrome import chrome_trace_events, write_chrome_trace
+from .critpath import (
+    CritPathReport,
+    CritSegment,
+    EdgeSet,
+    MessageEdge,
+    RankAttribution,
+    analyze_critical_path,
+    reconstruct_edges,
+)
 from .context import (
     TraceContext,
     current_trace_context,
@@ -87,6 +105,12 @@ from .log import (
 )
 from .metrics import SUMMARY_WINDOW, Counter, Gauge, MetricsRegistry, Summary
 from .report import PhaseReport, PhaseStat, build_phase_report
+from .roofline import (
+    MachineRates,
+    RooflinePoint,
+    RooflineReport,
+    build_roofline,
+)
 from .tracer import (
     EventRecord,
     RankTrace,
@@ -114,6 +138,17 @@ __all__ = [
     "build_phase_report",
     "chrome_trace_events",
     "write_chrome_trace",
+    "MessageEdge",
+    "EdgeSet",
+    "CritSegment",
+    "RankAttribution",
+    "CritPathReport",
+    "reconstruct_edges",
+    "analyze_critical_path",
+    "MachineRates",
+    "RooflinePoint",
+    "RooflineReport",
+    "build_roofline",
     "Counter",
     "Gauge",
     "Summary",

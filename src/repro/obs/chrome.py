@@ -13,6 +13,12 @@ The export carries **two clock domains** for every traced run:
 each with one timeline track (``tid``) per simulated rank.  Spans
 become ``"X"`` (complete) events, sends become ``"i"`` (instant)
 events; ``args`` carry flop/byte deltas and causal partner ranks.
+Matched send→recv pairs additionally become flow events (``"s"`` /
+``"f"``), so Perfetto draws the cross-rank message arrows, and a
+:class:`~repro.obs.critpath.CritPathReport` can be rendered as an
+extra ``critical`` track highlighting exactly the chain of spans and
+messages that determined the makespan (``write_chrome_trace(...,
+critpath=True)``).
 
 Multi-segment runs (ARD's ``factor`` then ``solve``) are laid end to
 end on the virtual axis — segment k starts where segment k-1's makespan
@@ -48,6 +54,7 @@ def chrome_trace_events(
     label: str = "run",
     base_pid: int = 0,
     include_wall: bool = True,
+    critpath: Any = None,
 ) -> list[dict[str, Any]]:
     """Convert traced segments into a list of trace-event dicts.
 
@@ -64,6 +71,10 @@ def chrome_trace_events(
         combine several runs in one file.
     include_wall:
         Also emit the wall-clock process (on by default).
+    critpath:
+        Optional :class:`~repro.obs.critpath.CritPathReport` for these
+        same segments; its pieces are rendered on an extra ``critical``
+        track (``tid`` above the rank tracks) of the virtual process.
 
     Returns
     -------
@@ -92,8 +103,27 @@ def chrome_trace_events(
                     wall_zero, e.w_ts)
     wall_zero = wall_zero or 0.0
 
+    from .critpath import reconstruct_edges
+
     v_offset = 0.0
+    flow_id = 0
     for seg_label, result in segments:
+        edge_set, _ = reconstruct_edges(result, segment=seg_label)
+        for edge in edge_set.edges:
+            # Flow-event pair: Perfetto draws an arrow from the send
+            # instant on the sender's track to the matched receive's
+            # end on the receiver's track.
+            flow_id += 1
+            flow = {"name": "msg", "cat": "comm", "id": flow_id,
+                    "pid": v_pid}
+            events.append({
+                **flow, "ph": "s", "tid": edge.src,
+                "ts": (v_offset + edge.send_v) * _US,
+            })
+            events.append({
+                **flow, "ph": "f", "bp": "e", "tid": edge.dst,
+                "ts": (v_offset + edge.recv_end_v) * _US,
+            })
         for trace in result.traces:
             ranks.add(trace.rank)
             trace_id = getattr(trace, "trace_id", None)
@@ -142,6 +172,25 @@ def chrome_trace_events(
                     })
         v_offset += result.virtual_time
 
+    crit_tid = None
+    if critpath is not None:
+        # Critical-path pieces carry run-global virtual timestamps
+        # (same end-to-end segment layout as v_offset above), so they
+        # drop straight onto one extra track of the virtual process.
+        crit_tid = (max(ranks) + 1) if ranks else 0
+        for piece in critpath.path:
+            events.append({
+                "name": piece.name,
+                "cat": "critical",
+                "ph": "X",
+                "pid": v_pid,
+                "tid": crit_tid,
+                "ts": piece.v_start * _US,
+                "dur": piece.duration * _US,
+                "args": {"segment": piece.segment, "kind": piece.kind,
+                         "rank": piece.rank},
+            })
+
     pids = [(v_pid, f"{label} [virtual time]")]
     if include_wall:
         pids.append((w_pid, f"{label} [wall time]"))
@@ -154,6 +203,11 @@ def chrome_trace_events(
             events.append({
                 "name": "thread_name", "ph": "M", "pid": pid, "tid": rank,
                 "args": {"name": f"rank {rank}"},
+            })
+        if pid == v_pid and crit_tid is not None:
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid,
+                "tid": crit_tid, "args": {"name": "critical path"},
             })
     return events
 
@@ -181,6 +235,7 @@ def write_chrome_trace(
     source: Any,
     *,
     include_wall: bool = True,
+    critpath: Any = False,
 ) -> pathlib.Path:
     """Write a Chrome trace-event JSON file; returns the path.
 
@@ -197,17 +252,35 @@ def write_chrome_trace(
         any of the above (each run gets its own process pair).
     include_wall:
         Also emit the wall-clock processes (on by default).
+    critpath:
+        ``True`` runs :func:`~repro.obs.critpath.analyze_critical_path`
+        on each run and renders its pieces on a ``critical`` track;
+        alternatively pass a ready
+        :class:`~repro.obs.critpath.CritPathReport` (single-run sources
+        only).
     """
+    from ..exceptions import ReproError
+
     if isinstance(source, dict):
         groups = [(str(k), _segments_of(v)) for k, v in source.items()]
     else:
         groups = [("run", _segments_of(source))]
+    if critpath not in (False, None, True) and len(groups) > 1:
+        raise ReproError(
+            "a ready CritPathReport applies to a single run; pass "
+            "critpath=True to analyze each run of a dict source"
+        )
     events: list[dict[str, Any]] = []
     base_pid = 0
     for label, segments in groups:
+        cp = critpath if critpath not in (False, None, True) else None
+        if critpath is True:
+            from .critpath import analyze_critical_path
+
+            cp = analyze_critical_path(segments)
         events.extend(chrome_trace_events(
             segments, label=label, base_pid=base_pid,
-            include_wall=include_wall,
+            include_wall=include_wall, critpath=cp,
         ))
         base_pid += 2
     path = pathlib.Path(path)

@@ -1,14 +1,16 @@
 """Stdlib HTTP endpoint exposing live telemetry.
 
 A tiny, dependency-free server (``http.server.ThreadingHTTPServer`` on a
-daemon thread) serving three routes:
+daemon thread) serving four routes:
 
 - ``GET /metrics`` — the metrics snapshot rendered in Prometheus text
   exposition format (:func:`repro.obs.export.render_prometheus`);
 - ``GET /healthz`` — JSON health document from the health provider;
   returns ``503`` when the status is ``"page"``, ``200`` otherwise
   (load balancers and probes key off the status code);
-- ``GET /traces`` — JSON summary of recently collected trace segments.
+- ``GET /traces`` — JSON summary of recently collected trace segments;
+- ``GET /critpath`` — JSON critical-path analysis of the most recent
+  traced run (:meth:`repro.obs.critpath.CritPathReport.to_dict`).
 
 Start one directly or via ``SolverService(expose_http=...)`` /
 ``python -m repro.harness serve-bench --http``::
@@ -66,9 +68,15 @@ class _Handler(BaseHTTPRequestHandler):
                        else {"traces": []})
                 self._reply(200, "application/json",
                             json.dumps(doc, default=str).encode("utf-8"))
+            elif path == "/critpath":
+                doc = (owner._critpath_provider() if owner._critpath_provider
+                       else {"critpath": None})
+                self._reply(200, "application/json",
+                            json.dumps(doc, default=str).encode("utf-8"))
             else:
-                self._reply(404, "text/plain; charset=utf-8",
-                            b"not found: try /metrics /healthz /traces\n")
+                self._reply(
+                    404, "text/plain; charset=utf-8",
+                    b"not found: try /metrics /healthz /traces /critpath\n")
         except BrokenPipeError:
             pass
         except Exception as exc:
@@ -95,6 +103,11 @@ class TelemetryServer:
     traces_provider:
         Optional zero-arg callable returning the ``/traces`` JSON
         document.
+    critpath_provider:
+        Optional zero-arg callable returning the ``/critpath`` JSON
+        document (conventionally a
+        :meth:`~repro.obs.critpath.CritPathReport.to_dict` payload for
+        the most recent traced run).
     host, port:
         Bind address; ``port=0`` picks a free ephemeral port.
     """
@@ -102,10 +115,12 @@ class TelemetryServer:
     def __init__(self, metrics_provider: Callable[[], Mapping[str, Any]], *,
                  health_provider: Callable[[], Mapping[str, Any]] | None = None,
                  traces_provider: Callable[[], Mapping[str, Any]] | None = None,
+                 critpath_provider: Callable[[], Mapping[str, Any]] | None = None,
                  host: str = "127.0.0.1", port: int = 0):
         self._metrics_provider = metrics_provider
         self._health_provider = health_provider
         self._traces_provider = traces_provider
+        self._critpath_provider = critpath_provider
         self._host = host
         self._requested_port = port
         self._server: _Server | None = None

@@ -52,6 +52,10 @@ GATED_METRICS: dict[str, str] = {
     "service.speedup_vs_rd": "higher",
     "obs.disabled_span_us": "lower",
     "solve.ard_wall_s": "lower",
+    # Predicted-vs-measured drift recorded by bench_f6_model_validation
+    # (median |log ratio| over recon-F6's parity points): rises when the
+    # analytic model or a calibration change degrades parity.
+    "perfmodel.model_error": "lower",
 }
 
 

@@ -62,6 +62,11 @@ class PhaseReport:
         ``comm.copy``), summed over all ranks and segments — where the
         host actually spends its time, complementing the modelled
         virtual breakdown above.
+    critpath:
+        Optional :class:`~repro.obs.critpath.CritPathReport` for the
+        same segments (attached by ``build_phase_report(...,
+        critpath=True)`` or the profiler); rendered after the phase
+        tables when present.
     """
 
     stats: list[PhaseStat]
@@ -70,6 +75,7 @@ class PhaseReport:
     nranks: int
     kernel_wall: dict[str, float] = dataclasses.field(default_factory=dict)
     kernel_calls: dict[str, int] = dataclasses.field(default_factory=dict)
+    critpath: Any = None
 
     @property
     def virtual_total(self) -> float:
@@ -127,19 +133,20 @@ class PhaseReport:
             title=f"Phase breakdown (P={self.nranks}, "
             f"T_virtual={self.virtual_total:.3e}s, critical ranks)",
         )
-        if not self.kernel_wall:
-            return table
-        kernel_rows = [
-            [name, f"{self.kernel_wall[name]:.3e}",
-             self.kernel_calls.get(name, 0)]
-            for name in sorted(self.kernel_wall)
-        ]
-        kernels = render_table(
-            ["kernel", "wall_s", "calls"],
-            kernel_rows,
-            title="Kernel wall time (all ranks)",
-        )
-        return table + "\n" + kernels
+        if self.kernel_wall:
+            kernel_rows = [
+                [name, f"{self.kernel_wall[name]:.3e}",
+                 self.kernel_calls.get(name, 0)]
+                for name in sorted(self.kernel_wall)
+            ]
+            table += "\n" + render_table(
+                ["kernel", "wall_s", "calls"],
+                kernel_rows,
+                title="Kernel wall time (all ranks)",
+            )
+        if self.critpath is not None:
+            table += "\n" + self.critpath.render()
+        return table
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict (JSON-serializable) form."""
@@ -151,12 +158,16 @@ class PhaseReport:
             "virtual_by_phase": self.virtual_by_phase(),
             "kernel_wall": dict(self.kernel_wall),
             "kernel_calls": dict(self.kernel_calls),
+            "critpath": (self.critpath.to_dict()
+                         if self.critpath is not None else None),
             "stats": [s.to_dict() for s in self.stats],
         }
 
 
 def build_phase_report(
     segments: Sequence[tuple[str, Any]],
+    *,
+    critpath: bool = False,
 ) -> PhaseReport | None:
     """Aggregate traced segments into a :class:`PhaseReport`.
 
@@ -167,6 +178,10 @@ def build_phase_report(
         ``[("factor", fact.factor_result), ("solve",
         fact.last_solve_result)]``.  Returns ``None`` if any segment is
         missing or carries no traces (tracing was disabled).
+    critpath:
+        Also run :func:`~repro.obs.critpath.analyze_critical_path` on
+        the segments and attach the result as
+        :attr:`PhaseReport.critpath`.
     """
     stats: list[PhaseStat] = []
     segment_virtual: dict[str, float] = {}
@@ -202,6 +217,11 @@ def build_phase_report(
                 stat.bytes_sent += s.bytes_sent
                 stat.msgs_sent += s.msgs_sent
                 stat.count += 1
+    crit_report = None
+    if critpath:
+        from .critpath import analyze_critical_path
+
+        crit_report = analyze_critical_path(list(segments))
     return PhaseReport(
         stats=stats,
         segment_virtual=segment_virtual,
@@ -209,4 +229,5 @@ def build_phase_report(
         nranks=nranks,
         kernel_wall=kernel_wall,
         kernel_calls=kernel_calls,
+        critpath=crit_report,
     )

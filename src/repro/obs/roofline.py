@@ -1,0 +1,204 @@
+"""Roofline classification of traced phases against machine rates.
+
+The roofline model asks, per phase: given its *arithmetic intensity*
+(flops per byte of point-to-point traffic), could the machine's peak
+flop rate ever be reached, or does the interconnect cap throughput
+first?  The crossover sits at the *ridge point* ``peak_flops /
+bandwidth``: phases with lower intensity are **bandwidth-bound** (the
+attainable rate is ``intensity * bandwidth``), phases above it are
+**compute-bound** (attainable rate is the flop peak).
+
+Machine rates come from either the run's analytic
+:class:`~repro.comm.costmodel.CostModel` (paper-era constants) or a
+measured :class:`~repro.perfmodel.calibrate.MachineCalibration`
+produced by ``python -m repro.harness profile --calibrate`` — the
+latter turns the classification from "what the paper's machine would
+do" into "what *this* host does".
+
+Intensity here uses modelled point-to-point bytes (the same counters
+the cost model charges), so the roofline describes the distributed
+algorithm's compute/traffic balance, not DRAM traffic of a single BLAS
+call.  See docs/PROFILING.md for interpretation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any
+
+__all__ = [
+    "MachineRates",
+    "RooflinePoint",
+    "RooflineReport",
+    "build_roofline",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineRates:
+    """Peak rates of one machine, the two roofline parameters.
+
+    Attributes
+    ----------
+    flop_rate:
+        Peak sustained flop rate (flops/s).
+    bandwidth:
+        Link bandwidth (bytes/s).
+    source:
+        Provenance label (``"cost-model"`` or ``"calibration"``).
+    """
+
+    flop_rate: float
+    bandwidth: float
+    source: str = "cost-model"
+
+    @property
+    def ridge(self) -> float:
+        """Ridge-point intensity (flops/byte) where the roofs meet."""
+        return self.flop_rate / self.bandwidth
+
+    @classmethod
+    def from_cost_model(cls, cost_model: Any) -> "MachineRates":
+        """Rates implied by an alpha-beta :class:`CostModel`."""
+        return cls(
+            flop_rate=cost_model.flop_rate,
+            bandwidth=1.0 / cost_model.inv_bandwidth,
+            source="cost-model",
+        )
+
+    @classmethod
+    def from_calibration(cls, calib: Any) -> "MachineRates":
+        """Rates measured by ``harness profile --calibrate``.
+
+        Uses the best measured kernel flop rate as the compute roof and
+        the measured copy bandwidth as the traffic roof.
+        """
+        return cls(
+            flop_rate=calib.peak_flop_rate(),
+            bandwidth=calib.copy_bandwidth,
+            source="calibration",
+        )
+
+    def attainable(self, intensity: float) -> float:
+        """Attainable flop rate at ``intensity`` (the roofline curve)."""
+        return min(self.flop_rate, intensity * self.bandwidth)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict (JSON-serializable) form."""
+        out = dataclasses.asdict(self)
+        out["ridge"] = self.ridge
+        return out
+
+
+@dataclasses.dataclass(frozen=True)
+class RooflinePoint:
+    """One phase placed on the roofline.
+
+    ``bound`` is ``"compute"`` or ``"bandwidth"`` (``"n/a"`` for phases
+    with neither flops nor traffic); ``efficiency`` is achieved rate
+    over attainable rate, so a low value flags headroom the roofline
+    itself cannot explain (latency, idling, overhead charges).
+    """
+
+    phase: str
+    flops: int
+    nbytes: int
+    virtual_time: float
+    intensity: float
+    achieved_rate: float
+    attainable_rate: float
+    bound: str
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved over attainable rate in [0, 1]-ish."""
+        if self.attainable_rate <= 0.0:
+            return 0.0
+        return self.achieved_rate / self.attainable_rate
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict (JSON-serializable) form."""
+        out = dataclasses.asdict(self)
+        out["efficiency"] = self.efficiency
+        return out
+
+
+@dataclasses.dataclass
+class RooflineReport:
+    """All phases of a run classified against one machine's roofline."""
+
+    machine: MachineRates
+    points: list[RooflinePoint]
+
+    def render(self) -> str:
+        """Human-readable roofline table."""
+        from ..util.tables import render_table
+
+        rows = []
+        for p in self.points:
+            inten = ("inf" if math.isinf(p.intensity)
+                     else f"{p.intensity:.3g}")
+            rows.append([
+                p.phase, p.flops, p.nbytes, inten,
+                f"{p.achieved_rate:.3e}", f"{p.attainable_rate:.3e}",
+                p.bound, f"{p.efficiency:.1%}",
+            ])
+        return render_table(
+            ["phase", "flops", "bytes", "flops/byte", "achieved",
+             "attainable", "bound", "eff"],
+            rows,
+            title=(f"Roofline ({self.machine.source}: "
+                   f"peak={self.machine.flop_rate:.3e} flop/s, "
+                   f"bw={self.machine.bandwidth:.3e} B/s, "
+                   f"ridge={self.machine.ridge:.3g} flop/B)"),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict (JSON-serializable) form."""
+        return {
+            "machine": self.machine.to_dict(),
+            "points": [p.to_dict() for p in self.points],
+        }
+
+
+def build_roofline(phase_report: Any, machine: MachineRates
+                   ) -> RooflineReport:
+    """Classify every phase of a :class:`PhaseReport` on the roofline.
+
+    Per ``"segment/phase"`` key, flops, bytes, *and* time are the
+    segment's critical rank's (the same rank whose per-phase times
+    :meth:`PhaseReport.virtual_by_phase` reports), so achieved vs
+    attainable is a per-node comparison against the machine's per-node
+    roofs — aggregate-over-ranks rates would not be.
+    """
+    virtual = phase_report.virtual_by_phase()
+    points: list[RooflinePoint] = []
+    for key in phase_report.phases():
+        segment, phase = key.split("/", 1)
+        crit = phase_report.segment_critical_rank[segment]
+        stats = [s for s in phase_report.per_rank(segment, phase)
+                 if s.rank == crit]
+        flops = sum(s.flops for s in stats)
+        nbytes = sum(s.bytes_sent for s in stats)
+        vt = virtual.get(key, 0.0)
+        if nbytes > 0:
+            intensity = flops / nbytes
+        elif flops > 0:
+            intensity = math.inf
+        else:
+            intensity = 0.0
+        achieved = flops / vt if vt > 0.0 else 0.0
+        if flops == 0 and nbytes == 0:
+            bound = "n/a"
+            attainable = 0.0
+        else:
+            attainable = machine.attainable(intensity)
+            bound = ("compute" if intensity >= machine.ridge
+                     else "bandwidth")
+        points.append(RooflinePoint(
+            phase=key, flops=flops, nbytes=nbytes, virtual_time=vt,
+            intensity=intensity, achieved_rate=achieved,
+            attainable_rate=attainable, bound=bound,
+        ))
+    return RooflineReport(machine=machine, points=points)

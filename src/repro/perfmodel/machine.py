@@ -5,6 +5,12 @@ The virtual-time simulation and the analytic predictor share one
 2014-cluster-like (see that module); :func:`calibrate_flop_rate`
 measures this host's dense GEMM throughput so wall-clock-facing
 experiments (recon-F7) can convert counted flops to realistic seconds.
+
+For a fuller per-kernel measurement (LU/trsm/GEMM rates plus copy
+bandwidth) persisted across runs, see :mod:`repro.perfmodel.calibrate`
+and ``python -m repro.harness profile --calibrate``;
+:func:`calibration_cost_model` turns a saved snapshot back into a
+:class:`~repro.comm.costmodel.CostModel`.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ __all__ = [
     "DEFAULT_COST_MODEL",
     "calibrate_flop_rate",
     "calibrated_cost_model",
+    "calibration_cost_model",
     "PAPER_ERA_MODEL",
 ]
 
@@ -61,3 +68,20 @@ def calibrated_cost_model(base: CostModel | None = None, **kwargs) -> CostModel:
     """
     base = base or PAPER_ERA_MODEL
     return base.scaled(flop_rate=calibrate_flop_rate(**kwargs))
+
+
+def calibration_cost_model(path: str | None = None,
+                           base: CostModel | None = None) -> CostModel:
+    """A cost model built from a saved ``CALIB_machine.json``.
+
+    Loads the snapshot written by ``python -m repro.harness profile
+    --calibrate`` (default path
+    :data:`~repro.perfmodel.calibrate.DEFAULT_CALIB_PATH`) and maps its
+    measured GEMM rate, copy bandwidth, and latency proxy onto ``base``
+    (default :data:`PAPER_ERA_MODEL`).  Raises
+    :class:`~repro.exceptions.ConfigError` if no calibration exists.
+    """
+    from .calibrate import DEFAULT_CALIB_PATH, load_calibration
+
+    calib = load_calibration(path or DEFAULT_CALIB_PATH)
+    return calib.cost_model(base)

@@ -10,6 +10,9 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import pathlib
+from typing import Any
+
 from ..comm.costmodel import CostModel, DEFAULT_COST_MODEL
 from ..exceptions import ConfigError
 from . import complexity as C
@@ -69,7 +72,24 @@ def predict_flops(method: str, *, n: int, m: int, p: int = 1, r: int = 1) -> flo
 
 
 def predict_time(method: str, *, n: int, m: int, p: int = 1, r: int = 1,
-                 cost_model: CostModel | None = None) -> float:
-    """Predicted seconds under ``cost_model`` (default machine)."""
+                 cost_model: CostModel | None = None,
+                 calibration: Any = None) -> float:
+    """Predicted seconds under ``cost_model`` (default machine).
+
+    Pass a measured
+    :class:`~repro.perfmodel.calibrate.MachineCalibration` (or a path
+    to one, e.g. ``results/CALIB_machine.json`` from ``python -m
+    repro.harness profile --calibrate``) as ``calibration`` to predict
+    with this host's measured rates instead of the hard-coded
+    constants; ``cost_model`` then supplies only the per-message CPU
+    overhead.  ``calibration`` and an explicit ``cost_model`` compose:
+    the calibration's measured rates override the model's rates.
+    """
     cm = cost_model or DEFAULT_COST_MODEL
+    if calibration is not None:
+        if isinstance(calibration, (str, pathlib.Path)):
+            from .calibrate import load_calibration
+
+            calibration = load_calibration(calibration)
+        cm = calibration.cost_model(cm)
     return predict_cost(method, n=n, m=m, p=p, r=r).time(cm)

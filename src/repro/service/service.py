@@ -44,7 +44,7 @@ Telemetry pipeline (docs/OBSERVABILITY.md):
   into one Chrome trace;
 - ``expose_http=True`` (or a port number) starts a loopback
   :class:`~repro.obs.http.TelemetryServer` with ``/metrics``
-  (Prometheus text), ``/healthz``, and ``/traces``;
+  (Prometheus text), ``/healthz``, ``/traces``, and ``/critpath``;
 - ``health=True`` (default: on iff the endpoint is exposed) runs the
   numerical-health probes of :mod:`repro.obs.health`: per-solve
   residual norm, plus pivot growth and a condition estimate once per
@@ -289,6 +289,7 @@ class SolverService:
                 self.metrics_snapshot,
                 health_provider=self._health_snapshot,
                 traces_provider=self._trace_snapshot,
+                critpath_provider=self._critpath_snapshot,
                 port=port,
             ).start()
             _log.info("http.started", url=self.http.url)
@@ -658,6 +659,17 @@ class SolverService:
             "workers": [{"worker": t.rank, "spans": len(t.spans)}
                         for t in self._tracers],
         }
+
+    def _critpath_snapshot(self) -> dict[str, Any]:
+        """The ``/critpath`` document: critical-path analysis of the
+        most recently retained traced batch (``trace=True`` services;
+        ``{"critpath": None}`` when nothing is retained yet)."""
+        from ..obs import analyze_critical_path
+
+        for label, segments in reversed(list(self._segments)):
+            report = analyze_critical_path(segments)
+            return {"label": label, "critpath": report.to_dict()}
+        return {"critpath": None}
 
     def metrics_snapshot(self) -> dict[str, Any]:
         """Service metrics merged with the cache counters.

@@ -338,6 +338,101 @@ class TestBarePrint:
         assert findings == []
 
 
+class TestUnenteredSpan:
+    def test_bare_span_call_flagged(self):
+        findings = lint_snippet(
+            """
+            from repro.obs import span
+
+            def f():
+                span("factor")
+                return 1
+            """
+        )
+        assert rule_ids(findings) == ["RC108"]
+        assert "never" in findings[0].message
+        assert "with span(...)" in findings[0].message
+
+    def test_bare_kernel_time_flagged(self):
+        findings = lint_snippet(
+            """
+            from repro.obs.tracer import kernel_time
+
+            def f():
+                kernel_time("lu_batched")
+            """
+        )
+        assert rule_ids(findings) == ["RC108"]
+
+    def test_tracer_attribute_call_flagged(self):
+        findings = lint_snippet(
+            """
+            def f(ctx):
+                ctx.tracer.span("solve")
+            """
+        )
+        assert rule_ids(findings) == ["RC108"]
+
+    def test_with_statement_clean(self):
+        findings = lint_snippet(
+            """
+            from repro.obs import span
+
+            def f():
+                with span("factor"):
+                    return 1
+            """
+        )
+        assert findings == []
+
+    def test_assigned_span_clean(self):
+        # Storing the manager for a later ``with`` is deliberate.
+        findings = lint_snippet(
+            """
+            from repro.obs import span
+
+            def f():
+                cm = span("factor")
+                with cm:
+                    return 1
+            """
+        )
+        assert findings == []
+
+    def test_unrelated_span_attribute_clean(self):
+        findings = lint_snippet(
+            """
+            def f(layout):
+                layout.span(3)
+            """
+        )
+        assert findings == []
+
+    def test_local_span_function_clean(self):
+        # ``span`` not imported from an obs module stays out of scope.
+        findings = lint_snippet(
+            """
+            def span(name):
+                return name
+
+            def f():
+                span("x")
+            """
+        )
+        assert findings == []
+
+    def test_noqa_suppresses(self):
+        findings = lint_snippet(
+            """
+            from repro.obs import span
+
+            def f():
+                span("factor")  # repro: noqa[RC108]
+            """
+        )
+        assert findings == []
+
+
 class TestSuppression:
     def test_targeted_noqa(self):
         findings = lint_snippet(
@@ -388,6 +483,7 @@ class TestTreeAndCli:
             ("RC104", "__all__ = ['ghost']\n"),
             ("RC105", "def f():\n    try:\n        pass\n    except:\n        pass\n"),
             ("RC106", "def f(x=[]):\n    return x\n"),
+            ("RC108", "from repro.obs import span\nspan('kernel')\n"),
         ],
     )
     def test_cli_seeded_bug_exits_nonzero(self, rule_id, snippet, tmp_path, capsys):
@@ -532,7 +628,7 @@ class TestExactDeadlockDetection:
 
         start = time.monotonic()
         with pytest.raises(DeadlockError):
-            run_spmd(program, 2, deadlock_timeout=60.0)
+            run_spmd(program, 2)
         assert time.monotonic() - start < 5.0
 
     def test_mismatched_tag_names_pending_message(self):
@@ -553,7 +649,7 @@ class TestExactDeadlockDetection:
     def test_long_compute_phase_is_not_deadlock(self):
         # The false-positive fix: a rank grinding through local work is
         # live, so the blocked ranks must keep waiting no matter how
-        # long the compute takes relative to any timeout setting.
+        # long the compute takes — there is no stall window to outlast.
         def program(comm):
             if comm.rank == 0:
                 time.sleep(0.6)
@@ -562,7 +658,7 @@ class TestExactDeadlockDetection:
                 return None
             return comm.recv(source=0)
 
-        res = run_spmd(program, 3, deadlock_timeout=0.1)
+        res = run_spmd(program, 3)
         assert res.values[1] == res.values[2] == "late"
 
     def test_wildcard_receive_deadlock_reported(self):

@@ -1,6 +1,5 @@
 """Tests for the analytic complexity/time models and calibration."""
 
-import numpy as np
 import pytest
 
 from repro.comm import CostModel, run_spmd
@@ -161,3 +160,79 @@ class TestCalibration:
     def test_validation(self):
         with pytest.raises(ValueError):
             calibrate_flop_rate(m=1)
+
+
+class TestMachineCalibration:
+    """The measured-machine snapshot: round-trip, schema gating, and
+    the acceptance criterion that a loaded calibration actually changes
+    the predictor's answer (it is consumed, not just parsed)."""
+
+    @pytest.fixture(scope="class")
+    def calib(self):
+        from repro.perfmodel import calibrate_machine
+
+        # Tiny shape: the test cares about plumbing, not rate accuracy.
+        return calibrate_machine(block_size=8, batch=4, reps=1)
+
+    def test_rates_sane(self, calib):
+        assert 1e5 < calib.gemm_flop_rate < 1e14
+        assert 1e5 < calib.lu_flop_rate < 1e14
+        assert 1e5 < calib.trsm_flop_rate < 1e14
+        assert calib.copy_bandwidth > 1e5
+        assert 0.0 < calib.latency < 1.0
+        assert calib.peak_flop_rate() == max(
+            calib.gemm_flop_rate, calib.lu_flop_rate, calib.trsm_flop_rate)
+
+    def test_save_load_round_trip(self, calib, tmp_path):
+        from repro.perfmodel import load_calibration, save_calibration
+
+        path = save_calibration(calib, tmp_path / "CALIB_machine.json")
+        assert load_calibration(path) == calib
+
+    def test_missing_file_raises(self, tmp_path):
+        from repro.perfmodel import load_calibration
+
+        with pytest.raises(ConfigError, match="--calibrate"):
+            load_calibration(tmp_path / "nope.json")
+
+    def test_unsupported_schema_version_rejected(self, calib, tmp_path):
+        import json
+
+        from repro.perfmodel import load_calibration, save_calibration
+
+        path = save_calibration(calib, tmp_path / "CALIB_machine.json")
+        doc = json.loads(path.read_text())
+        doc["schema_version"] = 999
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ConfigError, match="schema_version"):
+            load_calibration(path)
+
+    def test_cost_model_uses_measured_rates(self, calib):
+        cm = calib.cost_model()
+        assert cm.flop_rate == calib.gemm_flop_rate
+        assert cm.inv_bandwidth == pytest.approx(1.0 / calib.copy_bandwidth)
+        assert cm.latency == calib.latency
+        assert cm.overhead == PAPER_ERA_MODEL.overhead
+
+    def test_predict_time_consumes_calibration(self, calib, tmp_path):
+        """Acceptance criterion: a prediction made against the written
+        calibration file differs from the hard-coded default, and the
+        path and in-memory forms agree."""
+        from repro.perfmodel import save_calibration
+
+        kwargs = dict(n=256, m=8, p=8, r=32)
+        default = predict_time("ard", **kwargs)
+        via_object = predict_time("ard", calibration=calib, **kwargs)
+        path = save_calibration(calib, tmp_path / "CALIB_machine.json")
+        via_path = predict_time("ard", calibration=path, **kwargs)
+        assert via_path == via_object
+        assert via_object != default
+        assert via_object > 0.0
+
+    def test_calibration_cost_model_helper(self, calib, tmp_path):
+        from repro.perfmodel import calibration_cost_model, save_calibration
+
+        path = save_calibration(calib, tmp_path / "CALIB_machine.json")
+        cm = calibration_cost_model(path)
+        assert isinstance(cm, CostModel)
+        assert cm.flop_rate == calib.gemm_flop_rate

@@ -41,7 +41,7 @@ class TestRunSpmd:
             comm.recv(source=1)  # would block forever without abort
 
         with pytest.raises(ValueError, match="rank 1 failed"):
-            run_spmd(boom, 2, deadlock_timeout=10.0)
+            run_spmd(boom, 2)
 
     def test_lowest_rank_exception_wins(self):
         def boom(comm):
@@ -61,7 +61,7 @@ class TestDeadlockDetection:
             return comm.recv(source=(comm.rank + 1) % comm.size, tag=5)
 
         with pytest.raises(DeadlockError):
-            run_spmd(program, 2, deadlock_timeout=0.3)
+            run_spmd(program, 2)
 
     def test_recv_from_finished_rank_deadlocks(self):
         def program(comm):
@@ -70,7 +70,7 @@ class TestDeadlockDetection:
             return None
 
         with pytest.raises(DeadlockError):
-            run_spmd(program, 2, deadlock_timeout=0.3)
+            run_spmd(program, 2)
 
     def test_unmatched_tag_deadlocks(self):
         def program(comm):
@@ -80,20 +80,28 @@ class TestDeadlockDetection:
                 return comm.recv(source=0, tag=2)
 
         with pytest.raises(DeadlockError):
-            run_spmd(program, 2, deadlock_timeout=0.3)
+            run_spmd(program, 2)
 
     def test_slow_compute_is_not_deadlock(self):
         import time
 
         def program(comm):
             if comm.rank == 0:
-                time.sleep(0.7)  # longer than the timeout, but not blocked
+                time.sleep(0.7)  # slow, but not blocked
                 comm.send("late", 1)
                 return None
             return comm.recv(source=0)
 
-        res = run_spmd(program, 2, deadlock_timeout=0.5)
+        res = run_spmd(program, 2)
         assert res.values[1] == "late"
+
+    def test_deadlock_timeout_is_deprecated_and_ignored(self):
+        def program(comm):
+            return comm.recv(source=(comm.rank + 1) % comm.size)
+
+        with pytest.warns(DeprecationWarning, match="wait-for graph"):
+            with pytest.raises(DeadlockError):
+                run_spmd(program, 2, deadlock_timeout=60.0)
 
 
 class TestMessageSemantics:
