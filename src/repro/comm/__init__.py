@@ -29,6 +29,7 @@ from .communicator import (
 from .costmodel import CostModel, DEFAULT_COST_MODEL, payload_nbytes
 from .clock import VirtualClock
 from .fastcopy import fastcopy, fastcopy_counted
+from .matching import WaitInfo, deadlock_report, find_wait_cycle, match_in, peek_in
 from .runtime import CommAborted, run_spmd
 from .stats import RankStats, SimulationResult
 
@@ -47,6 +48,11 @@ __all__ = [
     "VirtualClock",
     "fastcopy",
     "fastcopy_counted",
+    "WaitInfo",
+    "match_in",
+    "peek_in",
+    "find_wait_cycle",
+    "deadlock_report",
     "CommAborted",
     "run_spmd",
     "RankStats",

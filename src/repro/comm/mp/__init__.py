@@ -1,0 +1,21 @@
+"""Process-based SPMD execution backend (true multi-core).
+
+Runs the same programs as the thread backend — identical
+:class:`~repro.comm.communicator.Communicator` API, collectives,
+virtual-time accounting, verifier and deadlock diagnostics — but each
+rank is a spawned worker process, so compute escapes the GIL and
+wall-clock time becomes a real parallel measurement.  NumPy payloads
+cross rank boundaries through shared-memory segments with zero-copy
+receive (:mod:`repro.comm.shm`); envelopes and small objects ride
+pickled control channels.
+
+Select it per call (``run_spmd(..., backend="processes")``), per thread
+(``set_config(comm_backend="processes")``), or per process
+(``REPRO_COMM_BACKEND=processes``).  See docs/BACKENDS.md.
+"""
+
+from .backend import ProcessPool, run_spmd_processes, shutdown_pool
+from .worker import MpRuntime, worker_main
+
+__all__ = ["ProcessPool", "run_spmd_processes", "shutdown_pool",
+           "MpRuntime", "worker_main"]

@@ -7,6 +7,13 @@ carry :class:`~repro.comm.clock.VirtualClock` instances so that the
 simulation yields a modelled parallel makespan in addition to real
 results (see DESIGN.md, "Hardware substitution").
 
+This thread backend is the *reference semantics*; ``run_spmd`` can
+alternatively dispatch the same program to the process backend
+(:mod:`repro.comm.mp`) for true multi-core execution — select it with
+``backend="processes"`` or the ``comm_backend`` config field (see
+docs/BACKENDS.md).  Matching and deadlock reporting are shared between
+backends through :mod:`repro.comm.matching`.
+
 Key properties
 --------------
 - **Deterministic virtual time.**  Clocks advance from counted flops and
@@ -59,6 +66,7 @@ from ..util.flops import FlopCounter, counting_flops
 from .clock import VirtualClock
 from .costmodel import CostModel, DEFAULT_COST_MODEL, payload_nbytes
 from .fastcopy import fastcopy_counted
+from .matching import WaitInfo, deadlock_report, match_in, peek_in
 from .stats import RankStats, SimulationResult
 
 __all__ = ["Runtime", "RankContext", "run_spmd", "CommAborted"]
@@ -92,32 +100,6 @@ class _Message:
         # Correlation id of the operation the sender was executing
         # (see repro.obs.context); None when the run is uncorrelated.
         self.trace_id = trace_id
-
-
-class _Wait:
-    """One node of the wait-for graph: what a blocked rank is matching.
-
-    ``source`` is communicator-local (``-1`` = wildcard);
-    ``source_world`` is the awaited sender's world rank when known, and
-    ``op`` the user-facing collective the rank is inside, if any.
-    """
-
-    __slots__ = ("comm_key", "source", "tag", "source_world", "op")
-
-    def __init__(self, comm_key, source, tag, source_world, op):
-        self.comm_key = comm_key
-        self.source = source
-        self.tag = tag
-        self.source_world = source_world
-        self.op = op
-
-    def describe(self, rank: int) -> str:
-        src = ("any rank" if self.source < 0
-               else f"rank {self.source_world if self.source_world is not None else self.source}")
-        tag = "any tag" if self.tag < 0 else f"tag {self.tag}"
-        inside = f" inside collective '{self.op}'" if self.op else ""
-        return (f"rank {rank}{inside}: blocked receiving from {src} "
-                f"({tag}) on communicator {self.comm_key!r}")
 
 
 class RankContext:
@@ -175,7 +157,6 @@ class Runtime:
         cost_model: CostModel,
         *,
         copy_messages: bool = True,
-        deadlock_timeout: float | None = None,
         poll_interval: float = 0.05,
         trace: bool = False,
         verify: bool = False,
@@ -188,11 +169,6 @@ class Runtime:
         self.copy_messages = copy_messages
         self.trace = trace
         self.trace_ctx = trace_ctx
-        # Deprecated no-op: deadlocks are detected exactly (and
-        # immediately) from the wait-for graph, so no wall-clock stall
-        # window is involved anymore.  Kept only so old call sites keep
-        # importing; run_spmd owns the deprecation warning.
-        self.deadlock_timeout = deadlock_timeout
         self.poll_interval = poll_interval
         if verify:
             from ..check.verifier import SpmdVerifier  # deferred: cycle
@@ -203,7 +179,7 @@ class Runtime:
         self._cond = threading.Condition()
         self._inboxes: list[list[_Message]] = [[] for _ in range(nranks)]
         self._n_live = nranks
-        self._waiting: dict[int, _Wait] = {}
+        self._waiting: dict[int, WaitInfo] = {}
         self._abort: BaseException | None = None
         self._seq = itertools.count()
         self.contexts = [RankContext(r, self) for r in range(nranks)]
@@ -245,29 +221,6 @@ class Runtime:
 
     # -- receiving -------------------------------------------------------
 
-    def _find(self, inbox: list[_Message], comm_key, source: int, tag: int) -> _Message | None:
-        for i, msg in enumerate(inbox):
-            if msg.comm_key != comm_key:
-                continue
-            if source >= 0 and msg.source != source:
-                continue
-            if tag >= 0 and msg.tag != tag:
-                continue
-            return inbox.pop(i)
-        return None
-
-    def _peek(self, inbox: list[_Message], comm_key, source: int, tag: int) -> bool:
-        """Non-destructive :meth:`_find`: is a matching message pending?"""
-        for msg in inbox:
-            if msg.comm_key != comm_key:
-                continue
-            if source >= 0 and msg.source != source:
-                continue
-            if tag >= 0 and msg.tag != tag:
-                continue
-            return True
-        return False
-
     def match(self, ctx: RankContext, comm_key, source: int, tag: int, *,
               source_world: int | None = None) -> _Message:
         """Block until a matching message arrives; return it.
@@ -284,9 +237,9 @@ class Runtime:
         with self._cond:
             if self._abort is not None:
                 raise CommAborted("simulation aborted") from self._abort
-            msg = self._find(inbox, comm_key, source, tag)
+            msg = match_in(inbox, comm_key, source, tag)
             if msg is None:
-                self._waiting[ctx.rank] = _Wait(
+                self._waiting[ctx.rank] = WaitInfo(
                     comm_key, source, tag, source_world, ctx.current_coll
                 )
                 try:
@@ -295,7 +248,7 @@ class Runtime:
                         self._cond.wait(timeout=self.poll_interval)
                         if self._abort is not None:
                             raise CommAborted("simulation aborted") from self._abort
-                        msg = self._find(inbox, comm_key, source, tag)
+                        msg = match_in(inbox, comm_key, source, tag)
                         if msg is not None:
                             break
                 finally:
@@ -325,51 +278,16 @@ class Runtime:
         if self._n_live <= 0 or len(self._waiting) < self._n_live:
             return
         for rank, wait in self._waiting.items():
-            if self._peek(self._inboxes[rank], wait.comm_key, wait.source,
-                          wait.tag):
+            if peek_in(self._inboxes[rank], wait.comm_key, wait.source,
+                       wait.tag):
                 return  # that rank will wake and match within poll_interval
-        err = DeadlockError(self._deadlock_report_locked())
+        err = DeadlockError(deadlock_report(
+            self._waiting, self._n_live,
+            unmatched_lines=self._unconsumed_lines(),
+        ))
         self._abort = err
         self._cond.notify_all()
         raise err
-
-    def _find_cycle_locked(self) -> list[int] | None:
-        """Find one cycle in the wait-for graph (rank → awaited rank)."""
-        graph = {
-            rank: wait.source_world
-            for rank, wait in self._waiting.items()
-            if wait.source_world is not None
-        }
-        visited: set[int] = set()
-        for start in graph:
-            if start in visited:
-                continue
-            position: dict[int, int] = {}
-            chain: list[int] = []
-            node = start
-            while node in graph and node not in visited and node not in position:
-                position[node] = len(chain)
-                chain.append(node)
-                node = graph[node]
-            visited.update(chain)
-            if node in position:
-                return chain[position[node]:]
-        return None
-
-    def _deadlock_report_locked(self) -> str:
-        lines = [
-            f"SPMD deadlock: all {self._n_live} unfinished rank(s) are "
-            f"blocked on receives no in-flight message can satisfy."
-        ]
-        cycle = self._find_cycle_locked()
-        if cycle:
-            hops = " -> ".join(f"rank {r}" for r in cycle + cycle[:1])
-            lines.append(f"  wait-for cycle: {hops}")
-        for rank in sorted(self._waiting):
-            lines.append("  " + self._waiting[rank].describe(rank))
-        for line in self._unconsumed_lines():
-            lines.append("  unmatched " + line)
-        return "\n".join(lines)
 
     def _unconsumed_lines(self) -> list[str]:
         """Describe every message still sitting in an inbox."""
@@ -402,11 +320,11 @@ def run_spmd(
     *args: Any,
     cost_model: CostModel | None = None,
     copy_messages: bool = True,
-    deadlock_timeout: float | None = None,
     rank_args: Sequence[tuple] | None = None,
     count_flops: bool = True,
     trace: bool = False,
     verify: bool | None = None,
+    backend: str | None = None,
     **kwargs: Any,
 ) -> SimulationResult:
     """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` simulated ranks.
@@ -417,20 +335,16 @@ def run_spmd(
         The SPMD program.  Its first argument is the rank's
         :class:`repro.comm.communicator.Communicator`.
     nranks:
-        Number of simulated ranks (threads).  ``nranks == 1`` executes
-        on the calling thread with no thread spawn.
+        Number of simulated ranks.  ``nranks == 1`` executes on the
+        calling thread with no thread or process spawn.
     cost_model:
         Machine model for virtual time; defaults to
         :data:`repro.comm.costmodel.DEFAULT_COST_MODEL`.
     copy_messages:
         Copy payloads at send time (distributed-memory semantics).
-        Disable only for trusted benchmark inner loops.
-    deadlock_timeout:
-        **Deprecated no-op.**  Deadlocks are detected exactly — and
-        immediately — from the runtime's wait-for graph, so no stall
-        window applies anymore; passing a value emits a
-        ``DeprecationWarning`` pointing at the wait-for-graph detector
-        (see docs/CHECKING.md).
+        Disable only for trusted benchmark inner loops.  The process
+        backend always has value semantics (payloads cross a process
+        boundary), so it ignores ``copy_messages=False``.
     rank_args:
         Optional per-rank extra positional arguments: ``rank_args[r]``
         is appended after ``args`` for rank ``r``.
@@ -454,6 +368,13 @@ def run_spmd(
         :class:`~repro.exceptions.UnconsumedMessageError` (without
         verification they only warn).  ``None`` (the default) defers
         to the ``REPRO_VERIFY`` environment variable.
+    backend:
+        ``"threads"`` (reference, virtual-time) or ``"processes"``
+        (true multi-core via :mod:`repro.comm.mp`).  ``None`` (the
+        default) defers to the ``comm_backend`` config field.  The
+        process backend requires ``fn`` and its arguments to be
+        picklable; when they are not, the run falls back to threads
+        with a one-time warning (see docs/BACKENDS.md).
 
     Returns
     -------
@@ -472,16 +393,23 @@ def run_spmd(
     from ..config import get_config, install_config
     from .communicator import Communicator  # deferred: avoids import cycle
 
-    if deadlock_timeout is not None:
-        warnings.warn(
-            "deadlock_timeout is deprecated and ignored: the runtime "
-            "detects deadlocks exactly (and immediately) from its "
-            "wait-for graph, so no stall window applies; drop the "
-            "argument (see docs/CHECKING.md, 'Exact deadlock detection')",
-            DeprecationWarning,
-            stacklevel=2,
+    if "deadlock_timeout" in kwargs:
+        # Removed after one release as a deprecated no-op.  Without this
+        # check it would silently forward to ``fn`` as a program kwarg.
+        raise TypeError(
+            "run_spmd() no longer accepts 'deadlock_timeout': deadlock "
+            "detection is exact (wait-for graph; see docs/CHECKING.md) "
+            "-- drop the argument"
         )
-    worker_config = _dc.replace(get_config(), flop_counting=count_flops)
+    config = get_config()
+    if backend is None:
+        backend = config.comm_backend
+    if backend not in ("threads", "processes"):
+        raise CommError(
+            f"unknown backend {backend!r}: expected 'threads' or "
+            f"'processes'"
+        )
+    worker_config = _dc.replace(config, flop_counting=count_flops)
     if rank_args is not None and len(rank_args) != nranks:
         raise CommError(
             f"rank_args has {len(rank_args)} entries for {nranks} ranks"
@@ -490,6 +418,18 @@ def run_spmd(
         verify = os.environ.get("REPRO_VERIFY", "").strip().lower() not in (
             "", "0", "false", "no",
         )
+    if backend == "processes" and nranks > 1:
+        from . import mp  # deferred: spawn machinery only when selected
+
+        dispatched = mp.run_spmd_processes(
+            fn, nranks, *args,
+            cost_model=cost_model or DEFAULT_COST_MODEL,
+            rank_args=rank_args, worker_config=worker_config,
+            trace=trace, verify=verify, **kwargs,
+        )
+        if dispatched is not None:
+            return dispatched
+        # fn/args were unpicklable: mp warned and deferred to threads.
     # Correlation: adopt the caller's active TraceContext (e.g. a service
     # request), or mint a fresh one when tracing so the per-rank spans of
     # this run already share one trace_id.
@@ -500,7 +440,6 @@ def run_spmd(
         nranks,
         cost_model or DEFAULT_COST_MODEL,
         copy_messages=copy_messages,
-        deadlock_timeout=deadlock_timeout,
         trace=trace,
         verify=verify,
         trace_ctx=run_ctx,
@@ -576,4 +515,5 @@ def run_spmd(
     return SimulationResult(
         values=values, stats=stats, wall_time=wall, traces=traces,
         trace_id=run_ctx.trace_id if run_ctx is not None else None,
+        backend="threads",
     )

@@ -29,7 +29,14 @@ class RankStats:
         sub-objects within them fell through the structural
         :func:`~repro.comm.fastcopy.fastcopy` protocol to
         ``copy.deepcopy``.  A nonzero deepcopy count means some payload
-        type should be taught to the protocol.
+        type should be taught to the protocol.  The process backend
+        counts a deepcopy whenever a payload serialized without any
+        out-of-band buffer (its analogous slow path).
+    shm_sends / shm_bytes:
+        Process-backend transport accounting: messages whose NumPy
+        payload crossed through a shared-memory segment (zero-copy
+        receive), and the total segment bytes.  Always zero under the
+        thread backend.
     coll_counts / coll_bytes:
         Per-collective call counts and the point-to-point bytes this
         rank sent *inside* each collective (``bcast`` / ``allgather`` /
@@ -46,6 +53,8 @@ class RankStats:
     msgs_sent: int = 0
     payload_copies: int = 0
     payload_deepcopies: int = 0
+    shm_sends: int = 0
+    shm_bytes: int = 0
     coll_counts: dict[str, int] = dataclasses.field(default_factory=dict)
     coll_bytes: dict[str, int] = dataclasses.field(default_factory=dict)
 
@@ -66,6 +75,8 @@ class RankStats:
             "msgs_sent": int(self.msgs_sent),
             "payload_copies": int(self.payload_copies),
             "payload_deepcopies": int(self.payload_deepcopies),
+            "shm_sends": int(self.shm_sends),
+            "shm_bytes": int(self.shm_bytes),
             "coll_counts": dict(self.coll_counts),
             "coll_bytes": dict(self.coll_bytes),
         }
@@ -90,6 +101,10 @@ class SimulationResult:
         Correlation id of the :class:`repro.obs.context.TraceContext`
         this run executed under (adopted from the caller or minted when
         tracing); ``None`` for uncorrelated runs.
+    backend:
+        Execution backend that produced this result: ``"threads"``
+        (virtual-time reference) or ``"processes"`` (true multi-core;
+        ``wall_time`` is then a real parallel measurement).
     """
 
     values: list[Any]
@@ -97,6 +112,7 @@ class SimulationResult:
     wall_time: float
     traces: list[Any] | None = None
     trace_id: str | None = None
+    backend: str = "threads"
 
     @property
     def nranks(self) -> int:
@@ -162,6 +178,7 @@ class SimulationResult:
         """
         out: dict[str, Any] = {
             "nranks": self.nranks,
+            "backend": self.backend,
             "virtual_time": self.virtual_time,
             "wall_time": self.wall_time,
             "total_flops": int(self.total_flops),

@@ -16,6 +16,7 @@ True
 from __future__ import annotations
 
 import dataclasses
+import os
 import threading
 from contextlib import contextmanager
 from typing import Iterator
@@ -25,13 +26,21 @@ import numpy as np
 from .exceptions import ConfigError
 
 __all__ = ["ReproConfig", "get_config", "set_config", "install_config",
-           "config_context", "BLOCKOPS_BACKENDS", "RECURRENCE_MODES"]
+           "config_context", "BLOCKOPS_BACKENDS", "RECURRENCE_MODES",
+           "COMM_BACKENDS"]
 
 #: Valid values of :attr:`ReproConfig.blockops_backend`.
 BLOCKOPS_BACKENDS = frozenset({"batched", "scipy_loop"})
 
 #: Valid values of :attr:`ReproConfig.recurrence_mode`.
 RECURRENCE_MODES = frozenset({"auto", "sequential", "levelwise"})
+
+#: Valid values of :attr:`ReproConfig.comm_backend`.
+COMM_BACKENDS = frozenset({"threads", "processes"})
+
+
+def _default_comm_backend() -> str:
+    return os.environ.get("REPRO_COMM_BACKEND", "").strip() or "threads"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -65,6 +74,12 @@ class ReproConfig:
         ``O(log h)`` full-batch gemms (more flops, far fewer interpreter
         round-trips), ``"auto"`` (default) picks by chunk height and
         block size.  See docs/KERNELS.md.
+    comm_backend:
+        Execution backend for :func:`repro.comm.run_spmd`:
+        ``"threads"`` (default; virtual-time reference semantics) or
+        ``"processes"`` (true multi-core via :mod:`repro.comm.mp` with
+        shared-memory payload transport).  The environment variable
+        ``REPRO_COMM_BACKEND`` sets the default.  See docs/BACKENDS.md.
     """
 
     dtype: np.dtype = dataclasses.field(default_factory=lambda: np.dtype(np.float64))
@@ -73,6 +88,7 @@ class ReproConfig:
     growth_warn_threshold: float = 1e8
     blockops_backend: str = "batched"
     recurrence_mode: str = "auto"
+    comm_backend: str = dataclasses.field(default_factory=_default_comm_backend)
 
     def __post_init__(self) -> None:
         dt = np.dtype(self.dtype)
@@ -97,6 +113,11 @@ class ReproConfig:
             raise ConfigError(
                 f"recurrence_mode must be one of {sorted(RECURRENCE_MODES)}, "
                 f"got {self.recurrence_mode!r}"
+            )
+        if self.comm_backend not in COMM_BACKENDS:
+            raise ConfigError(
+                f"comm_backend must be one of {sorted(COMM_BACKENDS)}, "
+                f"got {self.comm_backend!r}"
             )
 
 

@@ -139,6 +139,7 @@ def solve(
     trace: bool = False,
     health: Any = False,
     return_info: bool = False,
+    backend: str | None = None,
     **unknown_kwargs,
 ):
     """Solve the block tridiagonal system ``A x = b``.
@@ -184,6 +185,12 @@ def solve(
         threshold breaches emit structured log records.
     return_info:
         Also return a :class:`SolveInfo`.
+    backend:
+        Execution backend for the distributed methods: ``"threads"``
+        (in-process reference semantics), ``"processes"`` (spawned
+        workers with shared-memory transport — see docs/BACKENDS.md),
+        or ``None`` (default) to follow the configured
+        ``comm_backend``.  Ignored by sequential methods.
 
     Returns
     -------
@@ -234,7 +241,7 @@ def solve(
         if method in ("ard", "spike"):
             cls = ARDFactorization if method == "ard" else SpikeFactorization
             fact = cls(matrix, nranks=nranks, cost_model=cost_model,
-                       trace=trace)
+                       trace=trace, backend=backend)
             x = fact.solve(bb, refine=refine)
             factor_result = fact.factor_result
             solve_result = fact.last_solve_result
@@ -253,6 +260,7 @@ def solve(
                     copy_messages=False,
                     rank_args=[(c, d) for c, d in zip(chunks, d_chunks)],
                     trace=trace,
+                    backend=backend,
                 )
 
             result = _rd_once(bb)
@@ -330,6 +338,7 @@ def factor(
     nranks: int = 1,
     cost_model: CostModel | None = None,
     trace: bool = False,
+    backend: str | None = None,
     **unknown_kwargs,
 ):
     """Factor ``matrix`` for repeated solves.
@@ -359,10 +368,10 @@ def factor(
         )
     if method == "ard":
         return ARDFactorization(matrix, nranks=nranks, cost_model=cost_model,
-                                trace=trace)
+                                trace=trace, backend=backend)
     if method == "spike":
         return SpikeFactorization(matrix, nranks=nranks, cost_model=cost_model,
-                                  trace=trace)
+                                  trace=trace, backend=backend)
     if method == "thomas":
         return ThomasFactorization(matrix)
     return CyclicReductionFactorization(matrix)

@@ -187,7 +187,7 @@ class ARDFactorization(RefinableFactorization):
     """
 
     def __init__(self, matrix, nranks: int = 1, cost_model=None,
-                 trace: bool = False):
+                 trace: bool = False, backend: str | None = None):
         from ..comm import run_spmd
         from ..linalg.blocktridiag import BlockTridiagonalMatrix
         from .distribute import distribute_matrix
@@ -205,6 +205,7 @@ class ARDFactorization(RefinableFactorization):
         self.nranks = nranks
         self.cost_model = cost_model
         self.trace = trace
+        self.backend = backend
         self._run_spmd = run_spmd
         chunks = distribute_matrix(matrix, nranks)
         self.factor_result = run_spmd(
@@ -214,6 +215,7 @@ class ARDFactorization(RefinableFactorization):
             copy_messages=False,
             rank_args=[(c,) for c in chunks],
             trace=trace,
+            backend=backend,
         )
         self._states: list[ARDRankState] = list(self.factor_result.values)
         self.last_solve_result = None
@@ -239,6 +241,7 @@ class ARDFactorization(RefinableFactorization):
             copy_messages=False,
             rank_args=[(s, d) for s, d in zip(self._states, d_chunks)],
             trace=self.trace,
+            backend=self.backend,
         )
         self.last_solve_result = result
         return gather_solution(list(result.values))

@@ -149,7 +149,7 @@ def bcyclic_solve_spmd(comm, row, rhs, nrows: int):
 
 
 def bcyclic_solve(matrix: BlockTridiagonalMatrix, b: np.ndarray,
-                  cost_model=None):
+                  cost_model=None, backend: str | None = None):
     """Driver: solve ``A x = b`` with one simulated rank per block row.
 
     Returns ``(x, SimulationResult)``.  Intended for moderate ``N``
@@ -171,6 +171,7 @@ def bcyclic_solve(matrix: BlockTridiagonalMatrix, b: np.ndarray,
     result = run_spmd(
         bcyclic_solve_spmd, n,
         cost_model=cost_model, copy_messages=False, rank_args=rank_args,
+        backend=backend,
     )
     x = np.stack([result.values[i] for i in range(n)], axis=0)
     return restore_rhs_shape(x, original), result

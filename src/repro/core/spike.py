@@ -410,7 +410,8 @@ class SpikeFactorization(RefinableFactorization):
     """
 
     def __init__(self, matrix, nranks: int = 1, cost_model=None,
-                 reduced_mode: str = "root", trace: bool = False):
+                 reduced_mode: str = "root", trace: bool = False,
+                 backend: str | None = None):
         from ..comm import run_spmd
         from .distribute import distribute_matrix
 
@@ -428,6 +429,7 @@ class SpikeFactorization(RefinableFactorization):
         self.cost_model = cost_model
         self.reduced_mode = reduced_mode
         self.trace = trace
+        self.backend = backend
         self._run_spmd = run_spmd
         chunks = distribute_matrix(matrix, self.nranks)
         self.factor_result = run_spmd(
@@ -437,6 +439,7 @@ class SpikeFactorization(RefinableFactorization):
             copy_messages=False,
             rank_args=[(c, reduced_mode) for c in chunks],
             trace=trace,
+            backend=backend,
         )
         self._states = list(self.factor_result.values)
         self.last_solve_result = None
@@ -462,6 +465,7 @@ class SpikeFactorization(RefinableFactorization):
             copy_messages=False,
             rank_args=[(s, d) for s, d in zip(self._states, d_chunks)],
             trace=self.trace,
+            backend=self.backend,
         )
         self.last_solve_result = result
         return gather_solution(list(result.values))

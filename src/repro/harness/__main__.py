@@ -33,8 +33,14 @@ regression.
 simulated solve runs with the SPMD runtime verifier enabled
 (equivalent to setting ``REPRO_VERIFY=1``; see docs/CHECKING.md), so a
 divergent collective or an unreceived message fails the experiment
-with a precise diagnostic.  The static analyzer has its own entry
-point: ``python -m repro.check lint src``.
+with a precise diagnostic.  Every subcommand also accepts
+``--backend {threads,processes}`` (equivalent to
+``REPRO_COMM_BACKEND``; see docs/BACKENDS.md) to pick the SPMD
+execution backend: ``threads`` keeps the in-process virtual-time
+reference semantics, ``processes`` runs ranks as spawned worker
+processes with shared-memory payload transport, making wall-clock
+numbers true parallel measurements.  The static analyzer has its own
+entry point: ``python -m repro.check lint src``.
 """
 
 from __future__ import annotations
@@ -57,12 +63,20 @@ def main(argv: list[str] | None = None) -> int:
         help="run all simulated solves with the SPMD runtime verifier "
         "(collective lockstep + finalize checks; same as REPRO_VERIFY=1)",
     )
+    parser.add_argument(
+        "--backend", choices=("threads", "processes"), default=None,
+        help="SPMD execution backend for all simulated solves "
+        "(same as REPRO_COMM_BACKEND; see docs/BACKENDS.md)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def _add_verify(p: argparse.ArgumentParser) -> None:
         # SUPPRESS keeps a pre-subcommand `--verify` from being reset by
         # the subparser's default when the flag is absent there.
         p.add_argument("--verify", action="store_true",
+                       default=argparse.SUPPRESS,
+                       help=argparse.SUPPRESS)
+        p.add_argument("--backend", choices=("threads", "processes"),
                        default=argparse.SUPPRESS,
                        help=argparse.SUPPRESS)
 
@@ -163,6 +177,14 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.verify:
         os.environ["REPRO_VERIFY"] = "1"
+    if args.backend:
+        # The env var is the source of truth: thread-local configs are
+        # built lazily from it, so every harness/service thread created
+        # after this point inherits the backend.
+        os.environ["REPRO_COMM_BACKEND"] = args.backend
+        from ..config import set_config
+
+        set_config(comm_backend=args.backend)
     if args.command == "list":
         for exp in EXPERIMENTS.values():
             print(f"{exp.exp_id:10s} {exp.title:24s} {exp.description}")

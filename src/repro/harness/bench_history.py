@@ -3,8 +3,10 @@
 ``python -m repro.harness bench-history`` measures the library's gated
 performance numbers — batched-LU kernel time and speedup over the
 per-block scipy loop, service throughput and its speedup over
-per-request RD, the disabled-span guard cost, and a representative ARD
-factor+solve wall time — and appends them as one schema-versioned JSON
+per-request RD, the disabled-span guard cost, a representative ARD
+factor+solve wall time, and (on hosts with >= 4 cores) the
+processes-backend wall clock and its speedup over threads
+(docs/BACKENDS.md) — and appends them as one schema-versioned JSON
 line to ``results/BENCH_history.jsonl``.  The growing file is the
 repo's perf trajectory; :mod:`repro.obs.regress` gates the newest
 record against the rolling median of its predecessors.
@@ -99,6 +101,41 @@ def _solve_metrics(n: int, m: int, p: int, r: int) -> dict[str, float]:
     return {"solve.ard_wall_s": _best_of(run, rounds=2)}
 
 
+def _backend_metrics(n: int, m: int, p: int, r: int) -> dict[str, float]:
+    """Processes-vs-threads ARD wall clock (see docs/BACKENDS.md).
+
+    Only measured on hosts with >= 4 cores — with fewer cores than
+    ranks the comparison is noise, and absent metrics are skipped by
+    the gate — so single-core CI runners record nothing here.
+    """
+    import os
+
+    if (os.cpu_count() or 1) < 4:
+        return {}
+    from ..comm.mp import shutdown_pool
+    from ..core.ard import ARDFactorization
+    from ..workloads import helmholtz_block_system, random_rhs
+
+    matrix, _ = helmholtz_block_system(n, m)
+    b = random_rhs(n, m, r, seed=0)
+
+    def run(backend: str) -> Callable[[], Any]:
+        return lambda: ARDFactorization(
+            matrix, nranks=p, backend=backend).solve(b)
+
+    try:
+        run("processes")()  # warm the worker pool (spawn + imports)
+        proc_s = _best_of(run("processes"), rounds=2)
+        thread_s = _best_of(run("threads"), rounds=2)
+    finally:
+        shutdown_pool()
+    return {
+        "backends.ard_process_wall_s": proc_s,
+        "backends.process_speedup": (thread_s / proc_s
+                                     if proc_s > 0 else 0.0),
+    }
+
+
 def _span_guard_metrics(reps: int = 5000) -> dict[str, float]:
     def run() -> None:
         for _ in range(reps):
@@ -117,6 +154,7 @@ def collect_record(scale: str = "smoke") -> dict[str, Any]:
     metrics.update(_kernel_metrics(*cfg["lu_batch"]))
     metrics.update(_service_metrics(scale, cfg["requests"]))
     metrics.update(_solve_metrics(*cfg["solve"]))
+    metrics.update(_backend_metrics(*cfg["solve"]))
     metrics.update(_span_guard_metrics())
     return {
         "schema_version": BENCH_HISTORY_SCHEMA_VERSION,

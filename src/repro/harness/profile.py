@@ -149,10 +149,26 @@ def profile_experiment(
         roofline = build_roofline(report, machine)
         run_doc = report.to_dict()
         run_doc["roofline"] = roofline.to_dict()
+        # Wall-clock semantics depend on the execution backend: under
+        # "processes" every rank is its own core so the wall time is a
+        # real parallel measurement; under "threads" the GIL serializes
+        # the ranks and only the virtual time is meaningful.
+        backend = segments[0][1].backend
+        wall = sum(seg.wall_time for _, seg in segments)
+        semantics = ("measured (true parallel wall-clock; processes "
+                     "backend)" if backend == "processes"
+                     else "modelled (virtual time; thread wall-clock is "
+                     "GIL-serialized)")
+        run_doc["backend"] = backend
+        run_doc["wall_time"] = wall
+        run_doc["wall_time_semantics"] = semantics
         doc["runs"][label] = run_doc
         problems.extend(f"{label}: {problem}"
                         for problem in report.critpath.validate())
-        text_parts.append(f"== {label} ==\n" + report.render() + "\n"
+        text_parts.append(f"== {label} ==\n"
+                          f"backend={backend}  wall={wall:.3f}s  "
+                          f"[{semantics}]\n"
+                          + report.render() + "\n"
                           + roofline.render())
     doc["problems"] = problems
 

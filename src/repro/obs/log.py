@@ -123,6 +123,18 @@ class EventLog:
             self._stream.flush()
             self.records_written += 1
 
+    def write_raw(self, line: str) -> None:
+        """Append one pre-serialized JSONL record verbatim.
+
+        Used by the process backend to merge records forwarded from
+        worker processes into the parent's stream without re-stamping
+        timestamps or correlation fields (the worker already did).
+        """
+        with self._lock:
+            self._stream.write(line.rstrip("\n") + "\n")
+            self._stream.flush()
+            self.records_written += 1
+
     def close(self) -> None:
         """Close the sink (only closes streams this object opened)."""
         with self._lock:
@@ -133,6 +145,29 @@ class EventLog:
 _lock = threading.Lock()
 _log: EventLog | None = None
 _env_checked = False
+_owner_pid = os.getpid()
+
+
+def _fork_guard() -> None:
+    """Reset inherited sink state when running in a new process.
+
+    A forked child inheriting the parent's ``EventLog`` would write to
+    the parent's stream through a shared file offset (interleaving and
+    duplicating records); the ``repro.comm.mp`` spawn path avoids
+    inheritance by construction, but fork-based embedders do not.  On
+    the first logging call in a new process the module forgets the
+    inherited sink and re-resolves from the environment.
+    """
+    global _log, _env_checked, _owner_pid
+    pid = os.getpid()
+    if pid == _owner_pid:
+        return
+    with _lock:
+        if pid == _owner_pid:  # pragma: no cover - raced re-check
+            return
+        _owner_pid = pid
+        _log = None
+        _env_checked = False
 
 
 def configure_logging(path: str | None = None,
@@ -143,6 +178,7 @@ def configure_logging(path: str | None = None,
     Replaces any previously configured sink (closing it if owned).
     """
     global _log, _env_checked
+    _fork_guard()
     new = EventLog(stream=stream, path=path, level=level)
     with _lock:
         old, _log = _log, new
@@ -155,6 +191,7 @@ def configure_logging(path: str | None = None,
 def disable_logging() -> None:
     """Remove the process-wide sink; loggers return to no-op mode."""
     global _log, _env_checked
+    _fork_guard()
     with _lock:
         old, _log = _log, None
         _env_checked = True
@@ -165,6 +202,7 @@ def disable_logging() -> None:
 def active_log() -> EventLog | None:
     """The installed sink, honoring ``REPRO_LOG`` lazily; ``None`` = off."""
     global _log, _env_checked
+    _fork_guard()
     if _log is not None:
         return _log
     if _env_checked:

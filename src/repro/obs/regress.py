@@ -52,6 +52,10 @@ GATED_METRICS: dict[str, str] = {
     "service.speedup_vs_rd": "higher",
     "obs.disabled_span_us": "lower",
     "solve.ard_wall_s": "lower",
+    # Processes-vs-threads ARD wall clock (docs/BACKENDS.md); only
+    # recorded on hosts with >= 4 cores, skipped elsewhere.
+    "backends.ard_process_wall_s": "lower",
+    "backends.process_speedup": "higher",
     # Predicted-vs-measured drift recorded by bench_f6_model_validation
     # (median |log ratio| over recon-F6's parity points): rises when the
     # analytic model or a calibration change degrades parity.

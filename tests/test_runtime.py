@@ -95,13 +95,14 @@ class TestDeadlockDetection:
         res = run_spmd(program, 2)
         assert res.values[1] == "late"
 
-    def test_deadlock_timeout_is_deprecated_and_ignored(self):
+    def test_deadlock_timeout_is_removed(self):
+        # The deprecated argument (timeout-based detection era) is gone
+        # for good; passing it is a hard error, not a silent no-op.
         def program(comm):
             return comm.recv(source=(comm.rank + 1) % comm.size)
 
-        with pytest.warns(DeprecationWarning, match="wait-for graph"):
-            with pytest.raises(DeadlockError):
-                run_spmd(program, 2, deadlock_timeout=60.0)
+        with pytest.raises(TypeError, match="deadlock_timeout"):
+            run_spmd(program, 2, deadlock_timeout=60.0)
 
 
 class TestMessageSemantics:
