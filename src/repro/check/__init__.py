@@ -8,7 +8,15 @@ repo-specific rules (collectives under rank-conditional branches,
 discarded nonblocking requests, raw threading primitives outside the
 audited layers, ``__all__`` drift, bare ``except:``, mutable default
 arguments).  Run it as ``python -m repro.check lint src`` — CI does on
-every push.  Suppress a finding with ``# repro: noqa[RC101]``.
+every push.  Suppress a finding with ``# repro: noqa[RC101]`` (several
+codes comma-separate: ``# repro: noqa[RC101, RC106]``).
+
+**Static protocol analysis** (:mod:`repro.check.proto`): symbolic
+per-rank execution of SPMD program functions at concrete rank counts,
+matching the extracted communication graphs across ranks — unmatched
+messages, tag/peer mismatches, recv cycles, collective divergence and
+zero-copy aliasing hazards (RC2xx) before anything runs.  Run it as
+``python -m repro.check proto repro.check.entries --ranks 2,4,8``.
 
 **Dynamic** (:mod:`repro.check.verifier` plus the wait-for-graph
 analysis inside :mod:`repro.comm.runtime`): with
@@ -22,19 +30,40 @@ rather than by a wall-clock stall heuristic.
 See docs/CHECKING.md for the rule catalog and diagnostics reference.
 """
 
-from .linter import Finding, lint_file, lint_paths, lint_source
-from .rules import ALL_RULE_IDS, RULES, Rule, get_rule
+from .linter import (
+    Finding,
+    apply_suppressions,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from .proto import (
+    ProgramRun,
+    analyze_path,
+    analyze_target,
+    render_explain,
+)
+from .rules import ALL_RULE_IDS, RULES, WARNING_RULE_IDS, Rule, get_rule
+from .sarif import render_sarif, to_sarif
 from .verifier import CollectiveRecord, SpmdVerifier
 
 __all__ = [
     "Finding",
+    "apply_suppressions",
     "lint_source",
     "lint_file",
     "lint_paths",
+    "ProgramRun",
+    "analyze_path",
+    "analyze_target",
+    "render_explain",
     "Rule",
     "RULES",
     "ALL_RULE_IDS",
+    "WARNING_RULE_IDS",
     "get_rule",
+    "render_sarif",
+    "to_sarif",
     "SpmdVerifier",
     "CollectiveRecord",
 ]

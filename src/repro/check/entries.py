@@ -1,0 +1,51 @@
+"""Canonical analysis entry points for the shipped SPMD solvers.
+
+The protocol analyzer (:mod:`repro.check.proto`) discovers *program
+functions* — top-level functions whose first parameter is ``comm`` —
+and symbolically executes each one per rank.  The solver APIs are
+multi-phase (factor then solve, with rank state threaded between
+them), so analyzing a single phase in isolation would start from an
+unknown state and degrade to warnings.  This module composes each
+solver's phases into one driver per algorithm with concrete
+rank-independent configuration, which is exactly how the engine and
+the benchmarks call them.
+
+CI runs ``python -m repro.check proto repro.check.entries --ranks
+2,4,8`` as a regression gate: all four programs must analyze clean.
+"""
+
+from __future__ import annotations
+
+from ..core.ard import ard_factor_spmd, ard_solve_spmd
+from ..core.bcyclic import bcyclic_solve_spmd
+from ..core.rd import rd_solve_spmd
+from ..core.spike import spike_factor_spmd, spike_solve_spmd
+
+__all__ = [
+    "rd_program",
+    "ard_program",
+    "spike_program",
+    "bcyclic_program",
+]
+
+
+def rd_program(comm, chunk, d_rows):
+    """Classical recursive doubling: one butterfly pass per RHS column."""
+    return rd_solve_spmd(comm, chunk, d_rows)
+
+
+def ard_program(comm, chunk, d_rows):
+    """Accelerated RD: matrix-only factor phase, then the vector solve."""
+    state = ard_factor_spmd(comm, chunk)
+    return ard_solve_spmd(comm, state, d_rows)
+
+
+def spike_program(comm, chunk, d_rows):
+    """SPIKE with the root-gathered reduced system (the default mode)."""
+    state = spike_factor_spmd(comm, chunk, reduced_mode="root")
+    return spike_solve_spmd(comm, state, d_rows)
+
+
+def bcyclic_program(comm, row, rhs):
+    """Block cyclic reduction with one block row per rank."""
+    return bcyclic_solve_spmd(comm, row, rhs, comm.size)

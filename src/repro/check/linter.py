@@ -21,27 +21,16 @@ import pathlib
 import re
 from typing import Iterable, Sequence
 
+from ..comm.optable import COLLECTIVE_OPS
 from .rules import RULES
 
-__all__ = ["Finding", "lint_source", "lint_file", "lint_paths"]
-
-#: Collective operations whose call sequence must match across ranks.
-COLLECTIVE_OPS = frozenset(
-    {
-        "barrier",
-        "bcast",
-        "gather",
-        "allgather",
-        "scatter",
-        "alltoall",
-        "reduce",
-        "allreduce",
-        "scan",
-        "exscan",
-        "split",
-        "dup",
-    }
-)
+__all__ = [
+    "Finding",
+    "apply_suppressions",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+]
 
 #: Names whose value is (derived from) the executing rank.
 _RANK_NAMES = frozenset({"rank", "vrank", "myrank", "my_rank", "rank_id"})
@@ -73,16 +62,26 @@ _NOQA_RE = re.compile(
 
 @dataclasses.dataclass(frozen=True)
 class Finding:
-    """One lint finding: rule id, location, message."""
+    """One finding: rule id, location, message, severity.
+
+    ``severity`` is ``"error"`` for proven defects and ``"warning"``
+    for advisory findings (the protocol analyzer's analyzability
+    notes); the lint pass only ever emits errors.
+    """
 
     rule_id: str
     path: str
     line: int
     col: int
     message: str
+    severity: str = "error"
 
     def format(self, *, hint: bool = False) -> str:
-        text = f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+        sev = "" if self.severity == "error" else f" {self.severity}:"
+        text = (
+            f"{self.path}:{self.line}:{self.col}:{sev} "
+            f"{self.rule_id} {self.message}"
+        )
         if hint:
             text += f"\n    fix: {RULES[self.rule_id].hint}"
         return text
@@ -106,6 +105,24 @@ def _suppressions(source: str) -> dict[int, frozenset[str] | None]:
                 r.strip().upper() for r in rules.split(",") if r.strip()
             )
     return out
+
+
+def apply_suppressions(
+    findings: Iterable[Finding], source: str
+) -> list[Finding]:
+    """Drop findings silenced by a ``# repro: noqa[...]`` on their line.
+
+    Shared by the lint pass and the protocol analyzer (which attributes
+    findings to lines of the modules it interpreted symbolically).
+    """
+    suppress = _suppressions(source)
+    kept = []
+    for finding in findings:
+        rules = suppress.get(finding.line, ...)
+        if rules is None or (rules is not ... and finding.rule_id in rules):
+            continue
+        kept.append(finding)
+    return kept
 
 
 def _print_exempt(path: str) -> bool:
@@ -377,12 +394,48 @@ class _Visitor(ast.NodeVisitor):
                     f"shared across calls (and across rank threads)",
                 )
 
-    def _check_requests(self, body: Sequence[ast.stmt]) -> None:
-        """RC102 within one scope: discarded or never-used requests."""
+    @staticmethod
+    def _handle_key(target: ast.expr) -> str | None:
+        """Trackable handle name for an assignment target: a plain name
+        (``req``) or a dotted attribute path (``self.req``)."""
+        if isinstance(target, ast.Name):
+            return target.id
+        if isinstance(target, ast.Attribute):
+            base = _Visitor._handle_key(target.value)
+            return None if base is None else f"{base}.{target.attr}"
+        return None
+
+    def _check_requests(self, body: Sequence[ast.stmt], *,
+                        attr_pass: bool = False) -> None:
+        """RC102: discarded or never-used requests.
+
+        Handles are tracked through plain-name assignment and tuple/list
+        unpacking of a tuple of request calls within one lexical scope.
+        Attribute-path handles (``self.req = comm.irecv(...)``) are
+        object state rather than lexical scope — the wait often lives in
+        a sibling method — so they are checked in a separate whole-file
+        pass (``attr_pass=True``) where a load of the same dotted path
+        anywhere in the module counts as use.
+        """
         assigned: dict[str, tuple[int, int, str]] = {}
         loaded: set[str] = set()
-        for node in _walk_scope(body):
-            if isinstance(node, ast.Expr):
+
+        def record(target: ast.expr, value: ast.expr, node: ast.stmt) -> None:
+            op = _is_request_call(value)
+            if op is None:
+                return
+            key = self._handle_key(target)
+            if key is not None and ("." in key) == attr_pass:
+                assigned[key] = (node.lineno, node.col_offset, op)
+
+        if attr_pass:
+            nodes: Iterable[ast.AST] = (
+                sub for stmt in body for sub in ast.walk(stmt)
+            )
+        else:
+            nodes = _walk_scope(body)
+        for node in nodes:
+            if isinstance(node, ast.Expr) and not attr_pass:
                 op = _is_request_call(node.value)
                 if op is not None:
                     self._emit(
@@ -393,16 +446,27 @@ class _Visitor(ast.NodeVisitor):
                     )
             elif isinstance(node, ast.Assign) and len(node.targets) == 1:
                 target = node.targets[0]
-                op = _is_request_call(node.value)
-                if op is not None and isinstance(target, ast.Name):
-                    assigned[target.id] = (node.lineno, node.col_offset, op)
-            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
-                loaded.add(node.id)
-        # Loads inside nested functions/lambdas (closures) count as use.
+                if isinstance(target, (ast.Tuple, ast.List)) and isinstance(
+                    node.value, (ast.Tuple, ast.List)
+                ):
+                    # ra, rb = comm.isend(...), comm.irecv(...)
+                    if len(target.elts) == len(node.value.elts):
+                        for tgt, val in zip(target.elts, node.value.elts):
+                            record(tgt, val, node)
+                else:
+                    record(target, node.value, node)
+        # Loads — including inside nested functions/lambdas (closures)
+        # — count as use, as do loads of a tracked attribute path.
         for node in body:
             for sub in ast.walk(node):
                 if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
                     loaded.add(sub.id)
+                elif isinstance(sub, ast.Attribute) and isinstance(
+                    sub.ctx, ast.Load
+                ):
+                    key = self._handle_key(sub)
+                    if key is not None:
+                        loaded.add(key)
         for name, (lineno, col, op) in assigned.items():
             if name not in loaded:
                 self.findings.append(
@@ -428,6 +492,7 @@ class _Visitor(ast.NodeVisitor):
 
     def visit_Module(self, node: ast.Module) -> None:
         self._check_requests(node.body)
+        self._check_requests(node.body, attr_pass=True)
         self.generic_visit(node)
 
 
@@ -510,13 +575,7 @@ def lint_source(source: str, path: str = "<string>") -> list[Finding]:
     findings: list[Finding] = []
     _Visitor(path, findings).visit(tree)
     _check_all_drift(tree, path, findings)
-    suppress = _suppressions(source)
-    kept = []
-    for finding in findings:
-        rules = suppress.get(finding.line, ...)
-        if rules is None or (rules is not ... and finding.rule_id in rules):
-            continue
-        kept.append(finding)
+    kept = apply_suppressions(findings, source)
     kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
     return kept
 

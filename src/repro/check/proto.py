@@ -1,0 +1,1117 @@
+"""Static SPMD protocol analyzer (``python -m repro.check proto``).
+
+For each rank count ``P`` requested, every SPMD *program function* of
+the target module — a top-level function whose first parameter is
+named ``comm`` — is symbolically executed once per rank in ``0..P-1``
+by :class:`repro.check.symexec.SymInterpreter`, with the rank
+executions coordinated through the lockstep matching engine below.
+The engine mirrors the runtime matching contract of
+:mod:`repro.comm.runtime` (eager buffered sends, MPI-style
+``(communicator, source, tag)`` receive matching with ``-1``
+wildcards, collectives completing when every rank of the communicator
+arrives), so the per-rank communication graphs are *matched while they
+are extracted* and defects surface exactly where the runtime would
+hang or diverge:
+
+- a receive no send can ever satisfy, or a send nobody receives
+  (RC201), near-matches with a wrong tag or peer (RC202);
+- cyclic recv-before-send patterns (RC203, via the same wait-for-graph
+  used by the runtime heartbeat detector);
+- collective sequence divergence, checked both at arrival (wrong op or
+  root at a slot) and at deadlock (a collective some ranks never
+  enter) in the style of the runtime ``SpmdVerifier`` (RC204);
+- zero-copy aliasing hazards: mutation of a buffer with an in-flight
+  ``isend`` (RC205) and mutation of a payload received from another
+  rank (RC206) — tracked through alias sets that survive views,
+  tuple packing and attribute storage.
+
+Findings reuse the linter's :class:`~repro.check.linter.Finding` and
+``# repro: noqa[...]`` plumbing; the Communicator surface comes from
+:mod:`repro.comm.optable`, not hard-coded names.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import importlib.util
+import itertools
+import pathlib
+import threading
+import time
+
+from ..comm.matching import WaitInfo, deadlock_report, find_wait_cycle
+from ..comm.optable import OP_TABLE
+from .linter import Finding, apply_suppressions
+from .rules import WARNING_RULE_IDS
+from .symexec import (
+    UNKNOWN,
+    AnalysisLimit,
+    CommVal,
+    FuncVal,
+    ModuleRegistry,
+    PathExit,
+    ReqVal,
+    SymInterpreter,
+    Val,
+)
+
+__all__ = [
+    "ProgramRun",
+    "analyze_path",
+    "analyze_target",
+    "discover_programs",
+    "resolve_target",
+    "render_explain",
+]
+
+#: Default per-(program, P) wall-clock budget, seconds.
+RUN_TIMEOUT = 10.0
+
+_WORLD_KEY = ("world",)
+
+#: Per-op keyword defaults mirroring the Communicator signatures.
+_DEFAULTS: dict[str, dict[str, object]] = {
+    "send": {"tag": 0},
+    "isend": {"tag": 0},
+    "recv": {"source": -1, "tag": -1},
+    "irecv": {"source": -1, "tag": -1},
+    "sendrecv": {"sendtag": 0, "source": -1, "recvtag": -1},
+    "bcast": {"obj": None, "root": 0},
+    "gather": {"root": 0},
+    "scatter": {"objs": None, "root": 0},
+    "reduce": {"root": 0},
+    "split": {"key": 0},
+}
+
+
+class _Abort(Exception):
+    """Internal: unwind a rank thread after the analysis aborted."""
+
+
+class _Msg:
+    """One in-flight message envelope (mirrors the runtime's)."""
+
+    __slots__ = ("comm_key", "source", "tag", "payload", "source_world",
+                 "dest_world", "loc", "op")
+
+    def __init__(self, comm_key, source, tag, payload, source_world,
+                 dest_world, loc, op):
+        self.comm_key = comm_key
+        self.source = source            # communicator-local sender rank
+        self.tag = tag                  # int, or None when unfoldable
+        self.payload = payload
+        self.source_world = source_world
+        self.dest_world = dest_world
+        self.loc = loc
+        self.op = op
+
+
+class _Slot:
+    """One collective position of one communicator."""
+
+    __slots__ = ("op", "root", "group", "loc", "arrived", "meta",
+                 "results", "done", "index")
+
+    def __init__(self, op, root, group, loc, index):
+        self.op = op
+        self.root = root                # local root rank, or None
+        self.group = group              # world ranks of the communicator
+        self.loc = loc                  # site of the first arrival
+        self.index = index
+        self.arrived: dict[int, object] = {}   # world rank -> payload
+        self.meta: dict[int, tuple] = {}       # world rank -> arrival loc
+        self.results: dict[int, Val] = {}
+        self.done = False
+
+
+def _match(pending: list, comm_key, source: int, tag: int):
+    """Pop the first matching message; ``None`` wildcards on the send
+    side (an unfoldable tag) match any receive and vice versa."""
+    for i, msg in enumerate(pending):
+        if msg.comm_key != comm_key:
+            continue
+        if source >= 0 and msg.source != source:
+            continue
+        if tag >= 0 and msg.tag is not None and msg.tag != tag:
+            continue
+        return pending.pop(i)
+    return None
+
+
+def _peek(pending, comm_key, source: int, tag: int) -> bool:
+    for msg in pending:
+        if msg.comm_key != comm_key:
+            continue
+        if source >= 0 and msg.source != source:
+            continue
+        if tag >= 0 and msg.tag is not None and msg.tag != tag:
+            continue
+        return True
+    return False
+
+
+def _as_int(val: Val | None):
+    if val is None:
+        return None
+    c = val.c
+    if isinstance(c, bool):
+        return int(c)
+    if isinstance(c, int):
+        return c
+    return None
+
+
+def _fmt_loc(loc) -> str:
+    return f"{loc[0]}:{loc[1]}"
+
+
+class _Engine:
+    """Lockstep matching engine shared by the per-rank interpreters."""
+
+    def __init__(self, nranks: int, entry_path: str, deadline: float):
+        self.nranks = nranks
+        self.entry_path = entry_path
+        self.deadline = deadline
+        self.cond = threading.Condition()
+        self.pending: dict[int, list[_Msg]] = {r: [] for r in range(nranks)}
+        self.waiting: dict[int, WaitInfo] = {}
+        self.wait_meta: dict[int, tuple] = {}     # rank -> (loc, op)
+        self.coll_blocked: dict[int, tuple] = {}  # rank -> (comm_key, idx)
+        self.slots: dict[tuple, _Slot] = {}
+        self.cursors: dict[tuple, int] = {}
+        self.coll_hist: dict[int, list[str]] = {r: [] for r in range(nranks)}
+        self.finished: set[int] = set()
+        self.exited: dict[int, str] = {}
+        self.inflight: dict[int, dict[int, tuple]] = {
+            r: {} for r in range(nranks)
+        }
+        self.irecv_specs: dict[int, tuple] = {}
+        self.owner: dict[int, int | None] = {}
+        self.events: dict[int, list[str]] = {r: [] for r in range(nranks)}
+        self.assumptions: dict[int, list[str]] = {
+            r: [] for r in range(nranks)
+        }
+        self._raw: list[tuple] = []     # (rule, loc, message, rank)
+        self._sites: set[tuple] = set()
+        self._ids = itertools.count(1)
+        self._rids = itertools.count(1)
+        self.aborted = False
+
+    # -- interpreter-facing hooks -----------------------------------------
+
+    def new_buffer(self, rank: int | None) -> int:
+        bid = next(self._ids)
+        self.owner[bid] = rank
+        return bid
+
+    def any_foreign(self, rank: int | None, ids: set[int]) -> bool:
+        return any(
+            self.owner.get(bid) not in (None, rank) for bid in ids
+        )
+
+    def warn_unanalyzable(self, loc, message: str) -> None:
+        self._finding("RC207", loc, message)
+
+    def note_assumption(self, rank: int | None, text: str) -> None:
+        if rank is None:
+            return
+        notes = self.assumptions[rank]
+        if text not in notes:
+            notes.append(text)
+
+    def mutation(self, rank: int | None, ids: set[int], loc,
+                 desc: str) -> None:
+        if rank is None or not ids:
+            return
+        with self.cond:
+            for _rid, (mids, sloc, _op) in self.inflight[rank].items():
+                if ids & mids:
+                    self._finding(
+                        "RC205", loc,
+                        f"{desc} writes to a buffer that is still in "
+                        f"flight: an isend posted at {_fmt_loc(sloc)} has "
+                        "not been waited, and the runtime ships payloads "
+                        "by reference (zero-copy), so the receiver can "
+                        "observe the torn write",
+                        rank=rank,
+                    )
+                    break
+            for bid in ids:
+                own = self.owner.get(bid)
+                if own is not None and own != rank:
+                    self._finding(
+                        "RC206", loc,
+                        f"{desc} writes to a zero-copy payload received "
+                        f"from rank {own}: received objects are views of "
+                        "the sender's buffers, so the write corrupts the "
+                        "sender's data; copy before writing",
+                        rank=rank,
+                    )
+                    break
+
+    # -- findings ----------------------------------------------------------
+
+    def _finding(self, rule: str, loc, message: str,
+                 rank: int | None = None) -> None:
+        if loc is None:
+            loc = (self.entry_path, 1, 0)
+        self._raw.append((rule, loc, message, rank))
+
+    def collect_findings(self) -> list[Finding]:
+        """Merge per-rank duplicates: one finding per (rule, site)."""
+        merged: dict[tuple, tuple[str, tuple, str, list[int]]] = {}
+        order: list[tuple] = []
+        for rule, loc, message, rank in self._raw:
+            key = (rule, loc[0], loc[1], loc[2])
+            if key not in merged:
+                merged[key] = (rule, loc, message, [])
+                order.append(key)
+            if rank is not None and rank not in merged[key][3]:
+                merged[key][3].append(rank)
+        out = []
+        for key in order:
+            rule, loc, message, ranks = merged[key]
+            if ranks:
+                noun = "rank" if len(ranks) == 1 else "ranks"
+                message = (
+                    f"{message} [{noun} "
+                    f"{', '.join(str(r) for r in sorted(ranks))}]"
+                )
+            severity = "warning" if rule in WARNING_RULE_IDS else "error"
+            out.append(Finding(rule, loc[0], loc[1], loc[2], message,
+                               severity))
+        return out
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def rank_finished(self, rank: int) -> None:
+        with self.cond:
+            self.finished.add(rank)
+            self._maybe_stuck()
+            self.cond.notify_all()
+
+    def finalize(self) -> None:
+        """After every rank exits: sweep messages nobody received."""
+        for dest, msgs in self.pending.items():
+            for msg in msgs:
+                tag = "any tag" if msg.tag is None else f"tag {msg.tag}"
+                self._finding(
+                    "RC201", msg.loc,
+                    f"message sent to rank {msg.dest_world} ({tag}) is "
+                    "never received: no receive on the destination rank "
+                    "matches it before the program ends",
+                    rank=msg.source_world,
+                )
+
+    def _abort(self) -> None:
+        self.aborted = True
+        self.cond.notify_all()
+
+    def _check_abort(self) -> None:
+        if self.aborted:
+            raise _Abort()
+
+    def _timed_wait(self) -> None:
+        remaining = self.deadline - time.monotonic()
+        if remaining <= 0:
+            self._finding(
+                "RC200", None,
+                "analysis wall-clock budget exhausted while ranks were "
+                "still executing; the communication graph was not fully "
+                "checked",
+            )
+            self._abort()
+            raise _Abort()
+        self.cond.wait(min(0.1, remaining))
+
+    # -- dispatch from the interpreter ------------------------------------
+
+    def comm_call(self, interp: SymInterpreter, comm: CommVal, name: str,
+                  args: list[Val], kwargs: dict[str, Val], node) -> Val:
+        spec = OP_TABLE.get(name)
+        if spec is None:
+            return interp.fresh_unknown()
+        interp.comm_event_hook(node)
+        vals: dict[str, Val] = {}
+        for pname, val in zip(spec.params, args):
+            vals[pname] = val
+        for key, val in kwargs.items():
+            vals[key] = val
+        defaults = _DEFAULTS.get(name, {})
+
+        def get(pname: str) -> Val:
+            if pname in vals:
+                return vals[pname]
+            if pname in defaults:
+                return Val(defaults[pname])
+            return Val(UNKNOWN)
+
+        loc = interp.loc(node)
+        if spec.kind == "local":
+            return interp.const(None)
+        if spec.kind == "collective":
+            return self._collective(interp, comm, name, spec, get, loc)
+        # -- point to point ---------------------------------------------
+        if name in ("send", "isend"):
+            return self._send(interp, comm, name, get("obj"), get("dest"),
+                              get("tag"), loc)
+        if name == "recv":
+            src, tag = self._recv_args(interp, comm, get, "source", "tag",
+                                       loc)
+            return self._recv_block(interp, comm, src, tag, loc, "recv")
+        if name == "irecv":
+            src, tag = self._recv_args(interp, comm, get, "source", "tag",
+                                       loc)
+            rid = next(self._rids)
+            self.irecv_specs[rid] = (comm, src, tag, loc)
+            self.events[interp.rank].append(
+                f"irecv(source={src}, tag={tag}) -> req#{rid}"
+                f" @ {_fmt_loc(loc)}"
+            )
+            return interp.const(ReqVal(rid, "irecv"))
+        if name == "sendrecv":
+            self._send(interp, comm, "send", get("obj"), get("dest"),
+                       get("sendtag"), loc)
+            src, tag = self._recv_args(interp, comm, get, "source",
+                                       "recvtag", loc)
+            return self._recv_block(interp, comm, src, tag, loc, "sendrecv")
+        return interp.fresh_unknown()
+
+    def wait(self, interp: SymInterpreter, req: ReqVal, node) -> Val:
+        loc = interp.loc(node)
+        if req.kind == "isend":
+            with self.cond:
+                self.inflight[interp.rank].pop(req.rid, None)
+            self.events[interp.rank].append(
+                f"wait(req#{req.rid}) @ {_fmt_loc(loc)}"
+            )
+            return interp.const(None)
+        spec = self.irecv_specs.pop(req.rid, None)
+        if spec is None:   # double wait: runtime returns the cached result
+            return Val(UNKNOWN)
+        comm, src, tag, _post_loc = spec
+        return self._recv_block(interp, comm, src, tag, loc,
+                                f"wait(req#{req.rid})")
+
+    # -- point to point ----------------------------------------------------
+
+    def _send(self, interp, comm: CommVal, op: str, payload: Val,
+              dest: Val, tag: Val, loc) -> Val:
+        rank = interp.rank
+        d = _as_int(dest)
+        t = _as_int(tag)
+        result = interp.const(None)
+        if op == "isend":
+            rid = next(self._rids)
+            with self.cond:
+                self.inflight[rank][rid] = (frozenset(payload.ids), loc, op)
+            result = interp.const(ReqVal(rid, "isend"))
+        if d is None:
+            self._finding(
+                "RC207", loc,
+                f"{op} destination could not be folded to a concrete "
+                "rank; the message was dropped from the analysis",
+            )
+            return result
+        if not 0 <= d < len(comm.group):
+            self._finding(
+                "RC202", loc,
+                f"{op} targets rank {d} but the communicator has only "
+                f"{len(comm.group)} rank(s)",
+                rank=rank,
+            )
+            return result
+        if t is None and tag.c is not UNKNOWN:
+            t = None  # non-int concrete tag: keep as wildcard
+        if t is None:
+            self._finding(
+                "RC207", loc,
+                f"{op} tag could not be folded to a concrete value; it "
+                "matches any receive tag in the analysis",
+            )
+        msg = _Msg(comm.key, comm.myrank, t, payload, rank,
+                   comm.group[d], loc, op)
+        with self.cond:
+            self._check_abort()
+            self.pending[comm.group[d]].append(msg)
+            self.events[rank].append(
+                f"{op}(dest={d}, tag={t if t is not None else '?'})"
+                f" @ {_fmt_loc(loc)}"
+            )
+            self.cond.notify_all()
+        return result
+
+    def _recv_args(self, interp, comm, get, src_name, tag_name, loc):
+        src = _as_int(get(src_name))
+        tag = _as_int(get(tag_name))
+        if src is None and get(src_name).c is not UNKNOWN:
+            src = -1
+        if tag is None and get(tag_name).c is not UNKNOWN:
+            tag = -1
+        if src is None:
+            self._finding(
+                "RC207", loc,
+                "receive source could not be folded to a concrete rank; "
+                "analyzed as a wildcard (ANY_SOURCE)",
+            )
+            src = -1
+        if tag is None:
+            self._finding(
+                "RC207", loc,
+                "receive tag could not be folded to a concrete value; "
+                "analyzed as a wildcard (ANY_TAG)",
+            )
+            tag = -1
+        if src >= len(comm.group):
+            self._finding(
+                "RC202", loc,
+                f"receive names source rank {src} but the communicator "
+                f"has only {len(comm.group)} rank(s)",
+                rank=interp.rank,
+            )
+            src = -1
+        return src, tag
+
+    def _recv_block(self, interp, comm: CommVal, src: int, tag: int, loc,
+                    op: str) -> Val:
+        rank = interp.rank
+        source_world = comm.group[src] if src >= 0 else None
+        with self.cond:
+            self.events[rank].append(
+                f"{op}(source={src if src >= 0 else 'any'}, "
+                f"tag={tag if tag >= 0 else 'any'}) @ {_fmt_loc(loc)}"
+            )
+            while True:
+                self._check_abort()
+                msg = _match(self.pending[rank], comm.key, src, tag)
+                if msg is not None:
+                    self.events[rank].append(
+                        f"  -> matched {msg.op} from rank "
+                        f"{msg.source_world} posted at {_fmt_loc(msg.loc)}"
+                    )
+                    return msg.payload
+                self.waiting[rank] = WaitInfo(comm.key, src, tag,
+                                              source_world, None)
+                self.wait_meta[rank] = (loc, op)
+                try:
+                    self._maybe_stuck()
+                    self._check_abort()
+                    self._timed_wait()
+                finally:
+                    self.waiting.pop(rank, None)
+                    self.wait_meta.pop(rank, None)
+
+    # -- collectives -------------------------------------------------------
+
+    def _collective(self, interp, comm: CommVal, name: str, spec, get,
+                    loc) -> Val:
+        rank = interp.rank
+        root = None
+        if spec.root_param is not None:
+            root_val = get(spec.params[spec.root_param])
+            root = _as_int(root_val)
+            if root is None and root_val.rank_dep:
+                # A rank-uniform unknown root (e.g. derived from an
+                # allgather every rank folds identically) is safe to
+                # treat as a wildcard; a rank-*dependent* one means the
+                # ranks may disagree — that the analyzer cannot check.
+                self._finding(
+                    "RC207", loc,
+                    f"{name} root is rank-dependent and could not be "
+                    "folded to a concrete rank; root divergence across "
+                    "ranks cannot be checked here",
+                )
+        if name == "split":
+            color_val = get("color")
+            color = _as_int(color_val)
+            if color is None and color_val.c is None:
+                color = None    # explicit None: this rank opts out
+            elif color is None:
+                if color_val.c is not UNKNOWN and _is_hashable(color_val.c):
+                    color = color_val.c
+                else:
+                    self._finding(
+                        "RC207", loc,
+                        "split color could not be folded; this rank is "
+                        "analyzed as its own singleton communicator",
+                    )
+                    color = f"?{rank}"
+            payload = (color, _as_int(get("key")), color_val.c is None)
+        elif spec.payload_param is not None:
+            payload = get(spec.params[spec.payload_param])
+        else:
+            payload = Val(None)
+
+        ck = comm.key
+        with self.cond:
+            self._check_abort()
+            idx = self.cursors.get((rank, ck), 0)
+            self.cursors[(rank, ck)] = idx + 1
+            slot = self.slots.get((ck, idx))
+            if slot is None:
+                slot = _Slot(name, root, comm.group, loc, idx)
+                self.slots[(ck, idx)] = slot
+            else:
+                if slot.op != name:
+                    self._divergence(rank, comm, slot, name, loc)
+                    raise _Abort()
+                if root is not None:
+                    if slot.root is None:
+                        slot.root = root
+                    elif slot.root != root:
+                        self._divergence(rank, comm, slot, name, loc,
+                                         root=root)
+                        raise _Abort()
+            slot.arrived[rank] = payload
+            slot.meta[rank] = loc
+            desc = name if root is None else f"{name}(root={root})"
+            self.coll_hist[rank].append(
+                f"{desc}#{idx} @ {_fmt_loc(loc)}"
+            )
+            self.events[rank].append(f"{desc} #{idx} @ {_fmt_loc(loc)}")
+            if len(slot.arrived) == len(slot.group):
+                self._complete_slot(comm, slot)
+                slot.done = True
+                self.cond.notify_all()
+                return slot.results.get(rank, interp.const(None))
+            self.coll_blocked[rank] = (ck, idx)
+            try:
+                while not slot.done:
+                    self._check_abort()
+                    self._maybe_stuck()
+                    self._check_abort()
+                    self._timed_wait()
+            finally:
+                self.coll_blocked.pop(rank, None)
+            return slot.results.get(rank, interp.const(None))
+
+    def _divergence(self, rank, comm, slot: _Slot, name: str, loc,
+                    root=None) -> None:
+        if root is not None:
+            what = (
+                f"collective '{name}' at position {slot.index} of "
+                f"communicator {comm.key!r} is called with root="
+                f"{slot.root} by rank(s) {sorted(slot.arrived)} but "
+                f"root={root} here"
+            )
+        else:
+            what = (
+                f"rank calls collective '{name}' at position "
+                f"{slot.index} of communicator {comm.key!r}, but rank(s) "
+                f"{sorted(slot.arrived)} call '{slot.op}' there (first "
+                f"arrival at {_fmt_loc(slot.loc)})"
+            )
+        self._finding("RC204", loc, what + self._histories(), rank=rank)
+        self._abort()
+
+    def _histories(self) -> str:
+        lines = []
+        for rank in sorted(self.coll_hist):
+            hist = self.coll_hist[rank][-6:]
+            if hist:
+                lines.append(f"rank {rank}: " + " ; ".join(hist))
+        if not lines:
+            return ""
+        return "; recent collective sequences -> " + " | ".join(lines)
+
+    def _complete_slot(self, comm: CommVal, slot: _Slot) -> None:
+        group = slot.group
+        size = len(group)
+        name = slot.op
+        if name == "barrier":
+            for r in group:
+                slot.results[r] = Val(None)
+            return
+        if name == "dup":
+            key = comm.key + (("dup", slot.index),)
+            for i, r in enumerate(group):
+                slot.results[r] = Val(CommVal(self, key, group, i))
+            return
+        if name == "split":
+            buckets: dict[object, list[tuple]] = {}
+            for r in group:
+                color, key, opted_out = slot.arrived[r]
+                if opted_out:
+                    slot.results[r] = Val(None)
+                    continue
+                local = group.index(r)
+                sort_key = key if key is not None else local
+                buckets.setdefault(color, []).append((sort_key, local, r))
+            for color, members in buckets.items():
+                members.sort()
+                new_group = tuple(r for _, _, r in members)
+                new_key = comm.key + (("split", slot.index, color),)
+                for i, (_, _, r) in enumerate(members):
+                    slot.results[r] = Val(CommVal(self, new_key,
+                                                  new_group, i))
+            return
+        payloads = {r: slot.arrived[r] for r in group}
+        union_ids: set[int] = set()
+        for val in payloads.values():
+            union_ids |= val.ids
+        root_world = group[slot.root] if slot.root is not None else None
+        if name == "bcast":
+            if root_world is not None:
+                result = payloads[root_world]
+            else:
+                result = Val(UNKNOWN, union_ids)
+            for r in group:
+                slot.results[r] = result
+            return
+        if name in ("gather", "reduce"):
+            for r in group:
+                if root_world is None:
+                    slot.results[r] = Val(UNKNOWN, set(union_ids))
+                elif r != root_world:
+                    slot.results[r] = Val(None)
+                elif name == "gather":
+                    slot.results[r] = Val(
+                        [payloads[q] for q in group],
+                        {self.new_buffer(r)},
+                    )
+                else:
+                    slot.results[r] = Val(UNKNOWN, {self.new_buffer(r)})
+            return
+        if name == "allgather":
+            for r in group:
+                slot.results[r] = Val([payloads[q] for q in group],
+                                      {self.new_buffer(r)})
+            return
+        if name == "scatter":
+            objs = payloads[root_world] if root_world is not None else None
+            for i, r in enumerate(group):
+                if objs is not None and isinstance(objs.c, (list, tuple)) \
+                        and len(objs.c) == size:
+                    slot.results[r] = objs.c[i]
+                elif objs is not None:
+                    slot.results[r] = Val(UNKNOWN, set(objs.ids))
+                else:
+                    slot.results[r] = Val(UNKNOWN, set(union_ids))
+            return
+        if name == "alltoall":
+            concrete = all(
+                isinstance(payloads[q].c, (list, tuple))
+                and len(payloads[q].c) == size
+                for q in group
+            )
+            for i, r in enumerate(group):
+                if concrete:
+                    slot.results[r] = Val(
+                        [payloads[q].c[i] for q in group],
+                        {self.new_buffer(r)},
+                    )
+                else:
+                    slot.results[r] = Val(UNKNOWN, set(union_ids))
+            return
+        # allreduce / scan / exscan: a fresh reduced value per rank.
+        for r in group:
+            slot.results[r] = Val(UNKNOWN, {self.new_buffer(r)})
+
+    # -- deadlock detection ------------------------------------------------
+
+    def _maybe_stuck(self) -> None:
+        if self.aborted:
+            return
+        active = set(range(self.nranks)) - self.finished
+        blocked = set(self.waiting) | set(self.coll_blocked)
+        if not active or active - blocked:
+            return
+        for rank, (ck, idx) in self.coll_blocked.items():
+            if self.slots[(ck, idx)].done:
+                return
+        for rank, w in self.waiting.items():
+            if _peek(self.pending[rank], w.comm_key, w.source, w.tag):
+                return
+        self._classify_deadlock()
+        self._abort()
+
+    def _classify_deadlock(self) -> None:
+        emitted = False
+        for (ck, idx), slot in sorted(self.slots.items(),
+                                      key=lambda kv: kv[1].index):
+            if slot.done or not slot.arrived:
+                continue
+            waiting_here = [r for r, key in self.coll_blocked.items()
+                            if key == (ck, idx)]
+            if not waiting_here:
+                continue
+            missing = [r for r in slot.group if r not in slot.arrived]
+            details = []
+            for r in missing:
+                if r in self.finished:
+                    details.append(f"rank {r} already finished"
+                                   + (f" ({self.exited[r]})"
+                                      if r in self.exited else ""))
+                elif r in self.waiting:
+                    meta = self.wait_meta.get(r)
+                    at = f" at {_fmt_loc(meta[0])}" if meta else ""
+                    details.append(f"rank {r} is blocked in a receive"
+                                   f"{at}")
+                elif r in self.coll_blocked:
+                    ok, oi = self.coll_blocked[r]
+                    other = self.slots[(ok, oi)]
+                    details.append(
+                        f"rank {r} is blocked in collective "
+                        f"'{other.op}' at {_fmt_loc(other.meta[r])}")
+                else:
+                    details.append(f"rank {r} never reaches it")
+            self._finding(
+                "RC204", slot.loc,
+                f"collective '{slot.op}' at position {slot.index} of "
+                f"communicator {ck!r} is entered by rank(s) "
+                f"{sorted(slot.arrived)} but never by rank(s) "
+                f"{missing}: " + "; ".join(details) + self._histories(),
+            )
+            emitted = True
+        if emitted:
+            return
+        cycle = find_wait_cycle(self.waiting)
+        if cycle:
+            loc, _op = self.wait_meta.get(cycle[0],
+                                          ((self.entry_path, 1, 0), ""))
+            hops = " -> ".join(f"rank {r}" for r in cycle + cycle[:1])
+            describes = "; ".join(
+                self.waiting[r].describe(r) for r in cycle
+            )
+            self._finding(
+                "RC203", loc,
+                f"send-recv deadlock: wait-for cycle {hops}; every rank "
+                "in the cycle blocks in a receive before its own send "
+                f"executes ({describes})",
+            )
+            return
+        for rank in sorted(self.waiting):
+            w = self.waiting[rank]
+            loc, op = self.wait_meta.get(rank, ((self.entry_path, 1, 0),
+                                                "recv"))
+            near = self._near_match(rank, w)
+            if near is not None:
+                msg, kind = near
+                self._finding("RC202", loc, msg, rank=rank)
+                continue
+            src = "any rank" if w.source < 0 else f"rank {w.source}"
+            tag = "any tag" if w.tag < 0 else f"tag {w.tag}"
+            self._finding(
+                "RC201", loc,
+                f"{op} from {src} ({tag}) blocks forever: no rank ever "
+                "sends a matching message on communicator "
+                f"{w.comm_key!r}",
+                rank=rank,
+            )
+
+    def _near_match(self, rank: int, w: WaitInfo):
+        for dest, msgs in self.pending.items():
+            for msg in msgs:
+                if msg.comm_key != w.comm_key:
+                    continue
+                src_ok = w.source < 0 or msg.source == w.source
+                tag_ok = (w.tag < 0 or msg.tag is None
+                          or msg.tag == w.tag)
+                if dest == rank and src_ok and not tag_ok:
+                    return (
+                        f"receive (tag {w.tag}) and the pending send "
+                        f"from rank {msg.source_world} posted at "
+                        f"{_fmt_loc(msg.loc)} name the same rank pair "
+                        f"but different tags (send uses tag {msg.tag})",
+                        "tag",
+                    )
+                if dest == rank and tag_ok and not src_ok:
+                    return (
+                        f"receive names source rank {w.source} but the "
+                        f"only pending send with a matching tag comes "
+                        f"from rank {msg.source} (posted at "
+                        f"{_fmt_loc(msg.loc)})",
+                        "peer",
+                    )
+                if dest != rank and tag_ok and src_ok:
+                    return (
+                        f"a send with matching source and tag is "
+                        f"pending, but it targets rank {msg.dest_world} "
+                        f"instead of this rank (posted at "
+                        f"{_fmt_loc(msg.loc)})",
+                        "dest",
+                    )
+        return None
+
+    def deadlock_summary(self) -> str:
+        """Runtime-style wait-for report (used by --explain)."""
+        return deadlock_report(self.waiting, self.nranks
+                               - len(self.finished))
+
+
+def _is_hashable(obj) -> bool:
+    try:
+        hash(obj)
+    except TypeError:
+        return False
+    return True
+
+
+# -- analysis driver -------------------------------------------------------
+
+
+@dataclasses.dataclass
+class ProgramRun:
+    """Result of analyzing one program function at one rank count."""
+
+    program: str
+    path: str
+    nranks: int
+    findings: list[Finding]
+    events: dict[int, list[str]]
+    assumptions: dict[int, list[str]]
+    seconds: float
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    def to_dict(self) -> dict:
+        return {
+            "program": self.program,
+            "path": self.path,
+            "nranks": self.nranks,
+            "findings": [f.to_dict() for f in self.findings],
+            "events": {str(r): ev for r, ev in self.events.items()},
+            "assumptions": {str(r): notes
+                            for r, notes in self.assumptions.items()
+                            if notes},
+            "seconds": round(self.seconds, 3),
+        }
+
+
+def discover_programs(tree: ast.Module) -> list[str]:
+    """Top-level SPMD program functions: first parameter named ``comm``."""
+    out = []
+    for node in tree.body:
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        if node.name.startswith("_"):
+            continue
+        params = node.args.posonlyargs + node.args.args
+        if params and params[0].arg == "comm":
+            out.append(node.name)
+    return out
+
+
+def resolve_target(target: str) -> str:
+    """Resolve a module dotted name or file path to a source path.
+
+    Never executes the target: dotted names are located by searching
+    the analyzer's roots first and falling back to
+    ``importlib.util.find_spec`` (which may import parent packages but
+    not the module itself).
+    """
+    p = pathlib.Path(target)
+    if p.is_file():
+        return str(p)
+    if "/" not in target and not target.endswith(".py"):
+        located = ModuleRegistry().locate(target)
+        if located is not None:
+            return str(located)
+        try:
+            spec = importlib.util.find_spec(target)
+        except (ImportError, ValueError, ModuleNotFoundError):
+            spec = None
+        if spec is not None and spec.origin and spec.origin != "built-in":
+            return spec.origin
+    raise FileNotFoundError(
+        f"cannot resolve analysis target {target!r} to a Python source "
+        "file (pass a file path or an importable module name)"
+    )
+
+
+def _module_name_for(path: pathlib.Path) -> tuple[str, pathlib.Path]:
+    """Dotted name of ``path`` by walking up package __init__ files,
+    plus the search root that contains the top-level package."""
+    path = path.resolve()
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    while (parent / "__init__.py").is_file():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    if not parts:
+        parts = [path.stem]
+    return ".".join(parts), parent
+
+
+def analyze_path(path: str, ranks: list[int], programs: list[str] | None
+                 = None, timeout: float = RUN_TIMEOUT
+                 ) -> list[ProgramRun]:
+    """Analyze every SPMD program of ``path`` at every rank count."""
+    source = pathlib.Path(path).read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=path)
+    found = discover_programs(tree)
+    if programs:
+        missing = sorted(set(programs) - set(found))
+        if missing:
+            raise ValueError(
+                f"no SPMD program function(s) {missing} in {path} "
+                f"(found: {found or 'none'})"
+            )
+        found = [name for name in found if name in programs]
+    mod_name, root = _module_name_for(pathlib.Path(path))
+    runs = []
+    for name in found:
+        for nranks in ranks:
+            runs.append(
+                _run_one(path, source, tree, mod_name, root, name,
+                         nranks, timeout)
+            )
+    return runs
+
+
+def analyze_target(target: str, ranks: list[int],
+                   programs: list[str] | None = None,
+                   timeout: float = RUN_TIMEOUT) -> list[ProgramRun]:
+    return analyze_path(resolve_target(target), ranks, programs, timeout)
+
+
+def _run_one(path: str, source: str, tree: ast.Module, mod_name: str,
+             root: pathlib.Path, program: str, nranks: int,
+             timeout: float) -> ProgramRun:
+    start = time.monotonic()
+    registry = ModuleRegistry(search_roots=[root])
+    entry = registry.add_entry_module(mod_name, path, source, tree)
+    engine = _Engine(nranks, path, deadline=start + timeout)
+
+    # Evaluate all interpreted module tops once, rank-neutrally, before
+    # the rank threads start (module-level buffers are ownerless and
+    # the lazy path would otherwise race).
+    preload = SymInterpreter(registry, engine, rank=None)
+    try:
+        preload.module_env(entry)
+        for name in sorted(registry.interpreted):
+            mod = registry.resolve(name)
+            if mod is not None:
+                preload.module_env(mod)
+    except AnalysisLimit as exc:
+        engine._finding("RC200", (path, 1, 0),
+                        f"module evaluation failed: {exc.detail}")
+
+    func_val = entry.env.get(program)
+    if func_val is None or not isinstance(func_val.c, FuncVal):
+        engine._finding(
+            "RC200", (path, 1, 0),
+            f"program function {program!r} did not evaluate to an "
+            "interpretable function",
+        )
+        return _report(engine, registry, program, path, nranks, start)
+
+    fnode = func_val.c.node
+    nparams = len(fnode.args.posonlyargs) + len(fnode.args.args)
+
+    def run_rank(rank: int) -> None:
+        interp = SymInterpreter(registry, engine, rank=rank)
+        interp.current_module = entry
+        comm = Val(CommVal(engine, _WORLD_KEY, tuple(range(nranks)),
+                           rank))
+        args = [comm] + [interp.fresh_unknown()
+                         for _ in range(nparams - 1)]
+        try:
+            interp.run_function(func_val.c, args)
+        except PathExit as exc:
+            engine.exited[rank] = f"raised at {exc.site}"
+            engine.events[rank].append(f"raise -> rank exits "
+                                       f"({exc.site})")
+        except _Abort:
+            pass
+        except AnalysisLimit as exc:
+            engine._finding(
+                "RC200", interp.loc(None),
+                f"symbolic execution aborted: {exc.detail}",
+                rank=rank,
+            )
+            with engine.cond:
+                engine._abort()
+        except RecursionError:
+            engine._finding(
+                "RC200", interp.loc(None),
+                "symbolic execution exceeded the recursion limit",
+                rank=rank,
+            )
+            with engine.cond:
+                engine._abort()
+        except Exception as exc:  # noqa: BLE001 - report, don't crash CI
+            engine._finding(
+                "RC200", interp.loc(None),
+                f"interpreter failure: {type(exc).__name__}: {exc}",
+                rank=rank,
+            )
+            with engine.cond:
+                engine._abort()
+        finally:
+            engine.rank_finished(rank)
+
+    threads = [
+        threading.Thread(target=run_rank, args=(rank,),
+                         name=f"proto-rank-{rank}", daemon=True)
+        for rank in range(nranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout + 5.0)
+    if any(t.is_alive() for t in threads):
+        with engine.cond:
+            engine._finding(
+                "RC200", (path, 1, 0),
+                "analysis threads failed to terminate within the "
+                "wall-clock budget",
+            )
+            engine._abort()
+        for t in threads:
+            t.join(timeout=2.0)
+    if not engine.aborted:
+        engine.finalize()
+    return _report(engine, registry, program, path, nranks, start)
+
+
+def _report(engine: _Engine, registry: ModuleRegistry, program: str,
+            path: str, nranks: int, start: float) -> ProgramRun:
+    findings = engine.collect_findings()
+    by_path: dict[str, list[Finding]] = {}
+    for f in findings:
+        by_path.setdefault(f.path, []).append(f)
+    kept: list[Finding] = []
+    for fpath, group in by_path.items():
+        src = registry.source_for(fpath)
+        kept.extend(apply_suppressions(group, src) if src else group)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return ProgramRun(
+        program=program,
+        path=path,
+        nranks=nranks,
+        findings=kept,
+        events=engine.events,
+        assumptions=engine.assumptions,
+        seconds=time.monotonic() - start,
+    )
+
+
+def render_explain(run: ProgramRun) -> str:
+    """Per-rank event sequences, mirroring the runtime divergence
+    report's recent-history format."""
+    lines = [f"== {run.program} @ P={run.nranks} "
+             f"({run.seconds:.2f}s) =="]
+    for rank in sorted(run.events):
+        lines.append(f"rank {rank}:")
+        events = run.events[rank]
+        if not events:
+            lines.append("  (no communication)")
+        for event in events:
+            lines.append(f"  {event}")
+        for note in run.assumptions.get(rank, []):
+            lines.append(f"  note: {note}")
+    if run.findings:
+        lines.append("findings:")
+        for f in run.findings:
+            lines.append("  " + f.format())
+    else:
+        lines.append("findings: none")
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""SARIF 2.1.0 rendering for ``repro.check`` findings.
+
+Emits the minimal static-analysis interchange document GitHub's code
+scanning ingests (``github/codeql-action/upload-sarif``): one run with
+a tool descriptor carrying the rule catalog, and one result per
+finding with the rule id, level, message and physical location.  Both
+the lint pass and the protocol analyzer share this renderer via
+``--format sarif``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterable
+
+from .linter import Finding
+from .rules import RULES
+
+__all__ = ["to_sarif", "render_sarif"]
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rel(path: str, base: pathlib.Path) -> str:
+    """Repository-relative forward-slash URI when possible."""
+    try:
+        return pathlib.Path(path).resolve().relative_to(base).as_posix()
+    except ValueError:
+        return pathlib.PurePath(path).as_posix()
+
+
+def to_sarif(findings: Iterable[Finding], *, tool_name: str = "repro.check"
+             ) -> dict:
+    """Build the SARIF document as a plain dict."""
+    findings = list(findings)
+    base = pathlib.Path.cwd().resolve()
+    used = sorted({f.rule_id for f in findings})
+    rules = [
+        {
+            "id": rule_id,
+            "name": RULES[rule_id].name,
+            "shortDescription": {"text": RULES[rule_id].summary},
+            "help": {"text": RULES[rule_id].hint},
+        }
+        for rule_id in used
+        if rule_id in RULES
+    ]
+    results = []
+    seen = set()
+    for f in findings:
+        uri = _rel(f.path, base)
+        key = (f.rule_id, uri, f.line, f.col)
+        if key in seen:
+            # Multi-P proto runs repeat a finding at the same site with
+            # slightly different rank lists; one annotation per site.
+            continue
+        seen.add(key)
+        results.append(
+            {
+                "ruleId": f.rule_id,
+                "level": "warning" if f.severity == "warning" else "error",
+                "message": {"text": f.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": uri},
+                            "region": {
+                                "startLine": f.line,
+                                "startColumn": max(f.col, 0) + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(findings: Iterable[Finding], *,
+                 tool_name: str = "repro.check") -> str:
+    return json.dumps(to_sarif(findings, tool_name=tool_name), indent=2)

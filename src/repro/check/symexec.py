@@ -1,0 +1,1691 @@
+"""Symbolic per-rank interpreter for the SPMD protocol analyzer.
+
+This module is the dataflow layer of :mod:`repro.check.proto`: it
+abstractly interprets one rank's view of an SPMD program function over
+stdlib :mod:`ast`, folding ``comm.rank`` / ``comm.size``, arithmetic,
+comparisons and concretely-bounded loops, so that every communication
+call reaches the matching engine with concrete peers and tags whenever
+the program determines them.
+
+Value model (:class:`Val`): a value is either *concrete* (a Python
+scalar, a tuple/list/dict of Vals, an interpreted class instance, a
+function, a communicator, a request handle) or the :data:`UNKNOWN`
+sentinel.  Every potentially-mutable value carries an *alias set* of
+integer buffer ids — views share the id set object itself, so writes
+through any alias are attributed to the same buffers — and a
+``rank_dep`` flag recording provable derivation from ``comm.rank``
+(used to decide when an unfoldable branch is a real analyzability gap,
+RC207, rather than a rank-uniform assumption).
+
+Modules are resolved by parsing source files, never by importing:
+a small allowlist of protocol-relevant modules is interpreted
+(solvers, the affine semigroup, analysis entry drivers); everything
+else — numpy, the numeric kernels, observability — is *opaque*: calls
+into it return fresh unknown buffers.  See docs/CHECKING.md for the
+analyzability contract.
+"""
+
+from __future__ import annotations
+
+import ast
+import itertools
+import pathlib
+from typing import Any, Callable
+
+__all__ = [
+    "UNKNOWN",
+    "Val",
+    "Inst",
+    "FuncVal",
+    "ClassVal",
+    "ModVal",
+    "CommVal",
+    "ReqVal",
+    "ExternalRef",
+    "Module",
+    "ModuleRegistry",
+    "SymInterpreter",
+    "PathExit",
+    "AnalysisLimit",
+    "INTERPRETED_MODULES",
+]
+
+
+class _Unknown:
+    """Singleton sentinel for statically-undetermined values."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "UNKNOWN"
+
+
+UNKNOWN = _Unknown()
+
+#: Modules whose source the analyzer interprets; everything else is
+#: opaque.  The allowlist covers exactly the modules that participate
+#: in communication protocols (plus the alias-relevant affine pairs).
+INTERPRETED_MODULES = frozenset(
+    {
+        "repro.core.rd",
+        "repro.core.ard",
+        "repro.core.spike",
+        "repro.core.bcyclic",
+        "repro.core.engine",
+        "repro.core.scan_affine",
+        "repro.prefix.affine",
+        "repro.check.entries",
+    }
+)
+
+#: Well-known constants of opaque modules the analyzer must fold.
+_OPAQUE_CONSTS: dict[str, Any] = {
+    "repro.comm.ANY_SOURCE": -1,
+    "repro.comm.ANY_TAG": -1,
+    "repro.comm.communicator.ANY_SOURCE": -1,
+    "repro.comm.communicator.ANY_TAG": -1,
+}
+
+#: ndarray methods returning a view (result aliases the receiver).
+_ALIAS_METHODS = frozenset(
+    {"reshape", "ravel", "view", "transpose", "squeeze", "swapaxes",
+     "diagonal", "real", "imag"}
+)
+
+#: ndarray methods that mutate the receiver in place.
+_MUTATING_METHODS = frozenset(
+    {"fill", "sort", "put", "itemset", "partition", "resize", "setflags"}
+)
+
+#: Attributes of unknown objects that are scalars, not views.
+_SCALAR_ATTRS = frozenset(
+    {"shape", "ndim", "size", "dtype", "nbytes", "itemsize", "flags"}
+)
+
+
+class Val:
+    """One abstract value: concrete payload or UNKNOWN + alias ids."""
+
+    __slots__ = ("c", "ids", "rank_dep")
+
+    def __init__(self, c: Any, ids: set[int] | None = None,
+                 rank_dep: bool = False):
+        self.c = c
+        self.ids = ids if ids is not None else set()
+        self.rank_dep = rank_dep
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Val({self.c!r}, ids={sorted(self.ids)}, rd={self.rank_dep})"
+
+
+class Inst:
+    """Instance of an interpreted class (or dataclass)."""
+
+    __slots__ = ("cls", "attrs")
+
+    def __init__(self, cls: "ClassVal | None"):
+        self.cls = cls
+        self.attrs: dict[str, Val] = {}
+
+
+class FuncVal:
+    """An interpreted function: AST node + defining module."""
+
+    __slots__ = ("name", "node", "module")
+
+    def __init__(self, name: str, node: ast.FunctionDef | ast.Lambda,
+                 module: "Module"):
+        self.name = name
+        self.node = node
+        self.module = module
+
+
+class ClassVal:
+    """An interpreted class definition."""
+
+    __slots__ = ("name", "node", "module", "is_dataclass", "fields",
+                 "consts", "has_bases")
+
+    def __init__(self, name: str, node: ast.ClassDef, module: "Module"):
+        self.name = name
+        self.node = node
+        self.module = module
+        self.has_bases = bool(node.bases)
+        self.is_dataclass = any(
+            _decorator_name(d) == "dataclass" for d in node.decorator_list
+        )
+        # Dataclass fields: annotated assignments in body order, with
+        # (lazily evaluated) defaults.
+        self.fields: list[tuple[str, ast.expr | None]] = []
+        self.consts: dict[str, ast.expr] = {}
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                if not stmt.target.id.startswith("_"):
+                    self.fields.append((stmt.target.id, stmt.value))
+            elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                tgt = stmt.targets[0]
+                if isinstance(tgt, ast.Name):
+                    self.consts[tgt.id] = stmt.value
+
+    def lookup(self, name: str) -> tuple[str, ast.FunctionDef] | None:
+        """Find a method by name; returns (kind, node) where kind is
+        ``"method" | "property" | "classmethod" | "staticmethod"``."""
+        for stmt in self.node.body:
+            if isinstance(stmt, ast.FunctionDef) and stmt.name == name:
+                kind = "method"
+                for deco in stmt.decorator_list:
+                    dn = _decorator_name(deco)
+                    if dn in ("property", "classmethod", "staticmethod"):
+                        kind = dn
+                return kind, stmt
+        return None
+
+
+class ModVal:
+    """A module reference: interpreted (has a Module) or opaque."""
+
+    __slots__ = ("name", "module")
+
+    def __init__(self, name: str, module: "Module | None"):
+        self.name = name
+        self.module = module
+
+
+class CommVal:
+    """A communicator: engine port + group of world ranks."""
+
+    __slots__ = ("port", "key", "group", "myrank")
+
+    def __init__(self, port: Any, key: tuple, group: tuple[int, ...],
+                 myrank: int):
+        self.port = port
+        self.key = key
+        self.group = group
+        self.myrank = myrank
+
+
+class ReqVal:
+    """A nonblocking-request handle tracked by the engine."""
+
+    __slots__ = ("rid", "kind")
+
+    def __init__(self, rid: int, kind: str):
+        self.rid = rid
+        self.kind = kind
+
+
+class ExternalRef:
+    """Dotted reference into an opaque module (``numpy.zeros`` ...)."""
+
+    __slots__ = ("qualname",)
+
+    def __init__(self, qualname: str):
+        self.qualname = qualname
+
+
+class _Bound:
+    """Interpreted function bound to an instance (or class)."""
+
+    __slots__ = ("func", "self_val")
+
+    def __init__(self, func: FuncVal, self_val: Val | None):
+        self.func = func
+        self.self_val = self_val
+
+
+class _CommOp:
+    """A communicator method about to be called."""
+
+    __slots__ = ("comm", "name")
+
+    def __init__(self, comm: CommVal, name: str):
+        self.comm = comm
+        self.name = name
+
+
+class _ExtOp:
+    """A method on an unknown/opaque receiver."""
+
+    __slots__ = ("base", "name")
+
+    def __init__(self, base: Val, name: str):
+        self.base = base
+        self.name = name
+
+
+class _ReqOp:
+    __slots__ = ("req", "name")
+
+    def __init__(self, req: ReqVal, name: str):
+        self.req = req
+        self.name = name
+
+
+class _SeqOp:
+    """A method on a concrete list/tuple/dict value."""
+
+    __slots__ = ("base", "name")
+
+    def __init__(self, base: Val, name: str):
+        self.base = base
+        self.name = name
+
+
+class PathExit(Exception):
+    """An interpreted ``raise`` executed: the rank leaves the program."""
+
+    def __init__(self, site: str, detail: str = ""):
+        super().__init__(detail or site)
+        self.site = site
+        self.detail = detail
+
+
+class AnalysisLimit(Exception):
+    """Interpreter budget exhausted or unsupported construct hit."""
+
+    def __init__(self, site: str, detail: str):
+        super().__init__(f"{detail} at {site}")
+        self.site = site
+        self.detail = detail
+
+
+class _Return(Exception):
+    def __init__(self, value: Val):
+        self.value = value
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+def _decorator_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_scalar(c: Any) -> bool:
+    return c is None or isinstance(c, (bool, int, float, complex, str, bytes))
+
+
+class Module:
+    """One parsed-and-lazily-evaluated interpreted module."""
+
+    __slots__ = ("name", "path", "source", "tree", "env", "ready")
+
+    def __init__(self, name: str, path: str, source: str, tree: ast.Module):
+        self.name = name
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.env: dict[str, Val] = {}
+        self.ready = False
+
+
+class ModuleRegistry:
+    """Resolve dotted module names to parsed sources, never importing.
+
+    ``search_roots`` are directories containing top-level packages
+    (the repo's ``src/`` is always included so ``repro.*`` resolves);
+    ``interpreted`` is the exact-name allowlist of modules whose code
+    is symbolically executed — all other modules are opaque.
+    """
+
+    def __init__(self, search_roots: list[pathlib.Path] | None = None,
+                 interpreted: frozenset[str] = INTERPRETED_MODULES):
+        src_root = pathlib.Path(__file__).resolve().parents[2]
+        roots = [src_root]
+        for root in search_roots or []:
+            root = pathlib.Path(root).resolve()
+            if root not in roots:
+                roots.append(root)
+        self.search_roots = roots
+        self.interpreted = set(interpreted)
+        self._cache: dict[str, Module | None] = {}
+        self._loading: set[str] = set()
+
+    def add_entry_module(self, name: str, path: str, source: str,
+                         tree: ast.Module) -> Module:
+        """Register the analysis entry file as an interpreted module."""
+        mod = Module(name, path, source, tree)
+        self._cache[name] = mod
+        self.interpreted.add(name)
+        return mod
+
+    def locate(self, dotted: str) -> pathlib.Path | None:
+        rel = pathlib.Path(*dotted.split("."))
+        for root in self.search_roots:
+            for cand in (root / rel.with_suffix(".py"),
+                         root / rel / "__init__.py"):
+                if cand.is_file():
+                    return cand
+        return None
+
+    def resolve(self, dotted: str) -> Module | None:
+        """Return the interpreted Module for ``dotted``, else None."""
+        if dotted in self._cache:
+            return self._cache[dotted]
+        if dotted not in self.interpreted or dotted in self._loading:
+            self._cache.setdefault(dotted, None)
+            return self._cache[dotted]
+        path = self.locate(dotted)
+        if path is None:
+            self._cache[dotted] = None
+            return None
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError:
+            self._cache[dotted] = None
+            return None
+        mod = Module(dotted, str(path), source, tree)
+        self._cache[dotted] = mod
+        return mod
+
+    def source_for(self, path: str) -> str | None:
+        """Source text of an interpreted module by file path (noqa)."""
+        for mod in self._cache.values():
+            if mod is not None and mod.path == path:
+                return mod.source
+        try:
+            return pathlib.Path(path).read_text(encoding="utf-8")
+        except OSError:
+            return None
+
+
+class SymInterpreter:
+    """Abstract interpreter for one rank of an SPMD program.
+
+    ``engine`` implements the communication side effects (see
+    :class:`repro.check.proto._MatchEngine`); ``rank=None`` runs in
+    module-evaluation mode where communication is impossible.
+    """
+
+    #: Statement budget per rank (runaway/unbounded-loop backstop).
+    MAX_STEPS = 400_000
+    #: Interpreted-call depth budget.
+    MAX_DEPTH = 60
+
+    def __init__(self, registry: ModuleRegistry, engine: Any = None,
+                 rank: int | None = None):
+        self.registry = registry
+        self.engine = engine
+        self.rank = rank
+        self.steps = 0
+        self.depth = 0
+        self._ids = itertools.count(1) if engine is None else None
+        # Stack of (site, rank_dep, [comm_seen]) for unknown guards.
+        self.guards: list[list] = []
+        self.current_module: Module | None = None
+        self.current_line: int = 0
+
+    # -- small factories -------------------------------------------------
+
+    def new_id(self) -> int:
+        if self.engine is not None:
+            return self.engine.new_buffer(self.rank)
+        return -next(self._ids)  # module-eval ids: ownerless
+
+    def fresh_unknown(self, rank_dep: bool = False) -> Val:
+        return Val(UNKNOWN, {self.new_id()}, rank_dep)
+
+    def const(self, c: Any, rank_dep: bool = False) -> Val:
+        return Val(c, set(), rank_dep)
+
+    def container(self, c: Any, rank_dep: bool = False) -> Val:
+        return Val(c, {self.new_id()}, rank_dep)
+
+    def site(self, node: ast.AST | None = None) -> str:
+        line = getattr(node, "lineno", None) or self.current_line
+        path = self.current_module.path if self.current_module else "<?>"
+        return f"{path}:{line}"
+
+    def loc(self, node: ast.AST | None = None) -> tuple[str, int, int]:
+        path = self.current_module.path if self.current_module else "<?>"
+        return (
+            path,
+            getattr(node, "lineno", None) or self.current_line or 1,
+            getattr(node, "col_offset", 0),
+        )
+
+    def _tick(self, node: ast.AST) -> None:
+        self.steps += 1
+        line = getattr(node, "lineno", None)
+        if line:
+            self.current_line = line
+        if self.steps > self.MAX_STEPS:
+            raise AnalysisLimit(self.site(node), "statement budget exhausted")
+
+    # -- module environments ---------------------------------------------
+
+    def module_env(self, mod: Module) -> dict[str, Val]:
+        if mod.ready:
+            return mod.env
+        mod.ready = True  # set first: tolerate import cycles
+        saved = (self.current_module, self.current_line)
+        self.current_module = mod
+        for stmt in mod.tree.body:
+            try:
+                self.exec_stmt(stmt, mod.env)
+            except (PathExit, _Return, _Break, _Continue):
+                break
+            except AnalysisLimit:
+                raise
+            except Exception:
+                continue  # best-effort: missing names degrade to UNKNOWN
+        self.current_module, self.current_line = saved
+        return mod.env
+
+    def load_module(self, dotted: str) -> Val:
+        mod = self.registry.resolve(dotted)
+        if mod is not None:
+            self.module_env(mod)
+        return self.const(ModVal(dotted, mod))
+
+    # -- program entry ----------------------------------------------------
+
+    def run_function(self, func: FuncVal, args: list[Val],
+                     kwargs: dict[str, Val] | None = None) -> Val:
+        return self.call_funcval(func, args, kwargs or {}, node=func.node)
+
+    # -- statements --------------------------------------------------------
+
+    def exec_body(self, body: list[ast.stmt], env: dict[str, Val]) -> None:
+        for stmt in body:
+            self.exec_stmt(stmt, env)
+
+    def exec_stmt(self, node: ast.stmt, env: dict[str, Val]) -> None:
+        self._tick(node)
+        method = getattr(self, "stmt_" + type(node).__name__, None)
+        if method is None:
+            return  # unsupported statement kinds are no-ops
+        method(node, env)
+
+    def stmt_Expr(self, node: ast.Expr, env) -> None:
+        self.eval(node.value, env)
+
+    def stmt_Pass(self, node, env) -> None:
+        pass
+
+    def stmt_Assert(self, node, env) -> None:
+        pass  # assertions assumed to hold
+
+    def stmt_Global(self, node, env) -> None:
+        pass
+
+    def stmt_Nonlocal(self, node, env) -> None:
+        pass
+
+    def stmt_Return(self, node: ast.Return, env) -> None:
+        value = self.eval(node.value, env) if node.value else self.const(None)
+        raise _Return(value)
+
+    def stmt_Break(self, node, env) -> None:
+        raise _Break()
+
+    def stmt_Continue(self, node, env) -> None:
+        raise _Continue()
+
+    def stmt_Raise(self, node: ast.Raise, env) -> None:
+        raise PathExit(self.site(node), "raise executed")
+
+    def stmt_Delete(self, node: ast.Delete, env) -> None:
+        for tgt in node.targets:
+            if isinstance(tgt, ast.Name):
+                env.pop(tgt.id, None)
+
+    def stmt_Import(self, node: ast.Import, env) -> None:
+        for alias in node.names:
+            top = alias.name.split(".")[0]
+            if alias.asname:
+                env[alias.asname] = self.load_module(alias.name)
+            else:
+                env[top] = self.load_module(top)
+
+    def stmt_ImportFrom(self, node: ast.ImportFrom, env) -> None:
+        base = self._resolve_from(node)
+        mod = self.registry.resolve(base)
+        menv = self.module_env(mod) if mod is not None else None
+        for alias in node.names:
+            if alias.name == "*":
+                if menv:
+                    for k, v in menv.items():
+                        if not k.startswith("_"):
+                            env[k] = v
+                continue
+            bind = alias.asname or alias.name
+            if menv is not None and alias.name in menv:
+                env[bind] = menv[alias.name]
+                continue
+            # Sub-module import (from repro.core import rd) or opaque.
+            sub = f"{base}.{alias.name}"
+            if self.registry.resolve(sub) is not None:
+                env[bind] = self.load_module(sub)
+            elif menv is not None:
+                env[bind] = Val(UNKNOWN)
+            else:
+                qual = f"{base}.{alias.name}"
+                if qual in _OPAQUE_CONSTS:
+                    env[bind] = self.const(_OPAQUE_CONSTS[qual])
+                else:
+                    env[bind] = self.const(ExternalRef(qual))
+
+    def _resolve_from(self, node: ast.ImportFrom) -> str:
+        if node.level == 0:
+            return node.module or ""
+        cur = self.current_module.name if self.current_module else ""
+        parts = cur.split(".")
+        # level 1 = current package; the module itself counts as one part.
+        parts = parts[: len(parts) - node.level]
+        if node.module:
+            parts.append(node.module)
+        return ".".join(parts)
+
+    def stmt_FunctionDef(self, node: ast.FunctionDef, env) -> None:
+        env[node.name] = self.const(
+            FuncVal(node.name, node, self.current_module)
+        )
+
+    stmt_AsyncFunctionDef = stmt_FunctionDef
+
+    def stmt_ClassDef(self, node: ast.ClassDef, env) -> None:
+        env[node.name] = self.const(
+            ClassVal(node.name, node, self.current_module)
+        )
+
+    def stmt_Assign(self, node: ast.Assign, env) -> None:
+        value = self.eval(node.value, env)
+        for target in node.targets:
+            self.assign(target, value, env, node)
+
+    def stmt_AnnAssign(self, node: ast.AnnAssign, env) -> None:
+        if node.value is not None:
+            self.assign(node.target, self.eval(node.value, env), env, node)
+
+    def stmt_AugAssign(self, node: ast.AugAssign, env) -> None:
+        op = type(node.op).__name__
+        value = self.eval(node.value, env)
+        target = node.target
+        if isinstance(target, ast.Name):
+            old = env.get(target.id, Val(UNKNOWN))
+            if old.ids:
+                # In-place update of a buffer: a mutation, ids preserved.
+                self.mutation(old.ids, node, f"augmented assignment to "
+                                            f"'{target.id}'")
+                env[target.id] = Val(UNKNOWN, old.ids,
+                                     old.rank_dep or value.rank_dep)
+            else:
+                env[target.id] = self.binop(op, old, value, node)
+        elif isinstance(target, (ast.Subscript, ast.Attribute)):
+            base = self.eval(target.value, env)
+            if base.ids:
+                what = ast.unparse(target) if hasattr(ast, "unparse") else "?"
+                self.mutation(base.ids, node,
+                              f"augmented assignment to {what}")
+
+    def stmt_If(self, node: ast.If, env) -> None:
+        cond = self.eval(node.test, env)
+        t = self.truth(cond)
+        if t is True:
+            self.exec_body(node.body, env)
+        elif t is False:
+            self.exec_body(node.orelse, env)
+        else:
+            branch = self._choose_branch(node.body, node.orelse)
+            with self._guard(node, cond.rank_dep):
+                self.exec_body(branch, env)
+
+    def stmt_While(self, node: ast.While, env) -> None:
+        iters = 0
+        while True:
+            cond = self.eval(node.test, env)
+            t = self.truth(cond)
+            if t is False:
+                break
+            if t is not True:
+                # Unknown trip count: analyze the body once, assuming
+                # every rank agrees, then stop.
+                self.note_assumption(
+                    f"loop at {self.site(node)} has an unknown trip "
+                    f"count; body analyzed once")
+                with self._guard(node, cond.rank_dep):
+                    try:
+                        self.exec_body(node.body, env)
+                    except _Break:
+                        pass
+                    except _Continue:
+                        pass
+                break
+            try:
+                self.exec_body(node.body, env)
+            except _Break:
+                break
+            except _Continue:
+                pass
+            iters += 1
+        else:  # pragma: no cover
+            pass
+        if t is False and node.orelse:
+            self.exec_body(node.orelse, env)
+
+    def stmt_For(self, node: ast.For, env) -> None:
+        it = self.eval(node.iter, env)
+        items = self.iterate(it)
+        if items is None:
+            # Unknown iterable: bind the target to an unknown element
+            # (aliasing the iterable) and analyze the body once.
+            self.note_assumption(
+                f"loop at {self.site(node)} iterates an unknown "
+                f"sequence; body analyzed once")
+            elem = Val(UNKNOWN, it.ids, it.rank_dep)
+            self.assign(node.target, elem, env, node)
+            with self._guard(node, it.rank_dep):
+                try:
+                    self.exec_body(node.body, env)
+                except (_Break, _Continue):
+                    pass
+            return
+        broke = False
+        for item in items:
+            self.assign(node.target, item, env, node)
+            try:
+                self.exec_body(node.body, env)
+            except _Break:
+                broke = True
+                break
+            except _Continue:
+                continue
+        if not broke and node.orelse:
+            self.exec_body(node.orelse, env)
+
+    def stmt_With(self, node: ast.With, env) -> None:
+        for item in node.items:
+            ctx = self.eval(item.context_expr, env)
+            if item.optional_vars is not None:
+                self.assign(item.optional_vars, ctx, env, node)
+        self.exec_body(node.body, env)
+
+    def stmt_Try(self, node: ast.Try, env) -> None:
+        # Assume the happy path: run the body; handlers are dead code.
+        # PathExit/control-flow exceptions propagate past handlers.
+        try:
+            self.exec_body(node.body, env)
+        finally:
+            self.exec_body(node.finalbody, env)
+        if node.orelse:
+            self.exec_body(node.orelse, env)
+
+    # -- branch policy ----------------------------------------------------
+
+    @staticmethod
+    def _raises(body: list[ast.stmt]) -> bool:
+        return any(isinstance(s, ast.Raise) for s in body)
+
+    def _choose_branch(self, body, orelse):
+        """Unknown condition: prefer the branch that does not raise
+        (error-exit avoidance), else assume True uniformly."""
+        if self._raises(body) and not self._raises(orelse):
+            return orelse
+        return body
+
+    class _GuardCtx:
+        def __init__(self, interp, node, rank_dep):
+            self.interp = interp
+            self.entry = [interp.site(node), rank_dep, False]
+
+        def __enter__(self):
+            self.interp.guards.append(self.entry)
+            return self
+
+        def __exit__(self, *exc):
+            self.interp.guards.pop()
+            return False
+
+    def _guard(self, node, rank_dep: bool):
+        return self._GuardCtx(self, node, rank_dep)
+
+    def comm_event_hook(self, node: ast.AST) -> None:
+        """Called for every comm op: flag rank-dependent unknown guards."""
+        for entry in self.guards:
+            site, rank_dep, _ = entry
+            entry[2] = True
+            if rank_dep and self.engine is not None:
+                self.engine.warn_unanalyzable(
+                    self.loc(node),
+                    "communication inside a rank-dependent branch or "
+                    f"loop the analyzer could not fold (guard at {site}); "
+                    "analysis assumed all ranks take the same path",
+                )
+
+    def note_assumption(self, text: str) -> None:
+        if self.engine is not None:
+            self.engine.note_assumption(self.rank, text)
+
+    def mutation(self, ids: set[int], node: ast.AST, desc: str) -> None:
+        if self.engine is not None and ids:
+            self.engine.mutation(self.rank, ids, self.loc(node), desc)
+
+    # -- assignment --------------------------------------------------------
+
+    def assign(self, target: ast.expr, value: Val, env, node) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+        elif isinstance(target, ast.Starred):
+            self.assign(target.value, value, env, node)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            self.unpack(target.elts, value, env, node)
+        elif isinstance(target, ast.Attribute):
+            base = self.eval(target.value, env)
+            if isinstance(base.c, Inst):
+                if self.engine is not None and base.ids:
+                    owner_foreign = self.engine.any_foreign(self.rank,
+                                                            base.ids)
+                    if owner_foreign:
+                        self.mutation(base.ids, node,
+                                      f"attribute store .{target.attr}")
+                base.c.attrs[target.attr] = value
+            # Attribute stores on opaque objects are not tracked.
+        elif isinstance(target, ast.Subscript):
+            base = self.eval(target.value, env)
+            idx = self.eval(target.slice, env)
+            if isinstance(base.c, list) and _is_scalar(idx.c) \
+                    and isinstance(idx.c, int) \
+                    and -len(base.c) <= idx.c < len(base.c):
+                base.c[idx.c] = value
+            elif isinstance(base.c, dict) and _is_scalar(idx.c) \
+                    and idx.c is not UNKNOWN:
+                try:
+                    base.c[idx.c] = value
+                except TypeError:
+                    pass
+            if base.ids:
+                what = target.value
+                name = what.id if isinstance(what, ast.Name) else "buffer"
+                self.mutation(base.ids, node, f"subscript store into "
+                                              f"'{name}'")
+
+    def unpack(self, targets: list[ast.expr], value: Val, env, node) -> None:
+        if isinstance(value.c, (tuple, list)) and len(value.c) == len(targets) \
+                and not any(isinstance(t, ast.Starred) for t in targets):
+            for tgt, item in zip(targets, value.c):
+                self.assign(tgt, item, env, node)
+            return
+        # Unknown (or mismatched) source: every target aliases it.
+        for tgt in targets:
+            self.assign(tgt, Val(UNKNOWN, value.ids, value.rank_dep),
+                        env, node)
+
+    # -- truthiness / folding ---------------------------------------------
+
+    def truth(self, val: Val):
+        c = val.c
+        if c is UNKNOWN:
+            return UNKNOWN
+        if _is_scalar(c):
+            return bool(c)
+        if isinstance(c, (tuple, list, dict)):
+            return bool(c)
+        if isinstance(c, (Inst, FuncVal, ClassVal, ModVal, CommVal, ReqVal,
+                          ExternalRef, _Bound, _CommOp, _ExtOp, range)):
+            return True
+        return UNKNOWN
+
+    def join(self, items: list[Val]) -> Val:
+        ids: set[int] = set()
+        rank_dep = False
+        for item in items:
+            ids |= item.ids
+            rank_dep = rank_dep or item.rank_dep
+        return Val(UNKNOWN, ids, rank_dep)
+
+    # -- expressions -------------------------------------------------------
+
+    def eval(self, node: ast.expr, env) -> Val:
+        self._tick(node)
+        method = getattr(self, "eval_" + type(node).__name__, None)
+        if method is None:
+            return Val(UNKNOWN)
+        return method(node, env)
+
+    def eval_Constant(self, node: ast.Constant, env) -> Val:
+        return self.const(node.value)
+
+    def eval_Name(self, node: ast.Name, env) -> Val:
+        if node.id in env:
+            return env[node.id]
+        menv = self.current_module.env if self.current_module else {}
+        if node.id in menv:
+            return menv[node.id]
+        if node.id in _BUILTIN_NAMES:
+            return self.const(_BuiltinRef(node.id))
+        return Val(UNKNOWN)
+
+    def eval_NamedExpr(self, node: ast.NamedExpr, env) -> Val:
+        value = self.eval(node.value, env)
+        self.assign(node.target, value, env, node)
+        return value
+
+    def eval_Tuple(self, node: ast.Tuple, env) -> Val:
+        items = self._elts(node.elts, env)
+        if items is None:
+            return Val(UNKNOWN)
+        return self.container(tuple(items))
+
+    def eval_List(self, node: ast.List, env) -> Val:
+        items = self._elts(node.elts, env)
+        if items is None:
+            return Val(UNKNOWN)
+        return self.container(list(items))
+
+    def eval_Set(self, node: ast.Set, env) -> Val:
+        for elt in node.elts:
+            self.eval(elt, env)
+        return self.fresh_unknown()
+
+    def _elts(self, elts, env) -> list[Val] | None:
+        out = []
+        for elt in elts:
+            if isinstance(elt, ast.Starred):
+                star = self.eval(elt.value, env)
+                items = self.iterate(star)
+                if items is None:
+                    return None
+                out.extend(items)
+            else:
+                out.append(self.eval(elt, env))
+        return out
+
+    def eval_Dict(self, node: ast.Dict, env) -> Val:
+        out: dict[Any, Val] = {}
+        ok = True
+        for key, value in zip(node.keys, node.values):
+            v = self.eval(value, env)
+            if key is None:
+                ok = False
+                continue
+            k = self.eval(key, env)
+            if _is_scalar(k.c) and k.c is not UNKNOWN:
+                out[k.c] = v
+            else:
+                ok = False
+        if not ok and not out:
+            return self.fresh_unknown()
+        return self.container(out)
+
+    def eval_JoinedStr(self, node: ast.JoinedStr, env) -> Val:
+        parts = []
+        for v in node.values:
+            if isinstance(v, ast.Constant):
+                parts.append(str(v.value))
+            elif isinstance(v, ast.FormattedValue):
+                inner = self.eval(v.value, env)
+                if _is_scalar(inner.c) and inner.c is not UNKNOWN:
+                    parts.append(str(inner.c))
+                else:
+                    parts.append(None)
+            else:
+                parts.append(None)
+        if any(p is None for p in parts):
+            return Val(UNKNOWN)
+        return self.const("".join(parts))
+
+    def eval_Lambda(self, node: ast.Lambda, env) -> Val:
+        return self.const(FuncVal("<lambda>", node, self.current_module))
+
+    def eval_Slice(self, node: ast.Slice, env) -> Val:
+        lo = self.eval(node.lower, env).c if node.lower else None
+        hi = self.eval(node.upper, env).c if node.upper else None
+        st = self.eval(node.step, env).c if node.step else None
+        if UNKNOWN in (lo, hi, st):
+            return Val(UNKNOWN)
+        try:
+            return self.const(slice(lo, hi, st))
+        except TypeError:
+            return Val(UNKNOWN)
+
+    def eval_IfExp(self, node: ast.IfExp, env) -> Val:
+        cond = self.eval(node.test, env)
+        t = self.truth(cond)
+        if t is True:
+            return self.eval(node.body, env)
+        if t is False:
+            return self.eval(node.orelse, env)
+        with self._guard(node, cond.rank_dep):
+            return self.eval(node.body, env)
+
+    def eval_BoolOp(self, node: ast.BoolOp, env) -> Val:
+        is_and = isinstance(node.op, ast.And)
+        result = None
+        rank_dep = False
+        for expr in node.values:
+            val = self.eval(expr, env)
+            rank_dep = rank_dep or val.rank_dep
+            t = self.truth(val)
+            if t is UNKNOWN:
+                result = UNKNOWN
+                continue
+            if is_and and t is False:
+                return val
+            if not is_and and t is True:
+                return val
+            if result is not UNKNOWN:
+                result = val
+        if result is UNKNOWN or result is None:
+            return Val(UNKNOWN, set(), rank_dep)
+        return result
+
+    def eval_UnaryOp(self, node: ast.UnaryOp, env) -> Val:
+        val = self.eval(node.operand, env)
+        if _is_scalar(val.c) and val.c is not UNKNOWN:
+            try:
+                op = type(node.op).__name__
+                if op == "Not":
+                    return self.const(not val.c, val.rank_dep)
+                if op == "USub":
+                    return self.const(-val.c, val.rank_dep)
+                if op == "UAdd":
+                    return self.const(+val.c, val.rank_dep)
+                if op == "Invert":
+                    return self.const(~val.c, val.rank_dep)
+            except TypeError:
+                pass
+        return Val(UNKNOWN, set(val.ids), val.rank_dep)
+
+    _BINOPS: dict[str, Callable[[Any, Any], Any]] = {
+        "Add": lambda a, b: a + b,
+        "Sub": lambda a, b: a - b,
+        "Mult": lambda a, b: a * b,
+        "Div": lambda a, b: a / b,
+        "FloorDiv": lambda a, b: a // b,
+        "Mod": lambda a, b: a % b,
+        "Pow": lambda a, b: a ** b,
+        "LShift": lambda a, b: a << b,
+        "RShift": lambda a, b: a >> b,
+        "BitOr": lambda a, b: a | b,
+        "BitAnd": lambda a, b: a & b,
+        "BitXor": lambda a, b: a ^ b,
+    }
+
+    def binop(self, op: str, left: Val, right: Val, node) -> Val:
+        rank_dep = left.rank_dep or right.rank_dep
+        lc, rc = left.c, right.c
+        if _is_scalar(lc) and lc is not UNKNOWN and _is_scalar(rc) \
+                and rc is not UNKNOWN:
+            fn = self._BINOPS.get(op)
+            if fn is not None:
+                try:
+                    return self.const(fn(lc, rc), rank_dep)
+                except Exception:
+                    return Val(UNKNOWN, set(), rank_dep)
+        # Concrete sequence concatenation / repetition.
+        if op == "Add" and isinstance(lc, (tuple, list)) \
+                and isinstance(rc, type(lc)):
+            return self.container(lc + rc, rank_dep)
+        if op == "Mult" and isinstance(lc, (tuple, list)) \
+                and isinstance(rc, int) and rc is not UNKNOWN:
+            return self.container(lc * rc, rank_dep)
+        if left.ids or right.ids or lc is UNKNOWN or rc is UNKNOWN:
+            # Array arithmetic allocates a fresh result buffer.
+            return self.fresh_unknown(rank_dep)
+        return Val(UNKNOWN, set(), rank_dep)
+
+    def eval_BinOp(self, node: ast.BinOp, env) -> Val:
+        left = self.eval(node.left, env)
+        right = self.eval(node.right, env)
+        return self.binop(type(node.op).__name__, left, right, node)
+
+    _CMPOPS: dict[str, Callable[[Any, Any], Any]] = {
+        "Eq": lambda a, b: a == b,
+        "NotEq": lambda a, b: a != b,
+        "Lt": lambda a, b: a < b,
+        "LtE": lambda a, b: a <= b,
+        "Gt": lambda a, b: a > b,
+        "GtE": lambda a, b: a >= b,
+    }
+
+    def _concrete(self, val: Val):
+        """Python value for comparison folding, or UNKNOWN."""
+        c = val.c
+        if _is_scalar(c) and c is not UNKNOWN:
+            return c
+        if isinstance(c, (tuple, list)):
+            out = []
+            for item in c:
+                ic = self._concrete(item)
+                if ic is UNKNOWN:
+                    return UNKNOWN
+                out.append(ic)
+            return tuple(out) if isinstance(c, tuple) else out
+        return UNKNOWN
+
+    def eval_Compare(self, node: ast.Compare, env) -> Val:
+        left = self.eval(node.left, env)
+        rank_dep = left.rank_dep
+        result = True
+        for op, comp in zip(node.ops, node.comparators):
+            right = self.eval(comp, env)
+            rank_dep = rank_dep or right.rank_dep
+            verdict = self._compare_one(type(op).__name__, left, right)
+            if verdict is UNKNOWN:
+                result = UNKNOWN
+            elif not verdict:
+                return self.const(False, rank_dep)
+            left = right
+        if result is UNKNOWN:
+            return Val(UNKNOWN, set(), rank_dep)
+        return self.const(True, rank_dep)
+
+    def _compare_one(self, op: str, left: Val, right: Val):
+        lc = self._concrete(left)
+        rc = self._concrete(right)
+        if op in ("Is", "IsNot"):
+            if left.c is None and right.c is None:
+                return op == "Is"
+            one_none = (left.c is None) != (right.c is None)
+            if one_none and UNKNOWN not in (left.c, right.c):
+                return op == "IsNot"
+            if lc is not UNKNOWN and rc is not UNKNOWN:
+                return (lc is rc) if op == "Is" else (lc is not rc)
+            return UNKNOWN
+        if op in ("In", "NotIn"):
+            if rc is UNKNOWN or lc is UNKNOWN:
+                return UNKNOWN
+            try:
+                hit = lc in rc
+            except TypeError:
+                return UNKNOWN
+            return hit if op == "In" else not hit
+        if lc is UNKNOWN or rc is UNKNOWN:
+            return UNKNOWN
+        fn = self._CMPOPS.get(op)
+        if fn is None:
+            return UNKNOWN
+        try:
+            return bool(fn(lc, rc))
+        except TypeError:
+            return UNKNOWN
+
+    # -- attribute access --------------------------------------------------
+
+    def eval_Attribute(self, node: ast.Attribute, env) -> Val:
+        base = self.eval(node.value, env)
+        return self.attr(base, node.attr, node)
+
+    def attr(self, base: Val, name: str, node) -> Val:
+        c = base.c
+        if isinstance(c, CommVal):
+            return self.comm_attr(c, name)
+        if isinstance(c, ModVal):
+            if c.module is not None:
+                menv = self.module_env(c.module)
+                if name in menv:
+                    return menv[name]
+                return Val(UNKNOWN)
+            qual = f"{c.name}.{name}"
+            if qual in _OPAQUE_CONSTS:
+                return self.const(_OPAQUE_CONSTS[qual])
+            return self.const(ExternalRef(qual))
+        if isinstance(c, ExternalRef):
+            qual = f"{c.qualname}.{name}"
+            if qual in _OPAQUE_CONSTS:
+                return self.const(_OPAQUE_CONSTS[qual])
+            return self.const(ExternalRef(qual))
+        if isinstance(c, Inst):
+            if name in c.attrs:
+                return c.attrs[name]
+            if c.cls is not None:
+                found = c.cls.lookup(name)
+                if found is not None:
+                    kind, fnode = found
+                    fv = FuncVal(name, fnode, c.cls.module)
+                    if kind == "property":
+                        return self.call_funcval(fv, [base], {}, node)
+                    if kind == "staticmethod":
+                        return self.const(fv)
+                    if kind == "classmethod":
+                        return self.const(_Bound(fv, self.const(c.cls)))
+                    return self.const(_Bound(fv, base))
+                if name in c.cls.consts:
+                    saved = self.current_module
+                    self.current_module = c.cls.module
+                    try:
+                        return self.eval(c.cls.consts[name],
+                                         c.cls.module.env)
+                    finally:
+                        self.current_module = saved
+            return Val(UNKNOWN, set(base.ids), base.rank_dep)
+        if isinstance(c, ClassVal):
+            found = c.lookup(name)
+            if found is not None:
+                kind, fnode = found
+                fv = FuncVal(name, fnode, c.module)
+                if kind == "classmethod":
+                    return self.const(_Bound(fv, base))
+                return self.const(fv)
+            if name in c.consts:
+                return self.eval(c.consts[name], c.module.env)
+            return Val(UNKNOWN)
+        if isinstance(c, ReqVal):
+            return self.const(_ReqOp(c, name))
+        if isinstance(c, FuncVal):
+            return Val(UNKNOWN)
+        if isinstance(c, (tuple, list, dict)):
+            return self.const(_SeqOp(base, name))
+        if _is_scalar(c) and c is not UNKNOWN:
+            return self.const(_SeqOp(base, name))  # str/int methods
+        # Unknown base: attribute is a view unless it is a known scalar.
+        if name in _SCALAR_ATTRS:
+            return Val(UNKNOWN, set(), base.rank_dep)
+        return self.const(_ExtOp(base, name)) if True else None
+
+    def comm_attr(self, comm: CommVal, name: str) -> Val:
+        if name == "rank":
+            return self.const(comm.myrank, rank_dep=True)
+        if name == "size":
+            return self.const(len(comm.group))
+        if name == "ANY_SOURCE" or name == "ANY_TAG":
+            return self.const(-1)
+        from ..comm.optable import OP_TABLE
+
+        if name in OP_TABLE:
+            return self.const(_CommOp(comm, name))
+        return Val(UNKNOWN)
+
+    # -- subscripts --------------------------------------------------------
+
+    def eval_Subscript(self, node: ast.Subscript, env) -> Val:
+        base = self.eval(node.value, env)
+        idx = self.eval(node.slice, env)
+        return self.subscript(base, idx, node)
+
+    def subscript(self, base: Val, idx: Val, node) -> Val:
+        c = base.c
+        ic = idx.c
+        rank_dep = base.rank_dep or idx.rank_dep
+        if isinstance(c, (tuple, list)):
+            if isinstance(ic, int) and not isinstance(ic, bool):
+                if -len(c) <= ic < len(c):
+                    return c[ic]
+                return Val(UNKNOWN, set(base.ids), rank_dep)
+            if isinstance(ic, slice):
+                try:
+                    sub = c[ic]
+                    return self.container(sub, rank_dep)
+                except (TypeError, ValueError):
+                    pass
+            return self.join(list(c)) if c else Val(UNKNOWN, set(), rank_dep)
+        if isinstance(c, dict):
+            if _is_scalar(ic) and ic is not UNKNOWN:
+                try:
+                    if ic in c:
+                        return c[ic]
+                except TypeError:
+                    pass
+                return Val(UNKNOWN, set(base.ids), rank_dep)
+            return self.join(list(c.values())) if c else \
+                Val(UNKNOWN, set(), rank_dep)
+        if isinstance(c, str) and _is_scalar(ic) and ic is not UNKNOWN:
+            try:
+                return self.const(c[ic], rank_dep)
+            except Exception:
+                return Val(UNKNOWN, set(), rank_dep)
+        if isinstance(c, range) and isinstance(ic, int):
+            try:
+                return self.const(c[ic], rank_dep)
+            except IndexError:
+                return Val(UNKNOWN, set(), rank_dep)
+        # Unknown base (ndarray...): the result is a view.
+        return Val(UNKNOWN, set(base.ids), rank_dep)
+
+    def eval_Starred(self, node: ast.Starred, env) -> Val:
+        return self.eval(node.value, env)
+
+    # -- comprehensions ----------------------------------------------------
+
+    def _comp_items(self, node, env) -> list[Val] | None:
+        """Evaluate a single-generator comprehension concretely."""
+        if len(node.generators) != 1:
+            return None
+        gen = node.generators[0]
+        if gen.is_async:
+            return None
+        source = self.eval(gen.iter, env)
+        items = self.iterate(source)
+        if items is None:
+            return None
+        out = []
+        inner = dict(env)
+        for item in items:
+            self.assign(gen.target, item, inner, node)
+            keep = True
+            for cond in gen.ifs:
+                t = self.truth(self.eval(cond, inner))
+                if t is False:
+                    keep = False
+                    break
+            if keep:
+                out.append(inner)
+                out[-1] = dict(inner)
+        return [dict(frame) for frame in out] if out or items == [] else []
+
+    def _run_comprehension(self, node, env, build):
+        if len(node.generators) != 1 or node.generators[0].is_async:
+            return self.fresh_unknown()
+        gen = node.generators[0]
+        source = self.eval(gen.iter, env)
+        items = self.iterate(source)
+        if items is None:
+            return Val(UNKNOWN, set(source.ids), source.rank_dep)
+        out = []
+        inner = dict(env)
+        for item in items:
+            self.assign(gen.target, item, inner, node)
+            keep = True
+            for cond in gen.ifs:
+                t = self.truth(self.eval(cond, inner))
+                if t is False:
+                    keep = False
+                    break
+            if keep:
+                out.append(build(inner))
+        return out
+
+    def eval_ListComp(self, node: ast.ListComp, env) -> Val:
+        out = self._run_comprehension(
+            node, env, lambda inner: self.eval(node.elt, inner))
+        if isinstance(out, Val):
+            return out
+        return self.container(out)
+
+    def eval_GeneratorExp(self, node: ast.GeneratorExp, env) -> Val:
+        out = self._run_comprehension(
+            node, env, lambda inner: self.eval(node.elt, inner))
+        if isinstance(out, Val):
+            return out
+        return self.container(tuple(out))
+
+    def eval_SetComp(self, node: ast.SetComp, env) -> Val:
+        out = self._run_comprehension(
+            node, env, lambda inner: self.eval(node.elt, inner))
+        if isinstance(out, Val):
+            return out
+        return self.fresh_unknown()
+
+    def eval_DictComp(self, node: ast.DictComp, env) -> Val:
+        def build(inner):
+            return (self.eval(node.key, inner), self.eval(node.value, inner))
+
+        out = self._run_comprehension(node, env, build)
+        if isinstance(out, Val):
+            return out
+        result: dict[Any, Val] = {}
+        for k, v in out:
+            if _is_scalar(k.c) and k.c is not UNKNOWN:
+                result[k.c] = v
+        return self.container(result)
+
+    # -- iteration ---------------------------------------------------------
+
+    def iterate(self, val: Val) -> list[Val] | None:
+        """Concrete item list of an iterable, or None when unknown."""
+        c = val.c
+        if isinstance(c, (tuple, list)):
+            return list(c)
+        if isinstance(c, dict):
+            return [self.const(k) for k in c]
+        if isinstance(c, range):
+            if len(c) > 100_000:
+                return None
+            return [self.const(i, val.rank_dep) for i in c]
+        if isinstance(c, str):
+            return [self.const(ch) for ch in c]
+        return None
+
+    # -- calls -------------------------------------------------------------
+
+    def eval_Call(self, node: ast.Call, env) -> Val:
+        func = self.eval(node.func, env)
+        args: list[Val] = []
+        args_unknown = False
+        for arg in node.args:
+            if isinstance(arg, ast.Starred):
+                star = self.eval(arg.value, env)
+                items = self.iterate(star)
+                if items is None:
+                    args_unknown = True
+                else:
+                    args.extend(items)
+            else:
+                args.append(self.eval(arg, env))
+        kwargs: dict[str, Val] = {}
+        for kw in node.keywords:
+            if kw.arg is None:
+                kwval = self.eval(kw.value, env)
+                if isinstance(kwval.c, dict):
+                    for k, v in kwval.c.items():
+                        if isinstance(k, str):
+                            kwargs[k] = v
+                else:
+                    args_unknown = True
+            else:
+                kwargs[kw.arg] = self.eval(kw.value, env)
+        return self.call(func, args, kwargs, node, args_unknown)
+
+    def call(self, func: Val, args: list[Val], kwargs: dict[str, Val],
+             node: ast.AST, args_unknown: bool = False) -> Val:
+        c = func.c
+        if isinstance(c, _CommOp):
+            if self.engine is None:
+                return Val(UNKNOWN)
+            return self.engine.comm_call(self, c.comm, c.name, args, kwargs,
+                                         node)
+        if isinstance(c, _ReqOp):
+            if self.engine is None:
+                return Val(UNKNOWN)
+            if c.name == "wait":
+                return self.engine.wait(self, c.req, node)
+            return Val(UNKNOWN)  # .test(): not modelled
+        if isinstance(c, FuncVal):
+            return self.call_funcval(c, args, kwargs, node,
+                                     args_unknown=args_unknown)
+        if isinstance(c, _Bound):
+            return self.call_funcval(c.func, [c.self_val] + args, kwargs,
+                                     node, args_unknown=args_unknown)
+        if isinstance(c, ClassVal):
+            return self.instantiate(c, args, kwargs, node)
+        if isinstance(c, _SeqOp):
+            return self.seq_call(c, args, kwargs, node)
+        if isinstance(c, _BuiltinRef):
+            return self.builtin_call(c.name, args, kwargs, node)
+        if isinstance(c, ExternalRef):
+            return self.external_call(c.qualname, args, kwargs, node)
+        if isinstance(c, _ExtOp):
+            return self.extmethod_call(c, args, kwargs, node)
+        # Calling an unknown value: opaque.
+        return self.external_call("<unknown>", args, kwargs, node)
+
+    def call_funcval(self, func: FuncVal, args: list[Val],
+                     kwargs: dict[str, Val], node: ast.AST,
+                     args_unknown: bool = False) -> Val:
+        if self.depth >= self.MAX_DEPTH:
+            return self.fresh_unknown()
+        frame: dict[str, Val] = {}
+        fnode = func.node
+        fargs = fnode.args
+        names = [a.arg for a in fargs.posonlyargs] + \
+                [a.arg for a in fargs.args]
+        saved = (self.current_module, self.current_line)
+        self.current_module = func.module
+        try:
+            if args_unknown:
+                for name in names + [a.arg for a in fargs.kwonlyargs]:
+                    frame[name] = Val(UNKNOWN)
+            else:
+                # Positional binding + *args overflow.
+                npos = min(len(args), len(names))
+                for name, val in zip(names, args):
+                    frame[name] = val
+                if fargs.vararg is not None:
+                    frame[fargs.vararg.arg] = self.container(
+                        tuple(args[npos:]))
+                # Defaults (evaluated in the callee's module env).
+                defaults = fargs.defaults
+                for name, dflt in zip(names[len(names) - len(defaults):],
+                                      defaults):
+                    if name not in frame:
+                        frame[name] = self.eval(dflt, func.module.env
+                                                if func.module else {})
+                for a, dflt in zip(fargs.kwonlyargs, fargs.kw_defaults):
+                    if dflt is not None and a.arg not in frame:
+                        frame[a.arg] = self.eval(dflt, func.module.env
+                                                 if func.module else {})
+                extra: dict[str, Val] = {}
+                for key, val in kwargs.items():
+                    if key in names or key in {a.arg
+                                               for a in fargs.kwonlyargs}:
+                        frame[key] = val
+                    else:
+                        extra[key] = val
+                if fargs.kwarg is not None:
+                    frame[fargs.kwarg.arg] = self.container(extra)
+                for name in names + [a.arg for a in fargs.kwonlyargs]:
+                    frame.setdefault(name, Val(UNKNOWN))
+            self.depth += 1
+            try:
+                if isinstance(fnode, ast.Lambda):
+                    return self.eval(fnode.body, frame)
+                self.exec_body(fnode.body, frame)
+                return self.const(None)
+            except _Return as ret:
+                return ret.value
+            finally:
+                self.depth -= 1
+        finally:
+            self.current_module, self.current_line = saved
+
+    def instantiate(self, cls: ClassVal, args: list[Val],
+                    kwargs: dict[str, Val], node: ast.AST) -> Val:
+        inst = Inst(cls)
+        val = Val(inst, {self.new_id()})
+        if cls.is_dataclass:
+            field_names = [f[0] for f in cls.fields]
+            for name, arg in zip(field_names, args):
+                inst.attrs[name] = arg
+            for key, arg in kwargs.items():
+                inst.attrs[key] = arg
+            for name, default in cls.fields:
+                if name not in inst.attrs:
+                    if default is not None:
+                        saved = self.current_module
+                        self.current_module = cls.module
+                        try:
+                            inst.attrs[name] = self.eval(default,
+                                                         cls.module.env)
+                        finally:
+                            self.current_module = saved
+                    else:
+                        inst.attrs[name] = Val(UNKNOWN)
+            return val
+        found = cls.lookup("__init__")
+        if found is not None:
+            _, fnode = found
+            fv = FuncVal("__init__", fnode, cls.module)
+            self.call_funcval(fv, [val] + args, kwargs, node)
+        return val
+
+    # -- opaque / builtin calls -------------------------------------------
+
+    def external_call(self, qualname: str, args: list[Val],
+                      kwargs: dict[str, Val], node: ast.AST) -> Val:
+        # Request.waitall(reqs) and friends: complete every handle.
+        if qualname.rsplit(".", 1)[-1] == "waitall" and self.engine is not None:
+            for arg in args:
+                for req in self._collect_reqs(arg):
+                    self.engine.wait(self, req, node)
+            return self.const(None)
+        rank_dep = any(a.rank_dep for a in args) or \
+            any(v.rank_dep for v in kwargs.values())
+        return self.fresh_unknown(rank_dep)
+
+    def _collect_reqs(self, val: Val) -> list[ReqVal]:
+        out = []
+        if isinstance(val.c, ReqVal):
+            out.append(val.c)
+        elif isinstance(val.c, (tuple, list)):
+            for item in val.c:
+                out.extend(self._collect_reqs(item))
+        return out
+
+    def extmethod_call(self, op: _ExtOp, args: list[Val],
+                       kwargs: dict[str, Val], node: ast.AST) -> Val:
+        base = op.base
+        rank_dep = base.rank_dep or any(a.rank_dep for a in args)
+        if op.name == "copy":
+            return self.fresh_unknown(rank_dep)
+        if op.name in _ALIAS_METHODS:
+            return Val(UNKNOWN, base.ids, rank_dep)
+        if op.name in _MUTATING_METHODS:
+            self.mutation(base.ids, node, f"in-place method .{op.name}()")
+            return self.const(None)
+        return self.fresh_unknown(rank_dep)
+
+    def seq_call(self, op: _SeqOp, args: list[Val], kwargs: dict[str, Val],
+                 node: ast.AST) -> Val:
+        base, name = op.base, op.name
+        c = base.c
+        if isinstance(c, list):
+            if name == "append":
+                if args:
+                    c.append(args[0])
+                return self.const(None)
+            if name == "extend":
+                items = self.iterate(args[0]) if args else None
+                if items is not None:
+                    c.extend(items)
+                else:
+                    self.mutation(base.ids, node, "list.extend(<unknown>)")
+                return self.const(None)
+            if name == "pop":
+                if c and not args:
+                    return c.pop()
+                return self.join(list(c))
+        if isinstance(c, (tuple, list)):
+            if name == "index" and args:
+                target = self._concrete(args[0])
+                if target is not UNKNOWN:
+                    for i, item in enumerate(c):
+                        ic = self._concrete(item)
+                        if ic is not UNKNOWN and ic == target:
+                            return self.const(i)
+                return Val(UNKNOWN)
+            if name == "count":
+                return Val(UNKNOWN)
+            if name == "copy":
+                return self.container(list(c))
+        if isinstance(c, dict):
+            if name == "get" and args:
+                k = self._concrete(args[0])
+                if k is not UNKNOWN:
+                    try:
+                        if k in c:
+                            return c[k]
+                    except TypeError:
+                        return Val(UNKNOWN)
+                    return args[1] if len(args) > 1 else self.const(None)
+                return self.join(list(c.values()))
+            if name == "keys":
+                return self.container([self.const(k) for k in c])
+            if name == "values":
+                return self.container(list(c.values()))
+            if name == "items":
+                return self.container(
+                    [self.container((self.const(k), v))
+                     for k, v in c.items()])
+            if name == "copy":
+                return self.container(dict(c))
+        if _is_scalar(c) and c is not UNKNOWN:
+            cargs = [self._concrete(a) for a in args]
+            ckw = {k: self._concrete(v) for k, v in kwargs.items()}
+            if UNKNOWN not in cargs and UNKNOWN not in ckw.values():
+                try:
+                    return self.const(getattr(c, name)(*cargs, **ckw))
+                except Exception:
+                    return Val(UNKNOWN)
+        return Val(UNKNOWN)
+
+    def builtin_call(self, name: str, args: list[Val],
+                     kwargs: dict[str, Val], node: ast.AST) -> Val:
+        rank_dep = any(a.rank_dep for a in args)
+        cargs = [self._concrete(a) for a in args]
+        folded = UNKNOWN not in cargs and not kwargs
+        if name == "range" and folded:
+            try:
+                return Val(range(*cargs), set(), rank_dep)
+            except (TypeError, ValueError):
+                return Val(UNKNOWN, set(), rank_dep)
+        if name in ("len",) and args:
+            c = args[0].c
+            if isinstance(c, (tuple, list, dict, str, range)):
+                return self.const(len(c), rank_dep)
+            return Val(UNKNOWN, set(), rank_dep)
+        if name in ("int", "float", "bool", "abs", "str", "round",
+                    "min", "max", "sum", "sorted", "repr", "ord", "chr",
+                    "divmod", "hash", "any", "all"):
+            if folded:
+                try:
+                    out = getattr(__import__("builtins"), name)(*cargs)
+                    if _is_scalar(out):
+                        return self.const(out, rank_dep)
+                    if isinstance(out, (tuple, list)):
+                        return self.container(
+                            type(out)(self.const(x) for x in out), rank_dep)
+                except Exception:
+                    pass
+            return Val(UNKNOWN, set(), rank_dep)
+        if name in ("list", "tuple"):
+            if not args:
+                return self.container([] if name == "list" else ())
+            items = self.iterate(args[0])
+            if items is None:
+                return Val(UNKNOWN, set(args[0].ids), rank_dep)
+            return self.container(
+                list(items) if name == "list" else tuple(items), rank_dep)
+        if name == "dict" and not args:
+            return self.container(dict(kwargs))
+        if name == "enumerate" and args:
+            items = self.iterate(args[0])
+            if items is None:
+                return Val(UNKNOWN, set(args[0].ids), rank_dep)
+            start = 0
+            if len(args) > 1 and isinstance(cargs[1], int):
+                start = cargs[1]
+            return self.container(
+                [self.container((self.const(i + start), item))
+                 for i, item in enumerate(items)], rank_dep)
+        if name == "zip":
+            lists = [self.iterate(a) for a in args]
+            if any(item is None for item in lists):
+                return Val(UNKNOWN, set(), rank_dep)
+            return self.container(
+                [self.container(tuple(row)) for row in zip(*lists)],
+                rank_dep)
+        if name == "reversed" and args:
+            items = self.iterate(args[0])
+            if items is None:
+                return Val(UNKNOWN, set(args[0].ids), rank_dep)
+            return self.container(list(reversed(items)), rank_dep)
+        if name == "isinstance":
+            return Val(UNKNOWN)
+        if name == "print":
+            return self.const(None)
+        if name == "getattr" and len(args) >= 2 and isinstance(cargs[1], str):
+            return self.attr(args[0], cargs[1], node)
+        return self.fresh_unknown(rank_dep)
+
+
+class _BuiltinRef:
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+
+_BUILTIN_NAMES = frozenset(
+    {
+        "range", "len", "int", "float", "bool", "str", "abs", "round",
+        "min", "max", "sum", "sorted", "reversed", "enumerate", "zip",
+        "list", "tuple", "dict", "set", "isinstance", "print", "getattr",
+        "repr", "ord", "chr", "divmod", "hash", "any", "all", "object",
+        "type", "frozenset", "bytearray", "slice", "map", "filter",
+    }
+)

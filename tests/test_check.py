@@ -152,6 +152,55 @@ class TestUnwaitedRequest:
         )
         assert findings == []
 
+    def test_tuple_unpacked_handles_waited_clean(self):
+        findings = lint_snippet(
+            """
+            def program(comm):
+                ra, rb = comm.isend(1, 0), comm.irecv(source=0)
+                ra.wait()
+                return rb.wait()
+            """
+        )
+        assert findings == []
+
+    def test_tuple_unpacked_handle_never_waited_flagged(self):
+        findings = lint_snippet(
+            """
+            def program(comm):
+                ra, rb = comm.isend(1, 0), comm.irecv(source=0)
+                ra.wait()
+                return None
+            """
+        )
+        assert rule_ids(findings) == ["RC102"]
+        assert "rb" in findings[0].message
+
+    def test_attribute_assigned_handle_waited_clean(self):
+        findings = lint_snippet(
+            """
+            class Exchange:
+                def start(self, comm):
+                    self.req = comm.irecv(source=1)
+
+                def finish(self):
+                    return self.req.wait()
+            """
+        )
+        assert findings == []
+
+    def test_attribute_assigned_handle_never_waited_flagged(self):
+        findings = lint_snippet(
+            """
+            class Exchange:
+                def start(self, comm):
+                    self.req = comm.irecv(source=1)
+
+                def finish(self):
+                    return None
+            """
+        )
+        assert rule_ids(findings) == ["RC102"]
+
 
 class TestRawThreadPrimitive:
     SNIPPET = """
@@ -457,6 +506,28 @@ class TestSuppression:
         findings = lint_snippet(
             """
             def f(items=[]):  # repro: noqa[RC101]
+                return items
+            """
+        )
+        assert rule_ids(findings) == ["RC106"]
+
+    def test_multi_code_noqa_suppresses_both(self):
+        findings = lint_snippet(
+            """
+            def program(comm, items=[]):  # repro: noqa[RC106, RC101]
+                if comm.rank == 0:
+                    comm.barrier()  # repro: noqa[RC101,RC107]
+                return items
+            """
+        )
+        assert findings == []
+
+    def test_multi_code_noqa_still_misses_unlisted_rule(self):
+        findings = lint_snippet(
+            """
+            def program(comm, items=[]):  # repro: noqa[RC101, RC107]
+                if comm.rank == 0:
+                    comm.barrier()  # repro: noqa[RC101]
                 return items
             """
         )

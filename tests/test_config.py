@@ -98,7 +98,7 @@ class TestGlobalConfig:
             seen["flag"] = get_config().flop_counting
 
         with config_context(flop_counting=True):
-            t = threading.Thread(target=other)
+            t = threading.Thread(target=other)  # repro: noqa[RC103]
             t.start()
             t.join()
         assert seen["flag"] is False

@@ -75,7 +75,7 @@ class TestCountingContext:
             results["counter"] = current_counter()
 
         with counting_flops():
-            t = threading.Thread(target=other)
+            t = threading.Thread(target=other)  # repro: noqa[RC103]
             t.start()
             t.join()
         assert results["counter"] is None

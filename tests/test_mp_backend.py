@@ -66,7 +66,7 @@ def prog_cycle(comm):
 
 def prog_divergent(comm):
     if comm.rank == 1:
-        return comm.reduce(comm.rank, root=0)  # wrong collective
+        return comm.reduce(comm.rank, root=0)  # wrong collective  # repro: noqa[RC101]
     return comm.allreduce(comm.rank)
 
 

@@ -443,7 +443,7 @@ class TestMetricsRegistry:
             for _ in range(1000):
                 counter.inc()
 
-        threads = [threading.Thread(target=work) for _ in range(8)]
+        threads = [threading.Thread(target=work) for _ in range(8)]  # repro: noqa[RC103]
         for t in threads:
             t.start()
         for t in threads:
@@ -456,7 +456,7 @@ class TestMetricsRegistry:
         from repro.obs import MetricsRegistry
 
         reg = MetricsRegistry()
-        stop = threading.Event()
+        stop = threading.Event()  # repro: noqa[RC103]
 
         def observe():
             s = reg.summary("lat")
@@ -471,8 +471,8 @@ class TestMetricsRegistry:
                     assert 0.0 <= summ["min"] <= summ["max"] <= 99.0
                     assert summ["count"] >= 1
 
-        reader = threading.Thread(target=snapshot)
-        writers = [threading.Thread(target=observe) for _ in range(4)]
+        reader = threading.Thread(target=snapshot)  # repro: noqa[RC103]
+        writers = [threading.Thread(target=observe) for _ in range(4)]  # repro: noqa[RC103]
         reader.start()
         for t in writers:
             t.start()
@@ -489,13 +489,13 @@ class TestMetricsRegistry:
 
         reg = MetricsRegistry()
         seen = []
-        barrier = threading.Barrier(8)
+        barrier = threading.Barrier(8)  # repro: noqa[RC103]
 
         def create():
             barrier.wait()
             seen.append(reg.counter("shared"))
 
-        threads = [threading.Thread(target=create) for _ in range(8)]
+        threads = [threading.Thread(target=create) for _ in range(8)]  # repro: noqa[RC103]
         for t in threads:
             t.start()
         for t in threads:

@@ -1,0 +1,660 @@
+"""Tests for the static SPMD protocol analyzer (repro.check.proto).
+
+Layout mirrors the acceptance criteria:
+
+- one true-positive and one near-miss fixture per RC201-RC206 rule;
+- cross-validation: every program the runtime ``SpmdVerifier`` /
+  deadlock detector flags in tests/test_check.py is flagged statically
+  at the same rank count, with the analogous rule;
+- the shipped solver programs (repro.check.entries) analyze clean at
+  P in {2, 4, 8} inside the CI time budget;
+- CLI, --explain, JSON/SARIF output, noqa suppression, and the
+  op-table-vs-Communicator conformance contract.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import time
+
+import pytest
+
+from repro.check.__main__ import main as check_main
+from repro.check.proto import (
+    analyze_path,
+    analyze_target,
+    render_explain,
+    resolve_target,
+)
+from repro.comm.communicator import Communicator
+from repro.comm.optable import (
+    COLLECTIVE_OPS,
+    NONBLOCKING_OPS,
+    OP_TABLE,
+    POINT_TO_POINT_OPS,
+)
+
+
+def analyze_src(tmp_path, source: str, nranks: int, program: str = "program"):
+    """Write ``source`` to a fixture file and analyze one program."""
+    path = tmp_path / "fixture.py"
+    path.write_text(source, encoding="utf-8")
+    runs = analyze_path(str(path), [nranks], programs=[program])
+    assert len(runs) == 1
+    return runs[0]
+
+
+def rule_ids(run) -> set[str]:
+    return {f.rule_id for f in run.findings}
+
+
+def error_ids(run) -> set[str]:
+    return {f.rule_id for f in run.errors}
+
+
+# ---------------------------------------------------------------------------
+# RC201: unmatched message
+# ---------------------------------------------------------------------------
+
+
+class TestRC201:
+    def test_send_never_received(self, tmp_path):
+        run = analyze_src(tmp_path, (
+            "def program(comm):\n"
+            "    if comm.rank == 0:\n"
+            "        comm.send('x', 1, tag=7)\n"
+        ), 2)
+        assert error_ids(run) == {"RC201"}
+        f = [f for f in run.findings if f.rule_id == "RC201"][0]
+        assert f.line == 3
+        assert "never received" in f.message
+
+    def test_recv_nobody_sends(self, tmp_path):
+        run = analyze_src(tmp_path, (
+            "def program(comm):\n"
+            "    return comm.recv()\n"
+        ), 2)
+        assert error_ids(run) == {"RC201"}
+        assert "blocks forever" in run.findings[0].message
+
+    def test_near_miss_matched_pair_clean(self, tmp_path):
+        run = analyze_src(tmp_path, (
+            "def program(comm):\n"
+            "    if comm.rank == 0:\n"
+            "        comm.send('x', 1, tag=7)\n"
+            "    elif comm.rank == 1:\n"
+            "        return comm.recv(source=0, tag=7)\n"
+        ), 2)
+        assert run.findings == []
+
+
+# ---------------------------------------------------------------------------
+# RC202: tag or peer mismatch
+# ---------------------------------------------------------------------------
+
+
+class TestRC202:
+    def test_tag_mismatch(self, tmp_path):
+        run = analyze_src(tmp_path, (
+            "def program(comm):\n"
+            "    if comm.rank == 0:\n"
+            "        comm.send('x', 1, tag=1)\n"
+            "    else:\n"
+            "        return comm.recv(source=0, tag=2)\n"
+        ), 2)
+        assert "RC202" in error_ids(run)
+        f = [f for f in run.findings if f.rule_id == "RC202"][0]
+        assert "different tags" in f.message
+
+    def test_out_of_range_dest(self, tmp_path):
+        run = analyze_src(tmp_path, (
+            "def program(comm):\n"
+            "    comm.send('x', comm.size, tag=1)\n"
+        ), 2)
+        assert "RC202" in error_ids(run)
+
+    def test_near_miss_same_tags_clean(self, tmp_path):
+        run = analyze_src(tmp_path, (
+            "def program(comm):\n"
+            "    if comm.rank == 0:\n"
+            "        comm.send('x', 1, tag=2)\n"
+            "    elif comm.rank == 1:\n"
+            "        return comm.recv(source=0, tag=2)\n"
+        ), 2)
+        assert run.findings == []
+
+
+# ---------------------------------------------------------------------------
+# RC203: send-recv deadlock cycles
+# ---------------------------------------------------------------------------
+
+
+class TestRC203:
+    def test_recv_before_send_ring(self, tmp_path):
+        run = analyze_src(tmp_path, (
+            "def program(comm):\n"
+            "    nxt = (comm.rank + 1) % comm.size\n"
+            "    val = comm.recv(source=nxt, tag=3)\n"
+            "    comm.send(val, nxt, tag=3)\n"
+        ), 3)
+        assert error_ids(run) == {"RC203"}
+        assert "wait-for cycle" in run.findings[0].message
+
+    def test_near_miss_send_first_ring_clean(self, tmp_path):
+        run = analyze_src(tmp_path, (
+            "def program(comm):\n"
+            "    right = (comm.rank + 1) % comm.size\n"
+            "    left = (comm.rank - 1) % comm.size\n"
+            "    comm.send(comm.rank, right, tag=3)\n"
+            "    return comm.recv(source=left, tag=3)\n"
+        ), 3)
+        assert run.findings == []
+
+
+# ---------------------------------------------------------------------------
+# RC204: collective divergence
+# ---------------------------------------------------------------------------
+
+
+class TestRC204:
+    def test_different_ops_same_slot(self, tmp_path):
+        run = analyze_src(tmp_path, (
+            "def program(comm):\n"
+            "    if comm.rank == 0:\n"
+            "        return comm.bcast(0, root=0)\n"
+            "    return comm.allreduce(1)\n"
+        ), 2)
+        assert error_ids(run) == {"RC204"}
+        msg = run.findings[0].message
+        assert "bcast" in msg and "allreduce" in msg
+
+    def test_root_mismatch(self, tmp_path):
+        run = analyze_src(tmp_path, (
+            "def program(comm):\n"
+            "    return comm.bcast(0, root=comm.rank)\n"
+        ), 2)
+        assert error_ids(run) == {"RC204"}
+        assert "root" in run.findings[0].message
+
+    def test_subset_never_enters(self, tmp_path):
+        run = analyze_src(tmp_path, (
+            "def program(comm):\n"
+            "    comm.barrier()\n"
+            "    if comm.rank == 1:\n"
+            "        comm.barrier()\n"
+            "    return comm.allreduce(comm.rank)\n"
+        ), 2)
+        assert error_ids(run) == {"RC204"}
+
+    def test_near_miss_uniform_collectives_clean(self, tmp_path):
+        run = analyze_src(tmp_path, (
+            "def program(comm):\n"
+            "    comm.barrier()\n"
+            "    items = comm.allgather(comm.rank)\n"
+            "    comm.scatter(items, root=1)\n"
+            "    comm.alltoall(items)\n"
+            "    comm.reduce(comm.rank, root=1)\n"
+            "    comm.exscan(comm.rank)\n"
+            "    return comm.scan(comm.rank)\n"
+        ), 4)
+        assert run.findings == []
+
+    def test_near_miss_split_subgroups_diverge_legitimately(self, tmp_path):
+        run = analyze_src(tmp_path, (
+            "def program(comm):\n"
+            "    sub = comm.split(comm.rank % 2)\n"
+            "    if comm.rank % 2 == 0:\n"
+            "        sub.barrier()\n"
+            "        return sub.allreduce(comm.rank)\n"
+            "    return sub.allgather(comm.rank)\n"
+        ), 4)
+        assert run.findings == []
+
+    def test_near_miss_dup_clean(self, tmp_path):
+        run = analyze_src(tmp_path, (
+            "def program(comm):\n"
+            "    other = comm.dup()\n"
+            "    return other.allreduce(1)\n"
+        ), 3)
+        assert run.findings == []
+
+
+# ---------------------------------------------------------------------------
+# RC205: mutation of an in-flight isend payload
+# ---------------------------------------------------------------------------
+
+
+class TestRC205:
+    def test_mutate_between_isend_and_wait(self, tmp_path):
+        run = analyze_src(tmp_path, (
+            "import numpy as np\n"
+            "def program(comm):\n"
+            "    buf = np.zeros(4)\n"
+            "    req = comm.isend(buf, (comm.rank + 1) % comm.size, tag=9)\n"
+            "    buf[0] = 1.0\n"
+            "    req.wait()\n"
+            "    return comm.recv(source=(comm.rank - 1) % comm.size, tag=9)\n"
+        ), 2)
+        assert "RC205" in error_ids(run)
+        f = [f for f in run.findings if f.rule_id == "RC205"][0]
+        assert f.line == 5
+
+    def test_mutation_through_view_is_still_flagged(self, tmp_path):
+        run = analyze_src(tmp_path, (
+            "import numpy as np\n"
+            "def program(comm):\n"
+            "    buf = np.zeros(4)\n"
+            "    view = buf.reshape(2, 2)\n"
+            "    req = comm.isend(buf, (comm.rank + 1) % comm.size, tag=9)\n"
+            "    view[0] = 1.0\n"
+            "    req.wait()\n"
+            "    return comm.recv(source=(comm.rank - 1) % comm.size, tag=9)\n"
+        ), 2)
+        assert "RC205" in error_ids(run)
+
+    def test_near_miss_mutate_after_wait_clean(self, tmp_path):
+        run = analyze_src(tmp_path, (
+            "import numpy as np\n"
+            "def program(comm):\n"
+            "    buf = np.zeros(4)\n"
+            "    req = comm.isend(buf, (comm.rank + 1) % comm.size, tag=9)\n"
+            "    got = comm.recv(source=(comm.rank - 1) % comm.size, tag=9)\n"
+            "    req.wait()\n"
+            "    buf[0] = 1.0\n"
+            "    return got\n"
+        ), 2)
+        assert run.findings == []
+
+    def test_near_miss_send_copy_clean(self, tmp_path):
+        run = analyze_src(tmp_path, (
+            "import numpy as np\n"
+            "def program(comm):\n"
+            "    buf = np.zeros(4)\n"
+            "    req = comm.isend(buf.copy(), (comm.rank + 1) % comm.size,\n"
+            "                     tag=9)\n"
+            "    buf[0] = 1.0\n"
+            "    req.wait()\n"
+            "    return comm.recv(source=(comm.rank - 1) % comm.size, tag=9)\n"
+        ), 2)
+        assert run.findings == []
+
+
+# ---------------------------------------------------------------------------
+# RC206: mutation of a zero-copy received view
+# ---------------------------------------------------------------------------
+
+
+class TestRC206:
+    def test_mutate_received_payload(self, tmp_path):
+        run = analyze_src(tmp_path, (
+            "import numpy as np\n"
+            "def program(comm):\n"
+            "    buf = np.zeros(4)\n"
+            "    comm.send(buf, (comm.rank + 1) % comm.size, tag=11)\n"
+            "    got = comm.recv(source=(comm.rank - 1) % comm.size, tag=11)\n"
+            "    got[0] = 2.0\n"
+            "    return got\n"
+        ), 2)
+        assert "RC206" in error_ids(run)
+        f = [f for f in run.findings if f.rule_id == "RC206"][0]
+        assert f.line == 6
+        assert "zero-copy" in f.message
+
+    def test_mutate_bcast_payload(self, tmp_path):
+        run = analyze_src(tmp_path, (
+            "import numpy as np\n"
+            "def program(comm):\n"
+            "    x = np.zeros(3) if comm.rank == 0 else None\n"
+            "    x = comm.bcast(x, root=0)\n"
+            "    if comm.rank == 1:\n"
+            "        x += 1.0\n"
+            "    return x\n"
+        ), 2)
+        assert "RC206" in error_ids(run)
+
+    def test_near_miss_mutate_copy_clean(self, tmp_path):
+        run = analyze_src(tmp_path, (
+            "import numpy as np\n"
+            "def program(comm):\n"
+            "    buf = np.zeros(4)\n"
+            "    comm.send(buf, (comm.rank + 1) % comm.size, tag=11)\n"
+            "    got = comm.recv(source=(comm.rank - 1) % comm.size,\n"
+            "                    tag=11).copy()\n"
+            "    got[0] = 2.0\n"
+            "    return got\n"
+        ), 2)
+        assert run.findings == []
+
+
+# ---------------------------------------------------------------------------
+# Cross-validation against the runtime verifier fixtures
+# (tests/test_check.py runs these same programs under run_spmd and
+# expects SpmdDivergenceError / DeadlockError / UnconsumedMessageError
+# at the rank counts used here).
+# ---------------------------------------------------------------------------
+
+
+RUNTIME_FIXTURES = [
+    # (source, nranks, expected static rule)
+    (
+        "def program(comm):\n"
+        "    if comm.rank == 0:\n"
+        "        return comm.bcast(0, root=0)\n"
+        "    return comm.allreduce(1)\n",
+        2, "RC204",
+    ),
+    (
+        "def program(comm):\n"
+        "    root = comm.rank\n"
+        "    return comm.bcast(0, root=root)\n",
+        2, "RC204",
+    ),
+    (
+        "def program(comm):\n"
+        "    comm.barrier()\n"
+        "    if comm.rank == 1:\n"
+        "        comm.barrier()\n"
+        "    return comm.allreduce(comm.rank)\n",
+        2, "RC204",
+    ),
+    (
+        "def program(comm):\n"
+        "    nxt = (comm.rank + 1) % comm.size\n"
+        "    val = comm.recv(source=nxt, tag=3)\n"
+        "    comm.send(val, nxt, tag=3)\n",
+        3, "RC203",
+    ),
+    (
+        # Mutual recv with nobody sending: the runtime names the
+        # wait-for cycle, and so does the static pass.
+        "def program(comm):\n"
+        "    return comm.recv(source=(comm.rank + 1) % comm.size, tag=5)\n",
+        2, "RC203",
+    ),
+    (
+        "def program(comm):\n"
+        "    if comm.rank == 0:\n"
+        "        comm.send('x', 1, tag=1)\n"
+        "    else:\n"
+        "        return comm.recv(source=0, tag=2)\n",
+        2, "RC202",
+    ),
+    (
+        "def program(comm):\n"
+        "    if comm.rank == 0:\n"
+        "        comm.send('x', 1, tag=7)\n",
+        2, "RC201",
+    ),
+    (
+        "def program(comm):\n"
+        "    return comm.recv()\n",
+        2, "RC201",
+    ),
+]
+
+
+class TestRuntimeCrossValidation:
+    @pytest.mark.parametrize("source,nranks,expected",
+                             [(s, n, r) for s, n, r in RUNTIME_FIXTURES])
+    def test_runtime_flagged_program_is_flagged_statically(
+            self, tmp_path, source, nranks, expected):
+        run = analyze_src(tmp_path, source, nranks)
+        assert expected in error_ids(run), (
+            f"runtime-flagged program not caught statically at "
+            f"P={nranks}; findings: {[f.format() for f in run.findings]}"
+        )
+
+    def test_runtime_clean_programs_are_clean_statically(self, tmp_path):
+        clean = [
+            # test_clean_program_no_warning
+            ("def program(comm):\n"
+             "    comm.send(comm.rank, (comm.rank + 1) % comm.size, tag=1)\n"
+             "    return comm.recv(tag=1)\n", 2),
+            # test_clean_program_passes_all_collectives
+            ("def program(comm):\n"
+             "    comm.barrier()\n"
+             "    items = comm.allgather(comm.rank)\n"
+             "    comm.scatter(items, root=1)\n"
+             "    comm.alltoall(items)\n"
+             "    comm.reduce(comm.rank, root=1)\n"
+             "    comm.exscan(comm.rank)\n"
+             "    return comm.scan(comm.rank)\n", 4),
+        ]
+        for source, nranks in clean:
+            run = analyze_src(tmp_path, source, nranks)
+            assert run.findings == [], [f.format() for f in run.findings]
+
+
+# ---------------------------------------------------------------------------
+# Analyzability warnings (RC207) and noqa plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestWarnings:
+    def test_rank_dependent_unfoldable_guard_warns(self, tmp_path):
+        run = analyze_src(tmp_path, (
+            "import random\n"
+            "def program(comm):\n"
+            "    if random.random() < comm.rank:\n"
+            "        comm.barrier()\n"
+        ), 2)
+        assert rule_ids(run) == {"RC207"}
+        assert error_ids(run) == set()
+        assert all(f.severity == "warning" for f in run.findings)
+
+    def test_rank_uniform_unknown_guard_does_not_warn(self, tmp_path):
+        run = analyze_src(tmp_path, (
+            "import random\n"
+            "def program(comm):\n"
+            "    if random.random() < 0.5:\n"
+            "        comm.barrier()\n"
+        ), 2)
+        assert run.findings == []
+
+    def test_unfoldable_send_dest_warns(self, tmp_path):
+        run = analyze_src(tmp_path, (
+            "import os\n"
+            "def program(comm):\n"
+            "    comm.send('x', int(os.environ['D']), tag=0)\n"
+        ), 2)
+        assert rule_ids(run) == {"RC207"}
+
+    def test_noqa_suppresses_proto_finding(self, tmp_path):
+        run = analyze_src(tmp_path, (
+            "def program(comm):\n"
+            "    if comm.rank == 0:\n"
+            "        comm.send('x', 1, tag=7)  # repro: noqa[RC201]\n"
+        ), 2)
+        assert run.findings == []
+
+
+# ---------------------------------------------------------------------------
+# Shipped solvers: the CI regression gate
+# ---------------------------------------------------------------------------
+
+
+class TestSolverGate:
+    def test_all_solvers_clean_at_2_4_8_under_budget(self):
+        start = time.monotonic()
+        runs = analyze_target("repro.check.entries", [2, 4, 8])
+        elapsed = time.monotonic() - start
+        programs = {run.program for run in runs}
+        assert programs == {"rd_program", "ard_program", "spike_program",
+                            "bcyclic_program"}
+        assert len(runs) == 12
+        for run in runs:
+            assert run.findings == [], (
+                f"{run.program} @ P={run.nranks}: "
+                f"{[f.format() for f in run.findings]}"
+            )
+        assert elapsed < 5.0, f"solver gate took {elapsed:.2f}s"
+
+    def test_events_cover_real_communication(self):
+        runs = analyze_target("repro.check.entries", [4],
+                              programs=["rd_program"])
+        events = runs[0].events
+        assert set(events) == {0, 1, 2, 3}
+        # The butterfly exchanges plus the closing bcast must appear.
+        text = "\n".join(ev for rank in events for ev in events[rank])
+        assert "send" in text and "allgather" in text and "bcast" in text
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestProtoCli:
+    def _fixture(self, tmp_path, source):
+        path = tmp_path / "cli_fixture.py"
+        path.write_text(source, encoding="utf-8")
+        return str(path)
+
+    def test_exit_zero_on_clean(self, tmp_path, capsys):
+        path = self._fixture(tmp_path, (
+            "def program(comm):\n"
+            "    return comm.allreduce(comm.rank)\n"
+        ))
+        assert check_main(["proto", path, "--ranks", "2,3"]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_exit_one_on_errors(self, tmp_path, capsys):
+        path = self._fixture(tmp_path, (
+            "def program(comm):\n"
+            "    if comm.rank == 0:\n"
+            "        comm.send('x', 1, tag=7)\n"
+        ))
+        assert check_main(["proto", path, "--ranks", "2"]) == 1
+        assert "RC201" in capsys.readouterr().out
+
+    def test_warnings_exit_zero_unless_strict(self, tmp_path, capsys):
+        path = self._fixture(tmp_path, (
+            "import os\n"
+            "def program(comm):\n"
+            "    comm.send('x', int(os.environ['D']), tag=0)\n"
+        ))
+        assert check_main(["proto", path, "--ranks", "2"]) == 0
+        capsys.readouterr()
+        assert check_main(["proto", path, "--ranks", "2", "--strict"]) == 1
+
+    def test_explain_prints_event_sequences(self, tmp_path, capsys):
+        path = self._fixture(tmp_path, (
+            "def program(comm):\n"
+            "    comm.send(comm.rank, (comm.rank + 1) % comm.size, tag=1)\n"
+            "    return comm.recv(tag=1)\n"
+        ))
+        assert check_main(["proto", path, "--ranks", "2", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "rank 0:" in out and "rank 1:" in out
+        assert "send(dest=1, tag=1)" in out
+        assert "matched send" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        path = self._fixture(tmp_path, (
+            "def program(comm):\n"
+            "    return comm.recv()\n"
+        ))
+        assert check_main(["proto", path, "--ranks", "2",
+                           "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["program"] == "program"
+        assert payload[0]["nranks"] == 2
+        assert payload[0]["findings"][0]["rule_id"] == "RC201"
+
+    def test_sarif_format(self, tmp_path, capsys):
+        path = self._fixture(tmp_path, (
+            "def program(comm):\n"
+            "    return comm.recv()\n"
+        ))
+        assert check_main(["proto", path, "--ranks", "2,3",
+                           "--format", "sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro.check proto"
+        assert {r["id"] for r in run["tool"]["driver"]["rules"]} == {"RC201"}
+        # Identical findings from the P=2 and P=3 runs are deduplicated.
+        assert len(run["results"]) == 1
+        loc = run["results"][0]["locations"][0]["physicalLocation"]
+        assert loc["region"]["startLine"] == 2
+
+    def test_bad_ranks_is_usage_error(self, tmp_path):
+        path = self._fixture(tmp_path, "def program(comm):\n    pass\n")
+        assert check_main(["proto", path, "--ranks", "nope"]) == 2
+        assert check_main(["proto", path, "--ranks", "0"]) == 2
+
+    def test_missing_target_is_usage_error(self):
+        assert check_main(["proto", "no.such.module", "--ranks", "2"]) == 2
+
+    def test_no_programs_is_usage_error(self, tmp_path):
+        path = self._fixture(tmp_path, "X = 1\n")
+        assert check_main(["proto", path, "--ranks", "2"]) == 2
+
+    def test_lint_sarif_format(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "def p(comm):\n"
+            "    if comm.rank:\n"
+            "        comm.barrier()\n",
+            encoding="utf-8",
+        )
+        assert check_main(["lint", str(bad), "--format", "sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["runs"][0]["results"][0]["ruleId"] == "RC101"
+
+    def test_module_target_resolution(self):
+        path = resolve_target("repro.check.entries")
+        assert path.endswith("entries.py")
+        with pytest.raises(FileNotFoundError):
+            resolve_target("definitely.not.a.module")
+
+
+# ---------------------------------------------------------------------------
+# Op table conformance: the analyzer's machine-readable description of
+# the Communicator surface must match the real class.
+# ---------------------------------------------------------------------------
+
+
+class TestOpTableConformance:
+    def test_every_op_exists_with_matching_params(self):
+        for name, spec in OP_TABLE.items():
+            method = getattr(Communicator, name, None)
+            assert method is not None, f"op table names missing method {name}"
+            sig = inspect.signature(method)
+            params = tuple(p for p in sig.parameters if p != "self")
+            assert params == spec.params, (
+                f"{name}: op table params {spec.params} != "
+                f"signature {params}"
+            )
+
+    def test_param_roles_point_at_real_params(self):
+        for name, spec in OP_TABLE.items():
+            for role in ("payload_param", "peer_param", "tag_param",
+                         "root_param"):
+                idx = getattr(spec, role)
+                if idx is not None:
+                    assert 0 <= idx < len(spec.params), (name, role)
+
+    def test_kind_partition(self):
+        assert COLLECTIVE_OPS & POINT_TO_POINT_OPS == frozenset()
+        assert NONBLOCKING_OPS == {"isend", "irecv"}
+        assert "barrier" in COLLECTIVE_OPS and "send" in POINT_TO_POINT_OPS
+
+    def test_no_public_comm_op_missing_from_table(self):
+        # Public callables that communicate must be described; local
+        # helpers and properties are exempt.
+        # rank/size are topology accessors; payload_nbytes is the local
+        # cost-accounting helper — none of them communicate.
+        exempt = {"rank", "size", "payload_nbytes"}
+        for name, member in vars(Communicator).items():
+            if name.startswith("_") or name in exempt:
+                continue
+            if isinstance(member, property):
+                continue
+            if callable(member):
+                assert name in OP_TABLE, (
+                    f"Communicator.{name} is not described in "
+                    "repro.comm.optable.OP_TABLE"
+                )

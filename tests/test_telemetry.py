@@ -80,7 +80,7 @@ class TestTraceContext:
         with trace_context() as tc:
             assert current_trace_context() is tc
             seen = []
-            t = threading.Thread(
+            t = threading.Thread(  # repro: noqa[RC103]
                 target=lambda: seen.append(current_trace_context()))
             t.start()
             t.join()
