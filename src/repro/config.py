@@ -27,7 +27,9 @@ from .exceptions import ConfigError
 
 __all__ = ["ReproConfig", "get_config", "set_config", "install_config",
            "config_context", "BLOCKOPS_BACKENDS", "RECURRENCE_MODES",
-           "COMM_BACKENDS"]
+           "COMM_BACKENDS", "DEFAULT_VECTOR_SOLVE_MAX_WORK",
+           "DEFAULT_LEVELWISE_MIN_ROWS", "DEFAULT_LEVELWISE_MAX_BLOCK",
+           "DEFAULT_LEVELWISE_MAX_RHS", "TUNABLE_THRESHOLDS"]
 
 #: Valid values of :attr:`ReproConfig.blockops_backend`.
 BLOCKOPS_BACKENDS = frozenset({"batched", "scipy_loop"})
@@ -37,6 +39,40 @@ RECURRENCE_MODES = frozenset({"auto", "sequential", "levelwise"})
 
 #: Valid values of :attr:`ReproConfig.comm_backend`.
 COMM_BACKENDS = frozenset({"threads", "processes"})
+
+# Documented default crossovers, measured on the reference x86 host
+# (docs/KERNELS.md).  They are *defaults*, not gates: the solve hot path
+# reads the live config fields below, which `repro.perfmodel.planner`
+# overwrites with this host's tuned values (``apply_tuning``) and users
+# may override directly via ``set_config`` / ``config_context``.
+
+#: Default ``vector_solve_max_work``: the ``batched`` LU backend's
+#: substitution stays vectorized while the per-block panel work
+#: ``m * r`` is at or below this bound (conservative half of the
+#: measured ``m * r ~ 1000`` crossover; see docs/KERNELS.md).
+DEFAULT_VECTOR_SOLVE_MAX_WORK = 512
+
+#: Default ``levelwise_min_rows``: ``recurrence_mode="auto"`` switches
+#: to level-wise evaluation at this many transfer rows.
+DEFAULT_LEVELWISE_MIN_ROWS = 64
+
+#: Default ``levelwise_max_block``: ``auto`` stays sequential above
+#: this block order.
+DEFAULT_LEVELWISE_MAX_BLOCK = 16
+
+#: Default ``levelwise_max_rhs``: ``auto`` keeps the vector kernels
+#: sequential above this RHS panel width.
+DEFAULT_LEVELWISE_MAX_RHS = 32
+
+#: The config fields a tuning table may override, with their documented
+#: defaults — the schema contract between :class:`ReproConfig` and
+#: ``repro.perfmodel.planner``'s ``TuningTable.thresholds``.
+TUNABLE_THRESHOLDS = {
+    "vector_solve_max_work": DEFAULT_VECTOR_SOLVE_MAX_WORK,
+    "levelwise_min_rows": DEFAULT_LEVELWISE_MIN_ROWS,
+    "levelwise_max_block": DEFAULT_LEVELWISE_MAX_BLOCK,
+    "levelwise_max_rhs": DEFAULT_LEVELWISE_MAX_RHS,
+}
 
 
 def _default_comm_backend() -> str:
@@ -80,6 +116,21 @@ class ReproConfig:
         ``"processes"`` (true multi-core via :mod:`repro.comm.mp` with
         shared-memory payload transport).  The environment variable
         ``REPRO_COMM_BACKEND`` sets the default.  See docs/BACKENDS.md.
+    vector_solve_max_work:
+        Widest per-block panel work ``m * r`` the ``batched`` LU
+        backend's vectorized substitution handles before
+        :meth:`repro.linalg.blockops.BatchedLU.solve` hands each block
+        to LAPACK ``getrs`` instead.  Default
+        :data:`DEFAULT_VECTOR_SOLVE_MAX_WORK`; tuned per host by
+        ``python -m repro.harness tune`` (docs/PLANNER.md).
+    levelwise_min_rows / levelwise_max_block / levelwise_max_rhs:
+        The ``recurrence_mode="auto"`` gates: level-wise evaluation is
+        chosen iff the chunk has at least ``levelwise_min_rows``
+        transfer rows, the block order is at most
+        ``levelwise_max_block``, and (vector kernels only) the RHS
+        panel is at most ``levelwise_max_rhs`` columns wide.  Defaults
+        are the reference-host crossovers (docs/KERNELS.md); tuned per
+        host by ``python -m repro.harness tune``.
     """
 
     dtype: np.dtype = dataclasses.field(default_factory=lambda: np.dtype(np.float64))
@@ -89,6 +140,10 @@ class ReproConfig:
     blockops_backend: str = "batched"
     recurrence_mode: str = "auto"
     comm_backend: str = dataclasses.field(default_factory=_default_comm_backend)
+    vector_solve_max_work: int = DEFAULT_VECTOR_SOLVE_MAX_WORK
+    levelwise_min_rows: int = DEFAULT_LEVELWISE_MIN_ROWS
+    levelwise_max_block: int = DEFAULT_LEVELWISE_MAX_BLOCK
+    levelwise_max_rhs: int = DEFAULT_LEVELWISE_MAX_RHS
 
     def __post_init__(self) -> None:
         dt = np.dtype(self.dtype)
@@ -119,6 +174,12 @@ class ReproConfig:
                 f"comm_backend must be one of {sorted(COMM_BACKENDS)}, "
                 f"got {self.comm_backend!r}"
             )
+        for name in TUNABLE_THRESHOLDS:
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise ConfigError(
+                    f"{name} must be a positive integer, got {value!r}"
+                )
 
 
 _state = threading.local()

@@ -8,6 +8,12 @@ expose modelled timings via ``return_info=True``.
 
 Methods
 -------
+``"auto"``
+    Let the autotuned planner (:mod:`repro.perfmodel.planner`) pick
+    the method, comm backend, and kernel configuration for this
+    problem shape — never predicted slower than the reference
+    streamed-ARD path.  The chosen :class:`~repro.perfmodel.Plan`
+    lands on ``SolveInfo.plan`` and in ``plan.*`` trace instants.
 ``"ard"``
     Accelerated recursive doubling (the paper's contribution).
 ``"rd"``
@@ -50,8 +56,13 @@ from .thomas import ThomasFactorization
 __all__ = ["solve", "factor", "fingerprint", "SolveInfo", "SOLVE_METHODS",
            "FACTOR_METHODS"]
 
-SOLVE_METHODS = ("ard", "rd", "spike", "thomas", "cyclic", "dense", "banded", "sparse")
-FACTOR_METHODS = ("ard", "spike", "thomas", "cyclic")
+SOLVE_METHODS = ("auto", "ard", "rd", "spike", "thomas", "cyclic", "dense",
+                 "banded", "sparse")
+FACTOR_METHODS = ("auto", "ard", "spike", "thomas", "cyclic")
+
+#: What ``method="auto"`` may resolve to in :func:`factor` — the
+#: planner portfolio restricted to methods with reusable factorizations.
+_AUTO_FACTOR_PORTFOLIO = ("ard", "spike", "thomas", "cyclic")
 
 
 @dataclasses.dataclass
@@ -85,6 +96,11 @@ class SolveInfo:
     health:
         :class:`~repro.obs.health.HealthReport` when the solve ran
         with ``health=True``; ``None`` otherwise.
+    plan:
+        The :class:`~repro.perfmodel.Plan` the autotuned planner
+        chose when the solve ran with ``method="auto"``; ``None`` for
+        explicit methods.  :attr:`method` then echoes the *resolved*
+        method (``plan.method``), never the literal ``"auto"``.
     """
 
     method: str
@@ -97,6 +113,7 @@ class SolveInfo:
     phase_report: Any | None = None
     trace_id: str | None = None
     health: Any | None = None
+    plan: Any | None = None
 
 
 def _reject_unknown_kwargs(fn_name: str, kwargs: dict) -> None:
@@ -205,12 +222,23 @@ def solve(
     """
     _reject_unknown_kwargs("solve", unknown_kwargs)
     _validate(matrix, method, nranks)
-    if check and method in ("ard", "rd"):
-        diagnose(matrix)
 
     n, m = matrix.nblocks, matrix.block_size
     bb, original = reshape_rhs(b, n, m)
     nrhs = bb.shape[2]
+
+    planned = None
+    if method == "auto":
+        from ..perfmodel.planner import plan as _resolve_plan
+
+        planned = _resolve_plan(n, m, p=nranks, r=nrhs, dtype=matrix.dtype)
+        method = planned.method
+        nranks = planned.nranks
+        if backend is None:
+            backend = planned.comm_backend
+
+    if check and method in ("ard", "rd"):
+        diagnose(matrix)
     factor_result = None
     solve_result = None
     virtual_time = None
@@ -237,6 +265,14 @@ def solve(
             tc = new_trace_context()
         if tc is not None:
             stack.enter_context(trace_context(tc))
+        if planned is not None:
+            # Pin the planned kernel configuration for this solve only,
+            # and stamp the decision into the active trace.
+            from ..config import config_context
+            from ..obs.tracer import instant
+
+            stack.enter_context(config_context(**planned.config_overrides()))
+            instant("plan.selected", cat="plan", **planned.to_dict())
 
         if method in ("ard", "spike"):
             cls = ARDFactorization if method == "ard" else SpikeFactorization
@@ -320,11 +356,16 @@ def solve(
         phase_report=phase_report,
         trace_id=tc.trace_id if tc is not None else None,
         health=health_report,
+        plan=planned,
     )
     from ..obs.log import get_logger
 
     fields = {"method": method, "nranks": info.nranks, "nrhs": nrhs,
               "residual": residual, "virtual_time": virtual_time}
+    if planned is not None:
+        fields["plan_provenance"] = planned.provenance
+        fields["plan_predicted_time"] = planned.predicted_time
+        fields["plan_clamped"] = planned.clamped
     if tc is not None:  # the dispatch context is uninstalled by now
         fields["trace_id"] = tc.trace_id
     get_logger("core.api").info("solve.completed", **fields)
@@ -366,6 +407,19 @@ def factor(
         raise ShapeError(
             f"matrix must be a BlockTridiagonalMatrix, got {type(matrix).__name__}"
         )
+    if method == "auto":
+        # Plan over the factorable portfolio at a representative
+        # single-column panel (factor cost dominates the choice; the
+        # held factorization then serves any RHS width).
+        from ..perfmodel.planner import plan as _resolve_plan
+
+        planned = _resolve_plan(matrix.nblocks, matrix.block_size, p=nranks,
+                                r=1, dtype=matrix.dtype,
+                                methods=_AUTO_FACTOR_PORTFOLIO)
+        method = planned.method
+        nranks = planned.nranks
+        if backend is None:
+            backend = planned.comm_backend
     if method == "ard":
         return ARDFactorization(matrix, nranks=nranks, cost_model=cost_model,
                                 trace=trace, backend=backend)

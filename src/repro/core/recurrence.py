@@ -42,7 +42,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..config import get_config
+from ..config import (
+    DEFAULT_LEVELWISE_MAX_BLOCK,
+    DEFAULT_LEVELWISE_MAX_RHS,
+    DEFAULT_LEVELWISE_MIN_ROWS,
+    get_config,
+)
 from ..exceptions import ShapeError
 from ..linalg.blockops import BatchedLU, gemm
 from ..obs.tracer import instant
@@ -56,20 +61,26 @@ __all__ = [
     "forward_solution",
 ]
 
-#: ``auto`` switches to level-wise evaluation at this many transfer rows.
-LEVELWISE_MIN_ROWS = 64
+#: Documented default: ``auto`` switches to level-wise evaluation at
+#: this many transfer rows.  The hot path reads the live
+#: ``repro.config`` field ``levelwise_min_rows`` (this is its default),
+#: so per-host tuning (``python -m repro.harness tune``) takes effect
+#: without touching this module.
+LEVELWISE_MIN_ROWS = DEFAULT_LEVELWISE_MIN_ROWS
 
-#: ``auto`` stays sequential above this block order (the batched
-#: ``(2M, 2M)`` composites grow as ``M^3`` while the structured
-#: sequential path only pays 4 ``M x M`` products per row).
-LEVELWISE_MAX_BLOCK = 16
+#: Documented default: ``auto`` stays sequential above this block order
+#: (the batched ``(2M, 2M)`` composites grow as ``M^3`` while the
+#: structured sequential path only pays 4 ``M x M`` products per row).
+#: Live config field: ``levelwise_max_block``.
+LEVELWISE_MAX_BLOCK = DEFAULT_LEVELWISE_MAX_BLOCK
 
-#: ``auto`` keeps the *vector* kernels sequential above this RHS panel
-#: width.  Level-wise vector evaluation spends ~4x the flops of the
-#: sequential recurrence; that only pays while the per-row dispatch
-#: overhead dominates, i.e. for thin panels.  Wide panels are
-#: compute-bound and the sequential per-row gemms are already efficient.
-LEVELWISE_MAX_RHS = 32
+#: Documented default: ``auto`` keeps the *vector* kernels sequential
+#: above this RHS panel width.  Level-wise vector evaluation spends ~4x
+#: the flops of the sequential recurrence; that only pays while the
+#: per-row dispatch overhead dominates, i.e. for thin panels.  Wide
+#: panels are compute-bound and the sequential per-row gemms are
+#: already efficient.  Live config field: ``levelwise_max_rhs``.
+LEVELWISE_MAX_RHS = DEFAULT_LEVELWISE_MAX_RHS
 
 
 def _use_levelwise(
@@ -82,16 +93,17 @@ def _use_levelwise(
     the decision as a ``recurrence.mode`` instant event on the active
     trace (no-op when tracing is off).
     """
-    mode = get_config().recurrence_mode
+    cfg = get_config()
+    mode = cfg.recurrence_mode
     if mode == "sequential":
         levelwise = False
     elif mode == "levelwise":
         levelwise = nrows > 0
     else:
         levelwise = (
-            nrows >= LEVELWISE_MIN_ROWS
-            and block_size <= LEVELWISE_MAX_BLOCK
-            and (panel is None or panel <= LEVELWISE_MAX_RHS)
+            nrows >= cfg.levelwise_min_rows
+            and block_size <= cfg.levelwise_max_block
+            and (panel is None or panel <= cfg.levelwise_max_rhs)
         )
     instant(
         "recurrence.mode",

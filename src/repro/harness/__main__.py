@@ -13,6 +13,7 @@ Usage::
     python -m repro.harness serve-bench [--scale smoke] [--rhs 10,100,256]
     python -m repro.harness serve-bench --http [PORT]
     python -m repro.harness bench-history [--check] [--out FILE]
+    python -m repro.harness tune [--quick] [--check] [--out FILE]
 
 ``trace --out`` accepts either a directory (writes
 ``<exp-id>.trace.json`` inside it) or an exact ``.json`` file path.
@@ -28,6 +29,13 @@ profiles (see docs/PROFILING.md).
 ``results/BENCH_history.jsonl``; with ``--check`` it then runs the
 regression gate (:mod:`repro.obs.regress`) and exits nonzero on a
 regression.
+``tune`` runs the autotuned-planner sweep
+(:func:`repro.perfmodel.tune_machine`) and writes the per-host tuning
+table (``results/TUNE_host.json`` by default).  ``--quick`` is the CI
+smoke sweep (tiny shapes, seconds not minutes); ``--check`` reloads
+the written table, verifies the schema/host round-trip, and plans the
+canonical bench shapes against it, exiting nonzero on any failure.
+See docs/PLANNER.md.
 
 ``run``/``all``/``trace``/``serve-bench`` accept ``--verify``: every
 simulated solve runs with the SPMD runtime verifier enabled
@@ -174,6 +182,22 @@ def main(argv: list[str] | None = None) -> int:
                         "(default: 0.15)")
     _add_verify(hist_p)
 
+    tune_p = sub.add_parser(
+        "tune",
+        help="run the autotuned-planner sweep and write the per-host "
+        "tuning table (see docs/PLANNER.md)",
+    )
+    tune_p.add_argument("--quick", action="store_true",
+                        help="CI smoke sweep: tiny shapes, one timing "
+                        "rep, threshold probes skipped")
+    tune_p.add_argument("--check", action="store_true",
+                        help="after writing, reload the table and plan "
+                        "the canonical bench shapes against it; exit "
+                        "nonzero on any failure")
+    tune_p.add_argument("--out", default=None,
+                        help="output path (default: results/TUNE_host.json)")
+    _add_verify(tune_p)
+
     args = parser.parse_args(argv)
     if args.verify:
         os.environ["REPRO_VERIFY"] = "1"
@@ -229,6 +253,10 @@ def main(argv: list[str] | None = None) -> int:
 
         return run_bench_history(args.out, args.scale, check=args.check,
                                  threshold=args.threshold)
+    if args.command == "tune":
+        from .tune import run_tune
+
+        return run_tune(out=args.out, quick=args.quick, check=args.check)
     run_all(args.scale, out_dir=args.out, plot=args.plot)
     return 0
 

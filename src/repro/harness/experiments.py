@@ -63,7 +63,7 @@ __all__ = ["ExperimentResult", "Experiment", "EXPERIMENTS", "get_experiment",
            "f3_strong_scaling", "f4_runtime_vs_n", "f5_runtime_vs_m",
            "f6_model_validation", "f7_wallclock", "s1_stability",
            "s2_refinement", "a1_scan_ablation", "a2_batching", "a3_baselines",
-           "a4_solver_domains", "a5_banded"]
+           "a4_solver_domains", "a5_banded", "a6_planner_ablation"]
 
 _CM = PAPER_ERA_MODEL
 
@@ -839,6 +839,89 @@ def a5_banded(scale: str = "full") -> ExperimentResult:
 
 
 # --------------------------------------------------------------------------
+# abl-A6: planner ablation — method="auto" vs every fixed configuration
+# --------------------------------------------------------------------------
+
+
+def a6_planner_ablation(scale: str = "full") -> ExperimentResult:
+    """Wall-clock ``method="auto"`` against the fixed portfolio.
+
+    Every fixed configuration the planner chooses among (portfolio
+    method under the shipped kernel defaults, plus the ARD kernel
+    variants) is timed at the canonical bench shapes; the ``auto`` row
+    carries its regret — auto's time over the best fixed time.  The
+    experiment first tunes these exact shapes in-process and installs
+    the table (the deployed workflow: ``harness tune`` once, plan
+    forever), so ``auto`` runs table-backed, not cold.  The never-lose
+    guard should keep regret near 1.0 (docs/PLANNER.md); the CI gate
+    on ``planner.regret`` enforces it over time.
+    """
+    from ..core.api import solve
+    from ..perfmodel.planner import set_default_table, tune_machine
+
+    if scale == "smoke":
+        shapes = [(64, 8, 2, 8)]
+        reps = 1
+    else:
+        shapes = [(512, 8, 4, 16), (256, 16, 4, 32), (1024, 4, 4, 8)]
+        reps = 3
+    table = tune_machine(quick=(scale == "smoke"), shapes=shapes)
+    set_default_table(table)
+    configs: list[tuple[str, str, dict]] = [
+        ("ard", "ard", {}),
+        ("ard+scipy_loop", "ard", {"blockops_backend": "scipy_loop"}),
+        ("ard+sequential", "ard", {"recurrence_mode": "sequential"}),
+        ("ard+levelwise", "ard", {"recurrence_mode": "levelwise"}),
+        ("rd", "rd", {}),
+        ("spike", "spike", {}),
+        ("thomas", "thomas", {}),
+        ("cyclic", "cyclic", {}),
+    ]
+    rows = []
+    for n, m, p, r in shapes:
+        a, _ = helmholtz_block_system(n, m)
+        b = random_rhs(n, m, r, seed=16)
+
+        def timed(method: str, overrides: dict) -> float:
+            def run() -> None:
+                with config_context(**overrides):
+                    solve(a, b, method=method, nranks=p)
+
+            run()  # warm (plan cache, level trees, BLAS)
+            best = float("inf")
+            for _ in range(reps):
+                t0 = time.perf_counter()
+                run()
+                best = min(best, time.perf_counter() - t0)
+            return best
+
+        try:
+            fixed = {label: timed(method, overrides)
+                     for label, method, overrides in configs}
+            auto_s = timed("auto", {})
+            _, info = solve(a, b, method="auto", nranks=p, return_info=True)
+        except BaseException:
+            set_default_table(None)
+            raise
+        best_fixed = min(fixed.values())
+        for label, _method, _over in configs:
+            rows.append([n, m, p, r, label, fixed[label], float("nan"), ""])
+        chosen = (f"{info.method}/{info.plan.blockops_backend}"
+                  f"/{info.plan.recurrence_mode}" if info.plan else info.method)
+        rows.append([n, m, p, r, "auto", auto_s, auto_s / best_fixed, chosen])
+    set_default_table(None)
+    return ExperimentResult(
+        "abl-A6",
+        "Planner ablation: method=auto vs every fixed configuration",
+        ["N", "M", "P", "R", "config", "wall_s", "regret", "auto_choice"],
+        rows,
+        notes="regret = auto wall time / best fixed configuration; the "
+        "never-lose guard keeps it near 1.0, and repro.obs.regress "
+        "gates the bench-history planner.regret metric at <= 1.15.",
+    )
+
+
+# --------------------------------------------------------------------------
 # registry
 # --------------------------------------------------------------------------
 
@@ -877,6 +960,8 @@ EXPERIMENTS: dict[str, Experiment] = {
                    "ARD vs SPIKE vs Thomas across stability regimes."),
         Experiment("abl-A5", "Banded generalization", a5_banded,
                    "The acceleration for block banded systems."),
+        Experiment("abl-A6", "Planner ablation", a6_planner_ablation,
+                   "method=auto vs every fixed configuration (regret)."),
     ]
 }
 

@@ -1,0 +1,70 @@
+"""``python -m repro.harness tune`` — run the planner tuning sweep.
+
+Thin CLI wrapper over :func:`repro.perfmodel.tune_machine`: runs the
+model-anchored sweep, writes the schema-versioned per-host tuning
+table, and (``--check``) verifies the artifact round-trips and planning
+works against it.  The ``--quick`` sweep is the CI smoke configuration
+(committed-artifact ``TUNE_host.json``); the full sweep is what a user
+runs once per machine.  See docs/PLANNER.md.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ReproError
+from ..obs.log import console
+from ..perfmodel.planner import (
+    DEFAULT_TUNE_PATH,
+    SWEEP_SHAPES,
+    clear_plan_cache,
+    load_table,
+    plan,
+    save_table,
+    tune_machine,
+)
+
+__all__ = ["run_tune"]
+
+
+def run_tune(out: str | None = None, quick: bool = False,
+             check: bool = False) -> int:
+    """Run the sweep, write the table, optionally verify it.  Exit code."""
+    path = out or DEFAULT_TUNE_PATH
+    mode = "quick" if quick else "full"
+    console(f"tune: running {mode} sweep")
+    table = tune_machine(quick=quick, progress=lambda s: console(f"tune: {s}"))
+    written = save_table(table, path)
+    measured = sum(1 for e in table.entries if e.provenance == "measured")
+    console(f"tune: wrote {written} ({len(table.entries)} entries, "
+          f"{measured} measured, host {table.host})")
+    for field, value in sorted(table.thresholds.items()):
+        console(f"tune: threshold {field} = {value}")
+    if not check:
+        return 0
+
+    # --check: the artifact must round-trip (schema + host) and the
+    # planner must produce a plan for every canonical bench shape.
+    clear_plan_cache()
+    try:
+        reloaded = load_table(written)
+    except ReproError as exc:
+        console(f"tune check failed: reload: {exc}")
+        return 1
+    if reloaded is None:
+        console("tune check failed: written table does not match this host")
+        return 1
+    if len(reloaded.entries) != len(table.entries):
+        console("tune check failed: entry count changed across round-trip")
+        return 1
+    try:
+        for (n, m, p, r) in SWEEP_SHAPES:
+            chosen = plan(n, m, p, r, table=reloaded)
+            console(f"tune: plan({n}, {m}, p={p}, r={r}) -> "
+                  f"{chosen.method}/{chosen.comm_backend}/"
+                  f"{chosen.blockops_backend}/{chosen.recurrence_mode} "
+                  f"[{chosen.provenance}"
+                  f"{', clamped' if chosen.clamped else ''}]")
+    except ReproError as exc:
+        console(f"tune check failed: planning: {exc}")
+        return 1
+    console("tune: check passed")
+    return 0

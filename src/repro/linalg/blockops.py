@@ -40,7 +40,11 @@ import warnings
 import numpy as np
 import scipy.linalg
 
-from ..config import BLOCKOPS_BACKENDS, get_config
+from ..config import (
+    BLOCKOPS_BACKENDS,
+    DEFAULT_VECTOR_SOLVE_MAX_WORK,
+    get_config,
+)
 from ..exceptions import ConfigError, ShapeError, SingularBlockError
 from ..obs.tracer import kernel_time
 from ..util.flops import gemm_flops, lu_flops, lu_solve_flops, record_flops
@@ -57,16 +61,23 @@ __all__ = [
 ]
 
 
-#: The ``batched`` backend's :meth:`BatchedLU.solve` uses the vectorized
+#: Documented *default* of the width-aware substitution crossover: the
+#: ``batched`` backend's :meth:`BatchedLU.solve` uses the vectorized
 #: substitution of :mod:`repro.linalg.batchlu` while the per-block panel
 #: work ``m * r`` stays at or below this bound.  Wider panels hand each
 #: block to LAPACK ``getrs`` instead: the substitution's ``2m``
 #: full-batch broadcast steps stream ``O(n m r)`` memory each, while a
 #: per-block BLAS-3 solve on a large ``(m, r)`` panel amortizes its call
-#: overhead (measured crossover ``m * r ~ 1000`` on x86; see
-#: docs/KERNELS.md).  Both backends store LAPACK-convention factors, so
-#: the two substitutions are interchangeable per solve.
-VECTOR_SOLVE_MAX_WORK = 512
+#: overhead.  The crossover measured on the reference x86 host is
+#: ``m * r ~ 1000``; the shipped default sits at half that so hosts
+#: with smaller caches never regret the vectorized path (see
+#: docs/KERNELS.md).  The hot path reads the live
+#: ``repro.config`` field ``vector_solve_max_work`` (this value is its
+#: default), so per-host tuning (``python -m repro.harness tune``) and
+#: ``config_context(vector_solve_max_work=...)`` both take effect
+#: without touching this module.  Both backends store LAPACK-convention
+#: factors, so the two substitutions are interchangeable per solve.
+VECTOR_SOLVE_MAX_WORK = DEFAULT_VECTOR_SOLVE_MAX_WORK
 
 
 def as_block_batch(a: np.ndarray, name: str = "array") -> np.ndarray:
@@ -237,7 +248,8 @@ class BatchedLU:
         trans = 1 if transposed else 0
         r = b.shape[2] if b.ndim == 3 else 1
         vectorized = (
-            self.backend == "batched" and self.m * r <= VECTOR_SOLVE_MAX_WORK
+            self.backend == "batched"
+            and self.m * r <= get_config().vector_solve_max_work
         )
         with kernel_time("kernel.trsm"):
             if vectorized:

@@ -126,6 +126,9 @@ class FactorHandle:
     method: str
     nranks: int
     key: str
+    #: The planner decision behind this handle when the service runs
+    #: with ``method="auto"``; ``None`` for explicit methods.
+    plan: Any = None
 
     @property
     def fingerprint(self) -> str:
@@ -171,7 +174,12 @@ class SolverService:
     ----------
     method / nranks / cost_model:
         Defaults applied when :meth:`submit` receives a bare matrix
-        instead of a :class:`FactorHandle`.
+        instead of a :class:`FactorHandle`.  The default method is
+        ``"auto"``: the autotuned planner
+        (:mod:`repro.perfmodel.planner`) resolves each registered
+        matrix to a concrete method/configuration, cached per matrix
+        fingerprint alongside the factorization; pass an explicit
+        method to opt out.
     workers:
         Worker threads serving batches (>= 1).  Batches for distinct
         keys run concurrently; per key, batches are serialized so a
@@ -225,7 +233,7 @@ class SolverService:
     def __init__(
         self,
         *,
-        method: str = "ard",
+        method: str = "auto",
         nranks: int = 1,
         cost_model: CostModel | None = None,
         workers: int = 2,
@@ -269,6 +277,9 @@ class SolverService:
             maxlen=_TRACE_SEGMENT_LIMIT)
         self._batcher = RequestBatcher(window=batch_window,
                                        max_batch_rhs=max_batch_rhs)
+        #: (matrix fingerprint, nranks) -> resolved Plan, for
+        #: ``method="auto"`` — same granularity as the factor cache.
+        self._plan_cache: dict[tuple[str, int], Any] = {}
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._space = threading.Condition(self._lock)
@@ -307,13 +318,46 @@ class SolverService:
         """
         method = self.method if method is None else method
         nranks = self.nranks if nranks is None else nranks
+        plan = None
+        if method == "auto":
+            plan = self._plan_for(matrix, nranks)
+            method = plan.method
+            nranks = plan.nranks
         handle = FactorHandle(
             matrix=matrix, method=method, nranks=nranks,
-            key=factor_key(matrix, method, nranks),
+            key=factor_key(matrix, method, nranks), plan=plan,
         )
         if eager:
             self._factorization(handle)
         return handle
+
+    def _plan_for(self, matrix: BlockTridiagonalMatrix, nranks: int) -> Any:
+        """Resolve (and cache) the planner decision for one matrix.
+
+        The plan is cached per (matrix fingerprint, rank count) —
+        exactly the granularity of the factorization cache — so the
+        planner runs once per distinct matrix, not once per request.
+        The batcher's coalescing width is the representative RHS panel:
+        that is the width the service actually solves at.
+        """
+        from ..core.api import _AUTO_FACTOR_PORTFOLIO
+        from ..perfmodel.planner import plan as resolve_plan
+
+        key = (matrix.fingerprint(), nranks)
+        with self._lock:
+            cached = self._plan_cache.get(key)
+        if cached is not None:
+            return cached
+        chosen = resolve_plan(
+            matrix.nblocks, matrix.block_size, p=nranks,
+            r=self._batcher.max_batch_rhs, dtype=matrix.dtype,
+            methods=_AUTO_FACTOR_PORTFOLIO,
+        )
+        _log.info("plan.selected", fingerprint=key[0], **chosen.to_dict())
+        self.metrics.counter("plans.resolved").inc()
+        with self._lock:
+            self._plan_cache[key] = chosen
+        return chosen
 
     def evict(self, target: FactorHandle | str) -> bool:
         """Drop the cached factorization for a handle (or raw key)."""
@@ -321,12 +365,20 @@ class SolverService:
         return self.cache.evict(key)
 
     def _factorization(self, handle: FactorHandle) -> tuple[Any, bool]:
-        fact, hit = self.cache.get_or_create(
-            handle.key,
-            lambda: factor(handle.matrix, method=handle.method,
-                           nranks=handle.nranks, cost_model=self.cost_model,
-                           trace=self.trace),
-        )
+        def build() -> Any:
+            if handle.plan is None:
+                return factor(handle.matrix, method=handle.method,
+                              nranks=handle.nranks,
+                              cost_model=self.cost_model, trace=self.trace)
+            from ..config import config_context
+
+            with config_context(**handle.plan.config_overrides()):
+                return factor(handle.matrix, method=handle.method,
+                              nranks=handle.nranks,
+                              cost_model=self.cost_model, trace=self.trace,
+                              backend=handle.plan.comm_backend)
+
+        fact, hit = self.cache.get_or_create(handle.key, build)
         if not hit and self.health_thresholds is not None:
             # Matrix-level probes amortize per cache key: pivot growth
             # and the condition estimate are paid once on the miss path,
@@ -499,7 +551,16 @@ class SolverService:
                     big = lead.bb
                 else:
                     big = np.concatenate([r.bb for r in live], axis=2)
-                x = fact.solve(big)
+                if lead.handle.plan is not None:
+                    # Replays honor the planned kernel configuration,
+                    # not whatever config the worker thread inherited.
+                    from ..config import config_context
+
+                    with config_context(
+                            **lead.handle.plan.config_overrides()):
+                        x = fact.solve(big)
+                else:
+                    x = fact.solve(big)
                 t2 = time.perf_counter()
                 if self.health_thresholds is not None:
                     xx = np.asarray(x).reshape(big.shape)
