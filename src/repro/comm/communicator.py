@@ -256,6 +256,12 @@ class Communicator:
             return
         try:
             ctx.current_coll = name
+            # Ring first, verify second: when the verifier rejects this
+            # very call as divergent, the rank's black box must already
+            # show the op it diverged on.
+            fr = getattr(ctx, "flightrec", None)
+            if fr is not None:
+                fr.record_coll(name, root, self.size)
             verifier = self._runtime.verifier
             if verifier is not None:
                 index = verifier.record_collective(

@@ -55,7 +55,7 @@ from .. import shm
 from ..costmodel import CostModel
 from ..matching import WaitInfo, deadlock_report
 from ..stats import SimulationResult
-from .worker import FINALIZE, JobSpec, worker_main
+from .worker import FINALIZE, FLIGHTREC_DUMP, JobSpec, worker_main
 
 __all__ = ["ProcessPool", "run_spmd_processes", "shutdown_pool"]
 
@@ -197,15 +197,25 @@ class _Monitor:
         # rank -> [wait_tuple, progress, pending_lines, repeats,
         #          sent_to, inbox_received]
         self.waiting: dict[int, list] = {}
+        # Liveness bookkeeping for worker-death diagnostics: wall time
+        # of the last control-pipe message per rank, and the last
+        # (sent_to, inbox_received) totals a heartbeat reported.
+        self.last_heartbeat: dict[int, float] = {}
+        self.last_counts: dict[int, tuple] = {}
 
     def _handle(self, msg: tuple) -> None:
         kind = msg[0]
+        if len(msg) > 1 and isinstance(msg[1], int):
+            self.last_heartbeat[msg[1]] = time.monotonic()
         if kind == "done":
             rank = msg[1]
             self.done[rank] = msg[2:]
             self.waiting.pop(rank, None)
+            if msg[7] is not None:  # sent_to of the done report
+                self.last_counts[rank] = (msg[7], msg[8])
         elif kind == "wait":
             _, rank, wait_tuple, progress, lines, sent_to, received = msg
+            self.last_counts[rank] = (sent_to, received)
             entry = self.waiting.get(rank)
             if entry is not None and entry[0] == wait_tuple and entry[1] == progress:
                 entry[2] = lines
@@ -234,14 +244,31 @@ class _Monitor:
                     msg = conn.recv()
                 except (EOFError, OSError):
                     rank = self.pool.conns.index(conn)
-                    code = self.pool.procs[rank].exitcode
-                    raise CommError(
-                        f"rank {rank} worker process died unexpectedly "
-                        f"(exit code {code})"
-                    ) from None
+                    raise self._death_error(rank) from None
                 self._handle(msg)
                 if not conn.poll():
                     break
+
+    def _death_error(self, rank: int) -> CommError:
+        """Worker-death error enriched with last-known liveness state."""
+        proc = self.pool.procs[rank]
+        proc.join(timeout=0.5)  # let the exit code land before reading it
+        code = proc.exitcode
+        hb = self.last_heartbeat.get(rank)
+        age = (f"last heartbeat {time.monotonic() - hb:.1f}s ago"
+               if hb is not None else "no heartbeat received")
+        counts = self.last_counts.get(rank)
+        if counts is not None:
+            detail = (f"{age}; last report: {sum(counts[0])} envelope(s) "
+                      f"sent, {counts[1]} received")
+        else:
+            detail = f"{age}; no send/receive counts reported"
+        err = CommError(
+            f"rank {rank} worker process died unexpectedly "
+            f"(exit code {code}); {detail}"
+        )
+        err.failed_rank = rank  # type: ignore[attr-defined]
+        return err
 
     def _check_deadlock(self) -> None:
         unfinished = [r for r in range(self.nranks) if r not in self.done]
@@ -289,7 +316,12 @@ class _Monitor:
         errors = {r: d[4] for r, d in self.done.items() if d[4] is not None}
         if errors:
             rank = min(errors)
-            raise _unpack_error(errors[rank], rank)
+            exc = _unpack_error(errors[rank], rank)
+            try:
+                exc.failed_rank = rank  # type: ignore[attr-defined]
+            except Exception:  # pragma: no cover - slotted exception
+                pass
+            raise exc
 
     def run_until_done(self) -> None:
         while len(self.done) < self.nranks:
@@ -303,6 +335,79 @@ class _Monitor:
     def run_until_finalized(self) -> None:
         while len(self.finalized) < self.nranks:
             self._sweep()
+
+
+def _collect_rings(pool: ProcessPool, monitor: _Monitor, nranks: int,
+                   deadline: float = 1.5) -> dict[int, Any]:
+    """Gather every rank's flight-recorder ring for an incident bundle.
+
+    A rank that failed already shipped its ring on its ``done``
+    message; live ranks (blocked in ``match`` or in the finalize
+    handshake) are asked with a :data:`~repro.comm.mp.worker.FLIGHTREC_DUMP`
+    inbox sentinel and answered over the control pipes within
+    ``deadline`` seconds.  Dead or unresponsive ranks map to ``None``
+    (the bundle marks their ring as lost).
+    """
+    rings: dict[int, Any] = {}
+    for r, d in monitor.done.items():
+        if len(d) > 7 and d[7] is not None:
+            rings[r] = d[7]
+    outstanding: set[int] = set()
+    for r in range(nranks):
+        if r in rings:
+            continue
+        if not pool.procs[r].is_alive():
+            rings[r] = None
+            continue
+        try:
+            pool.inboxes[r].put((FLIGHTREC_DUMP,))
+            outstanding.add(r)
+        except Exception:  # pragma: no cover - queue torn down
+            rings[r] = None
+    end = time.monotonic() + deadline
+    while outstanding:
+        remaining = end - time.monotonic()
+        if remaining <= 0:
+            break
+        ready = connection.wait([pool.conns[r] for r in outstanding],
+                                timeout=remaining)
+        if not ready:
+            break
+        for conn in ready:
+            r = pool.conns.index(conn)
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                rings[r] = None
+                outstanding.discard(r)
+                continue
+            if msg[0] == "flightrec":
+                rings[msg[1]] = msg[2]
+                outstanding.discard(msg[1])
+            # Anything else is stale wait/wake/coll traffic from the
+            # failing job; the pool is being torn down, so drop it.
+    for r in range(nranks):
+        rings.setdefault(r, None)
+    return rings
+
+
+def _capture_mp_incident(exc: BaseException, pool: ProcessPool,
+                         monitor: _Monitor, nranks: int, run_ctx) -> None:
+    """Best-effort incident capture for a failed process-backend job."""
+    try:
+        from ...config import get_config
+
+        if not get_config().flightrec:
+            return
+        from ...obs.postmortem import record_failure
+
+        record_failure(
+            exc, backend="processes", nranks=nranks,
+            rings=_collect_rings(pool, monitor, nranks),
+            trace_ctx=run_ctx,
+        )
+    except Exception:  # pragma: no cover - capture must never mask
+        pass
 
 
 _unpicklable_warned = False
@@ -400,7 +505,10 @@ def run_spmd_processes(
             for rank in range(nranks):
                 pool.inboxes[rank].put((FINALIZE, totals[rank]))
             monitor.run_until_finalized()
-        except BaseException:
+        except BaseException as exc:
+            # Snapshot all ranks' rings (over the still-open control
+            # pipes) into an incident bundle before the pool dies.
+            _capture_mp_incident(exc, pool, monitor, nranks, run_ctx)
             _discard_pool(pool)
             raise
         wall = time.perf_counter() - start
@@ -422,7 +530,18 @@ def run_spmd_processes(
             f"message(s):\n  " + "\n  ".join(strays)
         )
         if verify:
-            raise UnconsumedMessageError(report)
+            err = UnconsumedMessageError(report)
+            try:
+                from ...obs.postmortem import record_failure
+
+                # Workers are already back in their job loop here, so
+                # rings are unrecoverable; the stray-message report in
+                # the reason text carries the diagnostic load.
+                record_failure(err, backend="processes", nranks=nranks,
+                               rings={}, trace_ctx=run_ctx)
+            except Exception:  # pragma: no cover - capture is best-effort
+                pass
+            raise err
         warnings.warn(report, UnconsumedMessageWarning, stacklevel=3)
     return SimulationResult(
         values=values, stats=stats, wall_time=wall, traces=traces,

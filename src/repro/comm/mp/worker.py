@@ -53,6 +53,7 @@ from typing import Any
 
 from ...exceptions import CommError
 from ...obs.context import trace_context
+from ...obs.flightrec import flight_recording
 from ...obs.log import configure_logging, disable_logging
 from ...obs.tracer import kernel_time, tracing
 from ...util.flops import counting_flops
@@ -62,7 +63,7 @@ from ..matching import WaitInfo, match_in
 from ..runtime import RankContext, _Message
 
 __all__ = ["MpRuntime", "VerifierProxy", "JobSpec", "worker_main",
-           "FINALIZE", "HEARTBEAT_INTERVAL"]
+           "FINALIZE", "FLIGHTREC_DUMP", "HEARTBEAT_INTERVAL"]
 
 #: Seconds a blocked receive waits before (re)sending its wait-info
 #: heartbeat to the parent's deadlock monitor.
@@ -70,6 +71,13 @@ HEARTBEAT_INTERVAL = 0.1
 
 #: First element of the parent's finalize sentinel tuple.
 FINALIZE = "__mp_finalize__"
+
+#: Inbox sentinel asking a (possibly blocked) worker to ship its flight
+#: recorder ring over the control pipe — sent by the parent while
+#: capturing an incident bundle (see repro.obs.postmortem); the reply
+#: is ``("flightrec", rank, snapshot)`` and the sentinel never counts
+#: toward message or finalize accounting.
+FLIGHTREC_DUMP = "__flightrec_dump__"
 
 #: Per-send sequence space: world rank ``r`` issues seqs in
 #: ``[r * _SEQ_STRIDE, (r+1) * _SEQ_STRIDE)`` so cross-rank send/recv
@@ -161,6 +169,14 @@ class MpRuntime:
         self.sent_to = [0] * nranks
         self.inbox_received = 0
         self._prefix = prefix
+        from ...config import get_config  # deferred: matches Runtime
+
+        cfg = get_config()
+        self.flightrec_capacity = (cfg.flightrec_capacity
+                                   if cfg.flightrec else 0)
+        # The rank's FlightRecorder, shared with its RankContext so the
+        # FLIGHTREC_DUMP sentinel can snapshot it mid-block.
+        self._flightrec = None
 
     # -- sending ---------------------------------------------------------
 
@@ -194,6 +210,9 @@ class MpRuntime:
         if ctx.tracer is not None:
             ctx.tracer.instant("send", dest=dest_world, tag=tag,
                                nbytes=nbytes, seq=seq, arrival=arrival)
+        fr = ctx.flightrec
+        if fr is not None:
+            fr.record_send(dest_world, tag, seq, nbytes)
         msg = _Message(comm_key, source_commrank, tag, packed, nbytes,
                        arrival, seq, self._rank,
                        trace_id=(ctx.trace_ctx.trace_id
@@ -207,8 +226,17 @@ class MpRuntime:
 
     # -- receiving -------------------------------------------------------
 
+    def _dump_ring(self) -> None:
+        """Reply to a FLIGHTREC_DUMP sentinel with this rank's ring."""
+        fr = self._flightrec
+        self._conn.send(("flightrec", self._rank,
+                         fr.snapshot() if fr is not None else None))
+
     def _admit(self, item: Any) -> None:
-        if not isinstance(item, _Message):  # pragma: no cover - protocol
+        if not isinstance(item, _Message):
+            if isinstance(item, tuple) and item and item[0] == FLIGHTREC_DUMP:
+                self._dump_ring()
+                return
             raise CommError(f"unexpected inbox item {item!r}")
         self._pending.append(item)
         self.inbox_received += 1
@@ -229,6 +257,17 @@ class MpRuntime:
         w_wait = time.perf_counter() if ctx.tracer is not None else 0.0
         self._drain_inbox_nowait()
         msg = match_in(self._pending, comm_key, source, tag)
+        if msg is None:
+            fr = ctx.flightrec
+            if fr is not None:
+                # Recorded *before* blocking so a stuck rank's ring ends
+                # with the wait it is stuck in (mirrors the thread
+                # backend).
+                fr.record_wait(
+                    ctx.current_coll or "recv",
+                    source_world if source_world is not None else source,
+                    tag,
+                )
         sent_hb = False
         while msg is None:
             try:
@@ -252,6 +291,13 @@ class MpRuntime:
         msg.payload = shm.unpack(msg.payload)
         ctx.clock.charge_overhead()
         ctx.clock.advance_to(msg.arrival_time)
+        fr = ctx.flightrec
+        if fr is not None:
+            fr.record_recv(msg.source_world, msg.tag, msg.seq, msg.nbytes)
+            if msg.source_world == self._rank:
+                # Self-sends retire locally; cross-process sends stay
+                # registered in-flight (conservative drop accounting).
+                fr.mark_consumed(msg.seq)
         if ctx.tracer is not None:
             ctx.tracer.closed_span(
                 "recv", "comm", v_wait, ctx.clock.now,
@@ -289,6 +335,12 @@ class MpRuntime:
                 self._admit(item)
                 if outstanding is not None:
                     outstanding -= 1
+                continue
+            if isinstance(item, tuple) and item and item[0] == FLIGHTREC_DUMP:
+                # Parent is capturing an incident while this rank waits
+                # for a finalize that will never come; reply and keep
+                # waiting (teardown follows).
+                self._dump_ring()
                 continue
             if item[0] != FINALIZE:  # pragma: no cover - protocol
                 raise CommError(f"unexpected finalize item {item!r}")
@@ -343,6 +395,7 @@ def _run_job(spec: JobSpec, rank: int, inboxes, conn) -> None:
         prefix=spec.prefix,
     )
     ctx = RankContext(rank, runtime)
+    runtime._flightrec = ctx.flightrec
     comm = Communicator(runtime, ctx, comm_key=("world",),
                         group=list(range(spec.nranks)), rank=rank)
     fn, args, kwargs, extra = shm.unpack(spec.payload)
@@ -350,10 +403,11 @@ def _run_job(spec: JobSpec, rank: int, inboxes, conn) -> None:
     error: tuple | None = None
 
     def call() -> Any:
-        if ctx.tracer is not None:
-            with tracing(ctx.tracer):
-                return fn(comm, *args, *extra, **kwargs)
-        return fn(comm, *args, *extra, **kwargs)
+        with flight_recording(ctx.flightrec):
+            if ctx.tracer is not None:
+                with tracing(ctx.tracer):
+                    return fn(comm, *args, *extra, **kwargs)
+            return fn(comm, *args, *extra, **kwargs)
 
     try:
         with counting_flops(ctx.counter):
@@ -379,8 +433,12 @@ def _run_job(spec: JobSpec, rank: int, inboxes, conn) -> None:
                 f"rank {rank} returned an unpicklable value "
                 f"({type(value).__name__}): {exc}"
             ))
+    # The ring rides the done message only on error (the parent captures
+    # an incident then); healthy completions keep the pipe traffic flat.
+    ring = (ctx.flightrec.snapshot()
+            if error is not None and ctx.flightrec is not None else None)
     conn.send(("done", rank, packed_value, stats, trace, log_lines, error,
-               runtime.sent_to, runtime.inbox_received))
+               runtime.sent_to, runtime.inbox_received, ring))
     if error is not None:
         # The parent tears the pool down on any error; do not enter the
         # finalize handshake it will never run.
@@ -409,6 +467,6 @@ def worker_main(rank: int, inboxes, conn) -> None:
         except BaseException as exc:  # noqa: BLE001 - last-resort report
             try:
                 conn.send(("done", rank, None, None, None, [],
-                           _pack_error(exc), None, 0))
+                           _pack_error(exc), None, 0, None))
             except Exception:  # pragma: no cover - pipe gone
                 return

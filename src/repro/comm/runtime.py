@@ -61,6 +61,7 @@ from ..obs.context import (
     new_trace_context,
     trace_context,
 )
+from ..obs.flightrec import FlightRecorder, flight_recording
 from ..obs.tracer import Tracer, kernel_time, tracing
 from ..util.flops import FlopCounter, counting_flops
 from .clock import VirtualClock
@@ -106,7 +107,7 @@ class RankContext:
     """Per-rank simulation state: clock, flop counter, statistics."""
 
     __slots__ = ("rank", "clock", "counter", "stats", "runtime", "tracer",
-                 "trace_ctx", "coll_depth", "current_coll")
+                 "trace_ctx", "coll_depth", "current_coll", "flightrec")
 
     def __init__(self, rank: int, runtime: "Runtime"):
         self.rank = rank
@@ -127,6 +128,11 @@ class RankContext:
                              if runtime.trace_ctx is not None else None))
             if runtime.trace else None
         )
+        # Always-on flight recorder (black-box ring; see
+        # repro.obs.flightrec) — None when disabled by config.
+        cap = runtime.flightrec_capacity
+        self.flightrec = (FlightRecorder(rank, cap, clock=self.clock)
+                          if cap else None)
         # Collective nesting depth: user-facing collectives compose
         # (allgather = gather + bcast), so only depth-0 entries count.
         self.coll_depth = 0
@@ -182,6 +188,11 @@ class Runtime:
         self._waiting: dict[int, WaitInfo] = {}
         self._abort: BaseException | None = None
         self._seq = itertools.count()
+        from ..config import get_config  # deferred: avoids import cycle
+
+        cfg = get_config()
+        self.flightrec_capacity = (cfg.flightrec_capacity
+                                   if cfg.flightrec else 0)
         self.contexts = [RankContext(r, self) for r in range(nranks)]
 
     # -- sending ---------------------------------------------------------
@@ -209,6 +220,9 @@ class Runtime:
             # repro.obs.critpath can reconstruct the send->recv DAG.
             ctx.tracer.instant("send", dest=dest_world, tag=tag,
                                nbytes=nbytes, seq=seq, arrival=arrival)
+        fr = ctx.flightrec
+        if fr is not None:
+            fr.record_send(dest_world, tag, seq, nbytes)
         msg = _Message(comm_key, source_commrank, tag, payload, nbytes, arrival,
                        seq, ctx.rank,
                        trace_id=(ctx.trace_ctx.trace_id
@@ -239,6 +253,15 @@ class Runtime:
                 raise CommAborted("simulation aborted") from self._abort
             msg = match_in(inbox, comm_key, source, tag)
             if msg is None:
+                fr = ctx.flightrec
+                if fr is not None:
+                    # Recorded *before* blocking so a deadlocked rank's
+                    # ring ends with the wait it is stuck in.
+                    fr.record_wait(
+                        ctx.current_coll or "recv",
+                        source_world if source_world is not None else source,
+                        tag,
+                    )
                 self._waiting[ctx.rank] = WaitInfo(
                     comm_key, source, tag, source_world, ctx.current_coll
                 )
@@ -263,6 +286,12 @@ class Runtime:
                 seq=msg.seq, source_world=msg.source_world,
                 arrival=msg.arrival_time,
             )
+        fr = ctx.flightrec
+        if fr is not None:
+            fr.record_recv(msg.source_world, msg.tag, msg.seq, msg.nbytes)
+            sender_fr = self.contexts[msg.source_world].flightrec
+            if sender_fr is not None:
+                sender_fr.mark_consumed(msg.seq)
         return msg
 
     def _check_deadlock_locked(self) -> None:
@@ -455,10 +484,11 @@ def run_spmd(
         previous_config = get_config()
         install_config(worker_config)
         def call() -> Any:
-            if ctx.tracer is not None:
-                with tracing(ctx.tracer):
-                    return fn(comm, *args, *extra, **kwargs)
-            return fn(comm, *args, *extra, **kwargs)
+            with flight_recording(ctx.flightrec):
+                if ctx.tracer is not None:
+                    with tracing(ctx.tracer):
+                        return fn(comm, *args, *extra, **kwargs)
+                return fn(comm, *args, *extra, **kwargs)
 
         try:
             with counting_flops(ctx.counter):
@@ -490,14 +520,36 @@ def run_spmd(
             t.join()
 
     wall = time.perf_counter() - start
+
+    def capture(exc: BaseException) -> None:
+        # Incident bundle on any failure path (see repro.obs.postmortem);
+        # must never mask the original exception.
+        if not runtime.flightrec_capacity:
+            return
+        try:
+            from ..obs.postmortem import record_failure
+
+            rank = next((i for i, e in enumerate(errors) if e is exc), None)
+            record_failure(
+                exc, backend="threads", nranks=nranks,
+                rings={r: (c.flightrec.snapshot()
+                           if c.flightrec is not None else None)
+                       for r, c in enumerate(runtime.contexts)},
+                trace_ctx=run_ctx, rank=rank,
+            )
+        except Exception:  # pragma: no cover - capture is best-effort
+            pass
+
     primary = next(
         (e for e in errors if e is not None and not isinstance(e, CommAborted)),
         None,
     )
     if primary is not None:
+        capture(primary)
         raise primary
     aborted = next((e for e in errors if e is not None), None)
     if aborted is not None:
+        capture(aborted)
         raise aborted
     leftover = runtime._unconsumed_lines()
     if leftover:
@@ -506,7 +558,9 @@ def run_spmd(
             f"message(s):\n  " + "\n  ".join(leftover)
         )
         if runtime.verifier is not None:
-            raise UnconsumedMessageError(report)
+            err = UnconsumedMessageError(report)
+            capture(err)
+            raise err
         warnings.warn(report, UnconsumedMessageWarning, stacklevel=2)
     stats = [ctx.stats for ctx in runtime.contexts]
     traces = (

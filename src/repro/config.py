@@ -79,6 +79,12 @@ def _default_comm_backend() -> str:
     return os.environ.get("REPRO_COMM_BACKEND", "").strip() or "threads"
 
 
+def _default_flightrec() -> bool:
+    return os.environ.get("REPRO_FLIGHTREC", "").strip().lower() not in (
+        "0", "off", "false", "no",
+    )
+
+
 @dataclasses.dataclass(frozen=True)
 class ReproConfig:
     """Immutable snapshot of library-wide defaults.
@@ -131,6 +137,22 @@ class ReproConfig:
         panel is at most ``levelwise_max_rhs`` columns wide.  Defaults
         are the reference-host crossovers (docs/KERNELS.md); tuned per
         host by ``python -m repro.harness tune``.
+    flightrec:
+        Always-on per-rank flight recorder
+        (:mod:`repro.obs.flightrec`): each rank keeps a bounded ring of
+        compact comm/phase records, snapshotted into an incident bundle
+        on failure (docs/INCIDENTS.md).  On by default (<3% gated
+        overhead); ``REPRO_FLIGHTREC=0`` disables.
+    flightrec_capacity:
+        Ring slots per rank (the newest ``flightrec_capacity`` records
+        survive to the bundle).  Minimum 8.
+    incident_dir:
+        Directory incident bundles are written to.  The
+        ``REPRO_INCIDENT_DIR`` environment variable overrides it at
+        capture time (``0``/``off``/``none`` disables capture).
+    incident_retention:
+        Maximum bundles kept on disk; older bundles are pruned by
+        modification time after each capture.
     """
 
     dtype: np.dtype = dataclasses.field(default_factory=lambda: np.dtype(np.float64))
@@ -144,6 +166,10 @@ class ReproConfig:
     levelwise_min_rows: int = DEFAULT_LEVELWISE_MIN_ROWS
     levelwise_max_block: int = DEFAULT_LEVELWISE_MAX_BLOCK
     levelwise_max_rhs: int = DEFAULT_LEVELWISE_MAX_RHS
+    flightrec: bool = dataclasses.field(default_factory=_default_flightrec)
+    flightrec_capacity: int = 2048
+    incident_dir: str = "results/incidents"
+    incident_retention: int = 32
 
     def __post_init__(self) -> None:
         dt = np.dtype(self.dtype)
@@ -180,6 +206,21 @@ class ReproConfig:
                 raise ConfigError(
                     f"{name} must be a positive integer, got {value!r}"
                 )
+        cap = self.flightrec_capacity
+        if not isinstance(cap, int) or isinstance(cap, bool) or cap < 8:
+            raise ConfigError(
+                f"flightrec_capacity must be an integer >= 8, got {cap!r}"
+            )
+        keep = self.incident_retention
+        if not isinstance(keep, int) or isinstance(keep, bool) or keep < 1:
+            raise ConfigError(
+                f"incident_retention must be a positive integer, got {keep!r}"
+            )
+        if not isinstance(self.incident_dir, str) or not self.incident_dir:
+            raise ConfigError(
+                f"incident_dir must be a non-empty string, "
+                f"got {self.incident_dir!r}"
+            )
 
 
 _state = threading.local()

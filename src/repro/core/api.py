@@ -269,10 +269,12 @@ def solve(
             # Pin the planned kernel configuration for this solve only,
             # and stamp the decision into the active trace.
             from ..config import config_context
+            from ..obs.flightrec import note_event
             from ..obs.tracer import instant
 
             stack.enter_context(config_context(**planned.config_overrides()))
             instant("plan.selected", cat="plan", **planned.to_dict())
+            note_event("plan.selected", **planned.to_dict())
 
         if method in ("ard", "spike"):
             cls = ARDFactorization if method == "ard" else SpikeFactorization

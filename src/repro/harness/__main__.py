@@ -14,6 +14,8 @@ Usage::
     python -m repro.harness serve-bench --http [PORT]
     python -m repro.harness bench-history [--check] [--out FILE]
     python -m repro.harness tune [--quick] [--check] [--out FILE]
+    python -m repro.harness postmortem [BUNDLE] [--json] [--chrome OUT]
+    python -m repro.harness postmortem --synthetic --check
 
 ``trace --out`` accepts either a directory (writes
 ``<exp-id>.trace.json`` inside it) or an exact ``.json`` file path.
@@ -29,6 +31,16 @@ profiles (see docs/PROFILING.md).
 ``results/BENCH_history.jsonl``; with ``--check`` it then runs the
 regression gate (:mod:`repro.obs.regress`) and exits nonzero on a
 regression.
+``postmortem`` analyzes a cross-rank incident bundle
+(``results/incidents/INCIDENT_<id>.json``, written automatically on
+runtime failures; docs/INCIDENTS.md): it reconstructs the merged
+cross-rank timeline, names the blocked/divergent op and the culprit
+and straggler ranks, and renders text (default), JSON (``--json``),
+or a Chrome trace (``--chrome OUT``).  Without a bundle path the
+newest bundle in the incident store is used; ``--synthetic`` first
+forces a tiny two-rank deadlock to produce one, and ``--check`` exits
+nonzero unless the analysis identifies a culprit rank and op (the CI
+smoke contract).
 ``tune`` runs the autotuned-planner sweep
 (:func:`repro.perfmodel.tune_machine`) and writes the per-host tuning
 table (``results/TUNE_host.json`` by default).  ``--quick`` is the CI
@@ -198,6 +210,32 @@ def main(argv: list[str] | None = None) -> int:
                         help="output path (default: results/TUNE_host.json)")
     _add_verify(tune_p)
 
+    pm_p = sub.add_parser(
+        "postmortem",
+        help="analyze a cross-rank incident bundle: merged timeline, "
+        "culprit rank/op, per-rank last-N-event tables "
+        "(see docs/INCIDENTS.md)",
+    )
+    pm_p.add_argument("bundle", nargs="?", default=None,
+                      help="bundle path (default: newest bundle in the "
+                      "incident store)")
+    pm_p.add_argument("--json", action="store_true", dest="as_json",
+                      help="print the bundle analysis as JSON instead of "
+                      "tables")
+    pm_p.add_argument("--chrome", default=None, metavar="OUT",
+                      help="also write the merged cross-rank timeline as "
+                      "Chrome trace JSON to OUT")
+    pm_p.add_argument("--check", action="store_true",
+                      help="exit nonzero unless the analysis names a "
+                      "culprit rank and op")
+    pm_p.add_argument("--last", type=int, default=10, metavar="N",
+                      help="rows in the per-rank last-N-event tables "
+                      "(default: 10)")
+    pm_p.add_argument("--synthetic", action="store_true",
+                      help="force a tiny two-rank deadlock first and "
+                      "analyze the bundle it produces (CI smoke)")
+    _add_verify(pm_p)
+
     args = parser.parse_args(argv)
     if args.verify:
         os.environ["REPRO_VERIFY"] = "1"
@@ -257,6 +295,12 @@ def main(argv: list[str] | None = None) -> int:
         from .tune import run_tune
 
         return run_tune(out=args.out, quick=args.quick, check=args.check)
+    if args.command == "postmortem":
+        from ..obs.postmortem import run_postmortem
+
+        return run_postmortem(args.bundle, as_json=args.as_json,
+                              chrome_out=args.chrome, check=args.check,
+                              last_n=args.last, synthetic=args.synthetic)
     run_all(args.scale, out_dir=args.out, plot=args.plot)
     return 0
 

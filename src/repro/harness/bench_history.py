@@ -3,8 +3,9 @@
 ``python -m repro.harness bench-history`` measures the library's gated
 performance numbers — batched-LU kernel time and speedup over the
 per-block scipy loop, service throughput and its speedup over
-per-request RD, the disabled-span guard cost, a representative ARD
-factor+solve wall time, and (on hosts with >= 4 cores) the
+per-request RD, the disabled-span guard cost, the always-on
+flight-recorder overhead ratio (docs/INCIDENTS.md), a representative
+ARD factor+solve wall time, and (on hosts with >= 4 cores) the
 processes-backend wall clock and its speedup over threads
 (docs/BACKENDS.md) — and appends them as one schema-versioned JSON
 line to ``results/BENCH_history.jsonl``.  The growing file is the
@@ -171,6 +172,33 @@ def _planner_metrics(n: int, m: int, p: int, r: int) -> dict[str, float]:
     }
 
 
+def _flightrec_metrics(n: int, m: int, p: int, r: int) -> dict[str, float]:
+    """Always-on flight-recorder cost at the canonical solve shape.
+
+    The same representative ARD factor+solve as ``solve.ard_wall_s``,
+    timed with the per-rank recorder off and on; the recorded metric is
+    the on/off wall-time ratio, so the <3% overhead budget the recorder
+    ships under (docs/INCIDENTS.md, ``benchmarks/bench_flightrec.py``)
+    stays visible in the perf trajectory and the gate fires when a
+    recorder change inflates the hot path.
+    """
+    from ..config import config_context
+    from ..core.ard import ARDFactorization
+    from ..workloads import helmholtz_block_system, random_rhs
+
+    matrix, _ = helmholtz_block_system(n, m)
+    b = random_rhs(n, m, r, seed=0)
+
+    def run() -> None:
+        ARDFactorization(matrix, nranks=p).solve(b)
+
+    with config_context(flightrec=False):
+        off_s = _best_of(run, rounds=3)
+    with config_context(flightrec=True):
+        on_s = _best_of(run, rounds=3)
+    return {"obs.flightrec_overhead": on_s / off_s if off_s > 0 else 0.0}
+
+
 def _span_guard_metrics(reps: int = 5000) -> dict[str, float]:
     def run() -> None:
         for _ in range(reps):
@@ -191,6 +219,7 @@ def collect_record(scale: str = "smoke") -> dict[str, Any]:
     metrics.update(_solve_metrics(*cfg["solve"]))
     metrics.update(_backend_metrics(*cfg["solve"]))
     metrics.update(_planner_metrics(*cfg["solve"]))
+    metrics.update(_flightrec_metrics(*cfg["solve"]))
     metrics.update(_span_guard_metrics())
     return {
         "schema_version": BENCH_HISTORY_SCHEMA_VERSION,

@@ -40,6 +40,18 @@ package makes that story observable instead of analytic.  Three pieces:
 :mod:`repro.obs.health`
     Numerical-health probes (residual norm, pivot growth, condition
     estimate) classified against warn/page thresholds.
+:mod:`repro.obs.flightrec`
+    Always-on per-rank flight recorder: a fixed-capacity, preallocated
+    ring of compact comm/phase records every rank keeps at all times
+    (no allocation on the hot path), snapshotted only when something
+    fails.
+:mod:`repro.obs.postmortem`
+    Cross-rank incident bundles: on any runtime failure path the
+    rings, config, plan notes, calibration fingerprint, and log tail
+    are captured into ``results/incidents/INCIDENT_<trace_id>.json``;
+    ``python -m repro.harness postmortem`` reconstructs the merged
+    timeline and names the blocked op and culprit rank
+    (docs/INCIDENTS.md).
 :mod:`repro.obs.regress`
     Rolling-median regression gate over the benchmark history written
     by ``python -m repro.harness bench-history``.
@@ -87,6 +99,14 @@ from .context import (
     trace_context,
 )
 from .export import render_prometheus
+from .flightrec import (
+    RECORD_FIELDS,
+    FlightRecorder,
+    current_flightrec,
+    flight_recording,
+    note_event,
+    recent_notes,
+)
 from .health import (
     HealthReport,
     HealthThresholds,
@@ -104,6 +124,19 @@ from .log import (
     get_logger,
 )
 from .metrics import SUMMARY_WINDOW, Counter, Gauge, MetricsRegistry, Summary
+from .postmortem import (
+    INCIDENT_SCHEMA_VERSION,
+    IncidentStore,
+    analyze_bundle,
+    capture_incident,
+    classify_reason,
+    force_synthetic_incident,
+    load_bundle,
+    record_failure,
+    render_text,
+    run_postmortem,
+    to_chrome,
+)
 from .report import PhaseReport, PhaseStat, build_phase_report
 from .roofline import (
     MachineRates,
@@ -173,4 +206,21 @@ __all__ = [
     "HealthReport",
     "probe_solve",
     "probe_factor",
+    "RECORD_FIELDS",
+    "FlightRecorder",
+    "current_flightrec",
+    "flight_recording",
+    "note_event",
+    "recent_notes",
+    "INCIDENT_SCHEMA_VERSION",
+    "IncidentStore",
+    "classify_reason",
+    "capture_incident",
+    "record_failure",
+    "load_bundle",
+    "analyze_bundle",
+    "render_text",
+    "to_chrome",
+    "force_synthetic_incident",
+    "run_postmortem",
 ]

@@ -38,6 +38,7 @@ from typing import Any
 
 import numpy as np
 
+from .flightrec import note_event
 from .log import get_logger
 from .metrics import MetricsRegistry
 
@@ -142,6 +143,11 @@ def _classify(value: float | None, warn: float, page: float,
 
 def _publish(report: HealthReport, registry: MetricsRegistry | None,
              origin: str) -> None:
+    note_event("health.probe", origin=origin, status=report.status,
+               **{k: v for k, v in (("residual", report.residual),
+                                    ("pivot_growth", report.pivot_growth),
+                                    ("condition", report.condition))
+                  if v is not None})
     if registry is not None:
         if report.residual is not None:
             registry.gauge("health.residual_norm").set(report.residual)

@@ -10,7 +10,10 @@ daemon thread) serving four routes:
   (load balancers and probes key off the status code);
 - ``GET /traces`` — JSON summary of recently collected trace segments;
 - ``GET /critpath`` — JSON critical-path analysis of the most recent
-  traced run (:meth:`repro.obs.critpath.CritPathReport.to_dict`).
+  traced run (:meth:`repro.obs.critpath.CritPathReport.to_dict`);
+- ``GET /incidents`` — JSON listing of the on-disk incident bundle
+  store (:class:`repro.obs.postmortem.IncidentStore`; see
+  docs/INCIDENTS.md).
 
 Start one directly or via ``SolverService(expose_http=...)`` /
 ``python -m repro.harness serve-bench --http``::
@@ -73,10 +76,16 @@ class _Handler(BaseHTTPRequestHandler):
                        else {"critpath": None})
                 self._reply(200, "application/json",
                             json.dumps(doc, default=str).encode("utf-8"))
+            elif path == "/incidents":
+                doc = (owner._incidents_provider() if owner._incidents_provider
+                       else {"incidents": []})
+                self._reply(200, "application/json",
+                            json.dumps(doc, default=str).encode("utf-8"))
             else:
                 self._reply(
                     404, "text/plain; charset=utf-8",
-                    b"not found: try /metrics /healthz /traces /critpath\n")
+                    b"not found: try /metrics /healthz /traces /critpath "
+                    b"/incidents\n")
         except BrokenPipeError:
             pass
         except Exception as exc:
@@ -108,6 +117,10 @@ class TelemetryServer:
         document (conventionally a
         :meth:`~repro.obs.critpath.CritPathReport.to_dict` payload for
         the most recent traced run).
+    incidents_provider:
+        Optional zero-arg callable returning the ``/incidents`` JSON
+        document (conventionally
+        ``{"incidents": IncidentStore.list()}``; docs/INCIDENTS.md).
     host, port:
         Bind address; ``port=0`` picks a free ephemeral port.
     """
@@ -116,11 +129,13 @@ class TelemetryServer:
                  health_provider: Callable[[], Mapping[str, Any]] | None = None,
                  traces_provider: Callable[[], Mapping[str, Any]] | None = None,
                  critpath_provider: Callable[[], Mapping[str, Any]] | None = None,
+                 incidents_provider: Callable[[], Mapping[str, Any]] | None = None,
                  host: str = "127.0.0.1", port: int = 0):
         self._metrics_provider = metrics_provider
         self._health_provider = health_provider
         self._traces_provider = traces_provider
         self._critpath_provider = critpath_provider
+        self._incidents_provider = incidents_provider
         self._host = host
         self._requested_port = port
         self._server: _Server | None = None

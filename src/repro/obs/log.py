@@ -36,6 +36,7 @@ while satisfying the same lint rule.
 
 from __future__ import annotations
 
+import collections
 import datetime
 import json
 import os
@@ -93,6 +94,9 @@ class EventLog:
                         if path is not None else stream)
         self.threshold = _LEVELS[level]
         self.records_written = 0
+        #: Bounded in-memory copy of the newest records, merged into
+        #: :mod:`repro.obs.postmortem` incident bundles on failure.
+        self.tail: collections.deque = collections.deque(maxlen=256)
 
     def log(self, level: str, component: str, event: str,
             message: str | None = None, **fields: Any) -> None:
@@ -122,6 +126,7 @@ class EventLog:
             self._stream.write(line + "\n")
             self._stream.flush()
             self.records_written += 1
+            self.tail.append(record)
 
     def write_raw(self, line: str) -> None:
         """Append one pre-serialized JSONL record verbatim.
@@ -134,6 +139,10 @@ class EventLog:
             self._stream.write(line.rstrip("\n") + "\n")
             self._stream.flush()
             self.records_written += 1
+            try:
+                self.tail.append(json.loads(line))
+            except ValueError:  # pragma: no cover - malformed forward
+                self.tail.append({"raw": line.rstrip("\n")})
 
     def close(self) -> None:
         """Close the sink (only closes streams this object opened)."""

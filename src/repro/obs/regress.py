@@ -51,6 +51,11 @@ GATED_METRICS: dict[str, str] = {
     "service.req_per_s": "higher",
     "service.speedup_vs_rd": "higher",
     "obs.disabled_span_us": "lower",
+    # Always-on flight-recorder cost: ARD factor+solve wall time with
+    # the per-rank recorder on over off (the <3% budget of
+    # docs/INCIDENTS.md); rises when a recorder change inflates the
+    # comm hot path.
+    "obs.flightrec_overhead": "lower",
     "solve.ard_wall_s": "lower",
     # Processes-vs-threads ARD wall clock (docs/BACKENDS.md); only
     # recorded on hosts with >= 4 cores, skipped elsewhere.

@@ -55,6 +55,9 @@ import time
 from contextlib import contextmanager
 from typing import Any, Iterator
 
+from .flightrec import _ACTIVE as _FR_ACTIVE
+from .flightrec import _state as _fr_state
+
 __all__ = [
     "SpanRecord",
     "EventRecord",
@@ -349,10 +352,20 @@ def span(name: str, cat: str = "phase", **attrs: Any):
 
     The disabled path costs one thread-local lookup — safe to leave in
     hot paths permanently (guarded by the tracing-overhead quality
-    gate in ``tests/test_quality_gates.py``).
+    gate in ``tests/test_quality_gates.py``).  When no tracer is
+    installed but the thread carries a
+    :class:`repro.obs.flightrec.FlightRecorder`, top-level ``phase``
+    spans still mark their boundaries in the recorder's ring so
+    untraced production runs keep a phase timeline for post-mortems;
+    the extra check is gated on a process-global recorder count so the
+    fully disabled path stays at one lookup.
     """
     tracer = getattr(_state, "tracer", None)
     if tracer is None:
+        if _FR_ACTIVE.count and cat == "phase":
+            rec = getattr(_fr_state, "recorder", None)
+            if rec is not None:
+                return rec.phase_span(name)
         return _NULL_SPAN
     return tracer.span(name, cat, **attrs)
 

@@ -44,11 +44,20 @@ Telemetry pipeline (docs/OBSERVABILITY.md):
   into one Chrome trace;
 - ``expose_http=True`` (or a port number) starts a loopback
   :class:`~repro.obs.http.TelemetryServer` with ``/metrics``
-  (Prometheus text), ``/healthz``, ``/traces``, and ``/critpath``;
+  (Prometheus text), ``/healthz``, ``/traces``, ``/critpath``, and
+  ``/incidents``;
 - ``health=True`` (default: on iff the endpoint is exposed) runs the
   numerical-health probes of :mod:`repro.obs.health`: per-solve
   residual norm, plus pivot growth and a condition estimate once per
   factorization (on the cache-miss path, where their cost amortizes).
+
+Incident capture (docs/INCIDENTS.md): each worker thread carries a
+:class:`~repro.obs.flightrec.FlightRecorder` ring recording batch
+phases.  On a deadline breach, an admission-reject storm, or a health
+``page`` the service snapshots the worker rings into an incident
+bundle (:mod:`repro.obs.postmortem`), rate-limited per reason type by
+:attr:`SolverService.incident_cooldown_s`; the bundle store is listed
+at ``/incidents``.
 """
 
 from __future__ import annotations
@@ -78,14 +87,20 @@ from ..linalg.blocktridiag import (
     restore_rhs_shape,
 )
 from ..obs import (
+    FlightRecorder,
     HealthThresholds,
+    IncidentStore,
     MetricsRegistry,
     RankTrace,
     TelemetryServer,
     Tracer,
+    capture_incident,
+    classify_reason,
     current_trace_context,
+    flight_recording,
     get_logger,
     new_trace_context,
+    note_event,
     probe_factor,
     probe_solve,
     trace_context,
@@ -230,6 +245,17 @@ class SolverService:
     True
     """
 
+    #: Minimum seconds between captured incidents of the same reason
+    #: type — deadline breaches and reject storms recur in bursts and
+    #: one bundle per burst is the useful granularity.  Tests lower it
+    #: to capture every forced failure.
+    incident_cooldown_s = 30.0
+    #: An admission-reject storm is this many rejects inside
+    #: :attr:`reject_storm_window_s` seconds.
+    reject_storm_threshold = 10
+    #: See :attr:`reject_storm_threshold`.
+    reject_storm_window_s = 1.0
+
     def __init__(
         self,
         *,
@@ -285,6 +311,17 @@ class SolverService:
         self._space = threading.Condition(self._lock)
         self._closing = False
         self._abandon = False
+        from ..config import get_config
+
+        cfg = get_config()
+        self._flightrecs: list[FlightRecorder | None] = [
+            FlightRecorder(i, cfg.flightrec_capacity) if cfg.flightrec
+            else None
+            for i in range(workers)
+        ]
+        self._incident_last: dict[str, float] = {}
+        self._reject_times: deque[float] = deque(
+            maxlen=self.reject_storm_threshold)
         self._tracers = [Tracer(rank=i) for i in range(workers)]
         self._threads = [
             threading.Thread(target=self._worker, args=(i,),
@@ -301,6 +338,7 @@ class SolverService:
                 health_provider=self._health_snapshot,
                 traces_provider=self._trace_snapshot,
                 critpath_provider=self._critpath_snapshot,
+                incidents_provider=self._incidents_snapshot,
                 port=port,
             ).start()
             _log.info("http.started", url=self.http.url)
@@ -354,6 +392,7 @@ class SolverService:
             methods=_AUTO_FACTOR_PORTFOLIO,
         )
         _log.info("plan.selected", fingerprint=key[0], **chosen.to_dict())
+        note_event("plan.selected", fingerprint=key[0], **chosen.to_dict())
         self.metrics.counter("plans.resolved").inc()
         with self._lock:
             self._plan_cache[key] = chosen
@@ -387,6 +426,7 @@ class SolverService:
                 handle.matrix, fact, thresholds=self.health_thresholds,
                 registry=self.metrics,
             )
+            self._check_health_page(op="factor")
         return fact, hit
 
     # -- submission --------------------------------------------------------
@@ -443,9 +483,11 @@ class SolverService:
             if self._batcher.pending_requests >= self.max_pending:
                 if self.overload == "reject":
                     self.metrics.counter("requests.rejected").inc()
-                    raise ServiceOverloadError(
+                    err = ServiceOverloadError(
                         f"admission queue full ({self.max_pending} pending)"
                     )
+                    self._note_reject(err)
+                    raise err
                 self.metrics.counter("requests.blocked").inc()
                 while (self._batcher.pending_requests >= self.max_pending
                        and not self._closing):
@@ -474,30 +516,37 @@ class SolverService:
 
     def _worker(self, index: int) -> None:
         tracer = self._tracers[index]
-        while True:
-            with self._cond:
-                batch = None
-                while batch is None:
-                    if self._abandon:
-                        return
-                    batch = self._batcher.take(time.monotonic(),
-                                               flush_all=self._closing)
-                    if batch is not None:
-                        break
-                    if self._closing and self._batcher.idle:
-                        self._cond.notify_all()
-                        return
-                    self._cond.wait(
-                        timeout=self._batcher.next_ready_in(time.monotonic()))
-                self.metrics.gauge("queue.depth").set(
-                    self._batcher.pending_requests)
-                self._space.notify_all()
-            try:
-                self._serve(batch, tracer)
-            finally:
+        recorder = self._flightrecs[index]
+        with flight_recording(recorder):
+            while True:
                 with self._cond:
-                    self._batcher.release(batch[0].key)
-                    self._cond.notify_all()
+                    batch = None
+                    while batch is None:
+                        if self._abandon:
+                            return
+                        batch = self._batcher.take(time.monotonic(),
+                                                   flush_all=self._closing)
+                        if batch is not None:
+                            break
+                        if self._closing and self._batcher.idle:
+                            self._cond.notify_all()
+                            return
+                        self._cond.wait(
+                            timeout=self._batcher.next_ready_in(
+                                time.monotonic()))
+                    self.metrics.gauge("queue.depth").set(
+                        self._batcher.pending_requests)
+                    self._space.notify_all()
+                try:
+                    if recorder is not None:
+                        with recorder.phase_span(f"batch:{batch[0].key}"):
+                            self._serve(batch, tracer)
+                    else:
+                        self._serve(batch, tracer)
+                finally:
+                    with self._cond:
+                        self._batcher.release(batch[0].key)
+                        self._cond.notify_all()
 
     @staticmethod
     def _ids_of(req: SolveRequest) -> dict[str, Any]:
@@ -524,10 +573,17 @@ class SolverService:
                 self.metrics.counter("requests.expired").inc()
                 _log.warning("request.expired", key=req.key,
                              queued_s=queued_s, **self._ids_of(req))
-                req.future.set_exception(DeadlineExceededError(
+                expired = DeadlineExceededError(
                     f"request spent {queued_s * 1e3:.1f} ms queued, past "
                     "its deadline"
-                ))
+                )
+                # Capture before resolving the future so a waiter that
+                # wakes immediately already sees ``incident_path``.
+                self._capture_service_incident(
+                    expired, rank=tracer.rank, op="queued",
+                    extra={"key": req.key, "queued_s": queued_s,
+                           **self._ids_of(req)})
+                req.future.set_exception(expired)
             else:
                 live.append(req)
         if not live:
@@ -569,10 +625,15 @@ class SolverService:
                         thresholds=self.health_thresholds,
                         registry=self.metrics,
                     )
+                    self._check_health_page(op="solve")
         except BaseException as exc:
             self.metrics.counter("requests.failed").inc(len(live))
             _log.error("request.failed", message=str(exc), key=lead.key,
                        batch=len(live), **self._ids_of(lead))
+            self._capture_service_incident(
+                exc, rank=tracer.rank, op="serve",
+                extra={"key": lead.key, "batch": len(live),
+                       **self._ids_of(lead)})
             for req in live:
                 req.future.set_exception(exc)
             return
@@ -688,6 +749,91 @@ class SolverService:
         for label, segments in list(self._segments):
             source[label] = segments
         return write_chrome_trace(path, source)
+
+    # -- incident capture --------------------------------------------------
+
+    def _capture_service_incident(self, exc: BaseException | None, *,
+                                  rank: int | None = None,
+                                  op: str | None = None,
+                                  extra: dict[str, Any] | None = None) -> None:
+        """Best-effort service-side incident capture (docs/INCIDENTS.md).
+
+        Snapshots every worker's flight-recorder ring into one bundle,
+        rate-limited per reason type by :attr:`incident_cooldown_s`.
+        ``exc=None`` records a health ``page`` (the one service failure
+        with no exception object).  Never raises — capture must not
+        mask or delay the failure being reported.
+        """
+        try:
+            from ..config import get_config
+
+            if not get_config().flightrec:
+                return
+            if exc is not None and getattr(exc, "incident_path",
+                                           None) is not None:
+                return
+            if exc is None:
+                report = self._last_health
+                reason: dict[str, Any] = {
+                    "type": "health_page", "exception": None,
+                    "message": "; ".join(report.messages)
+                    if report is not None else "health page",
+                    "rank": rank, "op": op,
+                }
+            else:
+                reason = classify_reason(exc, rank=rank, op=op)
+            now = time.monotonic()
+            last = self._incident_last.get(reason["type"])
+            if last is not None and now - last < self.incident_cooldown_s:
+                return
+            self._incident_last[reason["type"]] = now
+            rings = {
+                i: (rec.snapshot() if rec is not None else None)
+                for i, rec in enumerate(self._flightrecs)
+            }
+            path = capture_incident(
+                reason, backend="service", nranks=len(self._flightrecs),
+                rings=rings, trace_ctx=current_trace_context(), extra=extra,
+            )
+            if exc is not None and path is not None:
+                exc.incident_path = path
+        except Exception:  # pragma: no cover - capture is best-effort
+            _log.warning("incident.capture_failed", op=op or "?")
+
+    def _note_reject(self, err: ServiceOverloadError) -> None:
+        """Track one admission reject; capture on a reject storm.
+
+        A storm is :attr:`reject_storm_threshold` rejects inside
+        :attr:`reject_storm_window_s` seconds — one slow consumer
+        bouncing off a full queue is backpressure working as designed,
+        a whole window of rejects is an incident.
+        """
+        now = time.monotonic()
+        self._reject_times.append(now)
+        if (len(self._reject_times) == self._reject_times.maxlen
+                and now - self._reject_times[0] <= self.reject_storm_window_s):
+            self._capture_service_incident(
+                err, op="admit",
+                extra={"rejects": len(self._reject_times),
+                       "window_s": now - self._reject_times[0],
+                       "max_pending": self.max_pending})
+
+    def _check_health_page(self, *, op: str) -> None:
+        """Capture an incident when the latest health probe paged."""
+        report = self._last_health
+        if report is not None and getattr(report, "status", "ok") == "page":
+            self._capture_service_incident(None, op=op)
+
+    def _incidents_snapshot(self) -> dict[str, Any]:
+        """The ``/incidents`` document: on-disk bundle summaries,
+        newest first (see :class:`repro.obs.postmortem.IncidentStore`)."""
+        store = IncidentStore()
+        return {
+            "enabled": store.enabled,
+            "directory": str(store.directory) if store.enabled else None,
+            "retention": store.retention,
+            "incidents": store.list(),
+        }
 
     def _health_snapshot(self) -> dict[str, Any]:
         """The ``/healthz`` document (see :mod:`repro.obs.health`)."""

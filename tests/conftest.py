@@ -8,6 +8,19 @@ import pytest
 from repro.workloads import helmholtz_block_system, random_rhs
 
 
+@pytest.fixture(autouse=True)
+def _isolated_incident_dir(tmp_path, monkeypatch):
+    """Redirect incident-bundle capture away from ``results/incidents``.
+
+    Any test that trips a runtime failure path would otherwise litter
+    the repo's real incident store (and mutate its retention state);
+    the env var is read at capture time, so pointing it at ``tmp_path``
+    isolates every test.  Tests that assert on bundles read the same
+    directory.
+    """
+    monkeypatch.setenv("REPRO_INCIDENT_DIR", str(tmp_path / "incidents"))
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)
